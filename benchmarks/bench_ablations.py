@@ -1,0 +1,53 @@
+"""Ablation studies: feature families and the two-level hierarchy
+(DESIGN.md's design-choice list)."""
+
+from conftest import SEED, emit
+
+from repro.eval.experiments import ablation_study, two_level_vs_flat
+
+
+def test_feature_ablations(benchmark):
+    results = benchmark.pedantic(
+        ablation_study,
+        kwargs={"n_train": 60, "n_test": 400, "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    lines = [f"{'configuration':<20} {'line error rate':>16}"]
+    for name, error in sorted(results.items(), key=lambda item: item[1]):
+        lines.append(f"{name:<20} {error:>16.5f}")
+    emit("Ablations: line error rate at 60 training records", "\n".join(lines))
+    # At this training size individual families can overlap within noise,
+    # but the full feature set must stay competitive with every ablation
+    # and the load-bearing families must not be free to remove.
+    full = results["full"]
+    assert full <= min(results.values()) + 0.005
+    assert results["no-tv-tagging"] >= full - 0.001
+    assert results["no-edge-features"] >= full - 0.001
+
+
+def test_two_level_vs_flat(benchmark):
+    result = benchmark.pedantic(
+        two_level_vs_flat,
+        kwargs={"n_train": 120, "n_test": 300, "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Ablation: two-level hierarchy vs one flat 17-state CRF",
+        "\n".join([
+            f"{'':<22}{'block error':>12} {'sub error':>11} {'states':>8}",
+            f"{'two-level (paper)':<22}"
+            f"{result.two_level_block_error:>12.5f} "
+            f"{result.two_level_sub_error:>11.5f} "
+            f"{'6+12':>8}",
+            f"{'flat joint':<22}{result.flat_block_error:>12.5f} "
+            f"{result.flat_sub_error:>11.5f} "
+            f"{result.flat_states:>8}",
+        ]),
+    )
+    # The hierarchy must not cost block accuracy (it decodes 6 states with
+    # O(36) transitions instead of O(289)), and both must be accurate.
+    assert result.two_level_block_error < 0.02
+    assert result.flat_block_error < 0.05
+    assert result.two_level_sub_error < 0.05

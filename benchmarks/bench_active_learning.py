@@ -1,0 +1,56 @@
+"""Extension: uncertainty-driven labeling vs random labeling.
+
+Section 5.3 fixes failures by labeling a handful of records; at com scale
+the question is which records.  This bench compares one round of
+uncertainty sampling against a random sample of the same size.
+"""
+
+from conftest import SEED, emit
+
+from repro.datagen import CorpusConfig, CorpusGenerator
+from repro.eval.metrics import evaluate_parser
+from repro.parser import WhoisParser
+from repro.parser.active import active_learning_round
+
+BUDGET = 8
+
+
+def _run():
+    import random
+
+    generator = CorpusGenerator(CorpusConfig(seed=SEED + 11))
+    train = generator.labeled_corpus(60)
+    pool = generator.labeled_corpus(250)
+    test = generator.labeled_corpus(250)
+
+    base = WhoisParser(l2=0.1, second_level=False).fit(train)
+    before = evaluate_parser(base, test).line_error_rate
+
+    active = WhoisParser(l2=0.1, second_level=False).fit(train)
+    active_learning_round(active, pool, BUDGET, replay=train)
+    error_active = evaluate_parser(active, test).line_error_rate
+
+    rng = random.Random(SEED)
+    randomized = WhoisParser(l2=0.1, second_level=False).fit(train)
+    picks = rng.sample(range(len(pool)), BUDGET)
+    randomized.partial_fit([pool[i] for i in picks], replay=train)
+    error_random = evaluate_parser(randomized, test).line_error_rate
+    return before, error_active, error_random
+
+
+def test_active_learning_round(benchmark):
+    before, error_active, error_random = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+    emit(
+        f"Extension: one active-learning round (budget {BUDGET} labels)",
+        "\n".join([
+            f"line error before labeling:          {before:.5f}",
+            f"after {BUDGET} uncertainty-selected labels: "
+            f"{error_active:.5f}",
+            f"after {BUDGET} random labels:              "
+            f"{error_random:.5f}",
+        ]),
+    )
+    assert error_active <= before
+    assert error_active <= error_random + 1e-9

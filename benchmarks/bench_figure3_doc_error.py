@@ -1,0 +1,21 @@
+"""Figure 3: document error rate vs number of labeled training examples."""
+
+from conftest import CURVE_FOLDS, CURVE_RECORDS, CURVE_SIZES, curve_series, emit
+
+
+def test_figure3_document_error_rate(benchmark, learning_points):
+    points = benchmark.pedantic(
+        lambda: learning_points, rounds=1, iterations=1
+    )
+    emit(
+        f"Figure 3: document error rate vs labeled examples "
+        f"({CURVE_FOLDS}-fold CV over {CURVE_RECORDS} records)",
+        curve_series(points, "document_error"),
+    )
+    stat = {p.train_size: p.document_error_mean
+            for p in points if p.parser_name == "statistical"}
+    rules = {p.train_size: p.document_error_mean
+             for p in points if p.parser_name == "rule-based"}
+    assert stat[CURVE_SIZES[-1]] <= stat[CURVE_SIZES[0]]
+    assert stat[CURVE_SIZES[-1]] <= rules[CURVE_SIZES[0]]
+    assert stat[CURVE_SIZES[-1]] < 0.05

@@ -1,0 +1,51 @@
+"""Figure 4: domain creation histogram (4a) and per-year country/privacy
+proportions (4b)."""
+
+from conftest import emit
+
+from repro.survey.analysis import (
+    country_proportions_by_year,
+    creation_histogram,
+)
+from repro.survey.report import format_histogram, format_proportions
+
+
+def test_figure4a_creation_histogram(benchmark, survey_bundle):
+    _stats, db, _parser = survey_bundle
+    scope = db.normal()
+    histogram = benchmark(creation_histogram, scope)
+    emit("Figure 4a: histogram of com domain creation dates",
+         format_histogram(histogram))
+    # Paper: registrations grow dramatically, the rate increasing over time.
+    peak_year = max(histogram, key=histogram.get)
+    assert peak_year >= 2013
+    early = sum(count for year, count in histogram.items() if year < 2000)
+    late = sum(count for year, count in histogram.items() if year >= 2010)
+    assert late > early * 3
+
+
+def test_figure4b_country_proportions(benchmark, survey_bundle):
+    _stats, db, _parser = survey_bundle
+    scope = db.normal()
+    proportions = benchmark(country_proportions_by_year, scope)
+    emit("Figure 4b: per-year registrant country / privacy proportions",
+         format_proportions(proportions))
+    # Single-year buckets are small at survey scale; pool windows for a
+    # noise-robust trend comparison (paper: US falls, CN rises, privacy
+    # passes 20% by 2014).
+    histogram = creation_histogram(scope)
+
+    def pooled(keys, years):
+        weight = sum(histogram.get(y, 0) for y in years)
+        if not weight:
+            return 0.0
+        return sum(
+            proportions.get(y, {}).get(key, 0) * histogram.get(y, 0)
+            for y in years for key in keys
+        ) / weight
+
+    early_years = range(2000, 2007)
+    late_years = range(2012, 2015)
+    assert pooled(("US",), late_years) < pooled(("US",), early_years)
+    assert pooled(("CN",), late_years) > pooled(("CN",), early_years)
+    assert pooled(("Private",), late_years) > 0.10

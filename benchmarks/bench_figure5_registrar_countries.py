@@ -1,0 +1,34 @@
+"""Figure 5: top-3 registrant countries for selected registrars."""
+
+from conftest import emit
+
+from repro.survey.analysis import registrar_country_mix
+
+REGISTRARS = ("eNom", "HiChina", "GMO Internet", "Melbourne IT")
+
+
+def test_figure5_registrar_country_mix(benchmark, survey_bundle):
+    _stats, db, _parser = survey_bundle
+    scope = db.normal()
+
+    def compute():
+        return {name: registrar_country_mix(scope, name, k=3)
+                for name in REGISTRARS}
+
+    mixes = benchmark(compute)
+    lines = []
+    for name, rows in mixes.items():
+        rendered = ", ".join(f"{r.key} {r.share:.0%}" for r in rows)
+        lines.append(f"{name:<14} {rendered}")
+    emit("Figure 5: top-3 registrant countries for selected registrars",
+         "\n".join(lines))
+    # Paper: eNom skews US; HiChina CN (with a '[]' no-country slice);
+    # GMO JP; Melbourne IT's largest customer base is the US, not AU.
+    if mixes["eNom"]:
+        assert mixes["eNom"][0].key == "US"
+    if mixes["HiChina"]:
+        assert mixes["HiChina"][0].key == "CN"
+    if mixes["GMO Internet"]:
+        assert mixes["GMO Internet"][0].key == "JP"
+    if mixes["Melbourne IT"]:
+        assert mixes["Melbourne IT"][0].key == "US"

@@ -1,0 +1,34 @@
+"""Section 2.3: weaknesses of existing template- and rule-based parsers."""
+
+from conftest import SEED, TEST_SIZE, TRAIN_SIZE, emit
+
+from repro.eval.experiments import sec23_baselines
+
+
+def test_sec23_baselines(benchmark):
+    result = benchmark.pedantic(
+        sec23_baselines,
+        kwargs={"n_train": TRAIN_SIZE, "n_test": min(TEST_SIZE, 600),
+                "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    body = "\n".join([
+        f"template coverage (records whose registrar has a template): "
+        f"{result.template_coverage:.1%}  (paper: 94% for deft-whois)",
+        f"template parse-ok rate on an unchanged corpus: "
+        f"{result.template_ok_rate_static:.1%}",
+        f"template parse-ok rate after registrar schema drift: "
+        f"{result.template_ok_rate_drifted:.1%}  "
+        f"(paper: fails on the vast majority after format changes)",
+        f"generic-regex parser registrant accuracy: "
+        f"{result.regex_registrant_accuracy:.1%}  (paper: 59% for pythonwhois)",
+        f"statistical parser registrant accuracy: "
+        f"{result.statistical_registrant_accuracy:.1%}",
+    ])
+    emit("Section 2.3: template and generic-rule baselines", body)
+    assert result.template_coverage > 0.8
+    assert result.template_ok_rate_drifted < result.template_ok_rate_static
+    assert 0.3 < result.regex_registrant_accuracy < 0.9
+    assert (result.statistical_registrant_accuracy
+            > result.regex_registrant_accuracy)

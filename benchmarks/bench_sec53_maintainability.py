@@ -1,0 +1,31 @@
+"""Section 5.3: maintainability — fixing new-TLD failures with a handful of
+labeled examples vs hand-revising a rule base."""
+
+from conftest import SEED, TRAIN_SIZE, emit
+
+from repro.eval.experiments import sec53_maintainability
+
+
+def test_sec53_maintainability(benchmark):
+    result = benchmark.pedantic(
+        sec53_maintainability,
+        kwargs={"train_size": TRAIN_SIZE, "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    body = "\n".join([
+        f"rule-based parser: errors in {result.rule_tlds_with_errors}/12 "
+        f"new TLDs (paper: 10/12)",
+        f"statistical parser: errors in "
+        f"{result.statistical_tlds_with_errors}/12 new TLDs (paper: 4/12)",
+        f"labeled examples added to the statistical parser: "
+        f"{result.examples_added} (paper: 4)",
+        f"statistical errors after retraining: "
+        f"{result.statistical_errors_after} (paper: 0)",
+        f"rule-based TLDs still failing even after exposure to the same "
+        f"examples: {result.rule_tlds_with_errors_after_exposure} "
+        f"(fixing them requires a human revising rules)",
+    ])
+    emit("Section 5.3: maintainability comparison", body)
+    assert result.statistical_errors_after == 0
+    assert result.rule_tlds_with_errors >= result.statistical_tlds_with_errors

@@ -1,0 +1,22 @@
+"""Table 1: heavily weighted word features per first-level label."""
+
+from conftest import emit
+
+from repro.eval.experiments import table1_top_features
+
+
+def test_table1_top_features(benchmark, trained_parser):
+    features = benchmark(table1_top_features, trained_parser, k=8)
+    lines = []
+    for label, words in features.items():
+        rendered = ", ".join(f"{w} ({weight:+.2f})" for w, weight in words)
+        lines.append(f"{label:<11} {rendered}")
+    emit("Table 1: heavily weighted features of the first-level CRF",
+         "\n".join(lines))
+    # Sanity: the signature associations of the paper's Table 1.
+    registrant_words = {w for w, _ in features["registrant"]}
+    assert any("registrant" in w or "owner" in w or "holder" in w
+               or "CTX" in w for w in registrant_words)
+    date_words = {w for w, _ in features["date"]}
+    assert any("creat" in w or "expir" in w or "updat" in w or "date" in w
+               or "CLS:date" in w for w in date_words)

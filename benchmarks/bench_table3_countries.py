@@ -1,0 +1,30 @@
+"""Table 3: top registrant countries, all-time and 2014."""
+
+from conftest import emit
+
+from repro.survey.analysis import top_registrant_countries
+from repro.survey.report import format_table
+
+
+def test_table3_registrant_countries(benchmark, survey_bundle):
+    _stats, db, _parser = survey_bundle
+    scope = db.normal()  # synthetic DBL is oversampled; see DESIGN.md
+    all_time = benchmark(top_registrant_countries, scope)
+    in_2014 = top_registrant_countries(scope, year=2014)
+    emit(
+        "Table 3: top registrant countries (all time)",
+        format_table(all_time, key_header="Country"),
+    )
+    emit(
+        "Table 3 (right): top registrant countries (created 2014)",
+        format_table(in_2014, key_header="Country"),
+    )
+    assert all_time[0].key == "United States"
+    assert 0.30 < all_time[0].share < 0.65  # paper: 47.6%
+    top6 = [row.key for row in all_time[:6]]
+    assert "China" in top6  # paper: #2 at 9.6%
+    share_2014 = {row.key: row.share for row in in_2014}
+    share_all = {row.key: row.share for row in all_time}
+    if "China" in share_2014 and "China" in share_all:
+        # Paper: CN nearly halves the gap to the US in 2014 (18.2% vs 41.1%).
+        assert share_2014["China"] > share_all["China"]

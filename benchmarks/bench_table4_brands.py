@@ -1,0 +1,20 @@
+"""Table 4: well-known brand companies with the most com domains."""
+
+from conftest import emit
+
+from repro.survey.analysis import brand_companies
+from repro.survey.report import format_table
+
+
+def test_table4_brand_companies(benchmark, survey_bundle):
+    _stats, db, _parser = survey_bundle
+    rows = benchmark(brand_companies, db.normal())
+    emit("Table 4: brand companies with the most com domains",
+         format_table(rows, key_header="Company"))
+    assert rows, "brand registrations must be present in the survey corpus"
+    counts = [row.count for row in rows]
+    assert counts == sorted(counts, reverse=True)
+    # Amazon leads the paper's table; with sampling noise it must at least
+    # rank among the heaviest brands.
+    top_half = {row.key for row in rows[: max(3, len(rows) // 2)]}
+    assert {"Amazon", "AOL", "Microsoft"} & top_half

@@ -1,0 +1,27 @@
+"""Table 5: top registrars of com domains, all-time and 2014."""
+
+from conftest import emit
+
+from repro.survey.analysis import top_registrars
+from repro.survey.report import format_table
+
+
+def test_table5_top_registrars(benchmark, survey_bundle):
+    _stats, db, _parser = survey_bundle
+    scope = db.normal()
+    all_time = benchmark(top_registrars, scope)
+    in_2014 = top_registrars(scope, year=2014)
+    emit("Table 5: top registrars (all time)",
+         format_table(all_time, key_header="Registrar"))
+    emit("Table 5 (right): top registrars (created 2014)",
+         format_table(in_2014, key_header="Registrar"))
+    assert all_time[0].key == "GoDaddy"
+    assert 0.22 < all_time[0].share < 0.48  # paper: 34.2%
+    # Paper: market share is heavily skewed; top-10 approaches ~73%.
+    named = [r for r in all_time if r.key != "(Other)"]
+    assert sum(r.share for r in named[:10]) > 0.5
+    # Chinese registrars rise in the 2014 column (HiChina, Xinnet).
+    rank_2014 = {row.key: i for i, row in enumerate(in_2014)}
+    rank_all = {row.key: i for i, row in enumerate(all_time)}
+    if "HiChina" in rank_2014 and "HiChina" in rank_all:
+        assert rank_2014["HiChina"] <= rank_all["HiChina"]

@@ -1,0 +1,19 @@
+"""Table 6: top registrars used by privacy-protected domains."""
+
+from conftest import emit
+
+from repro.survey.analysis import privacy_by_registrar, privacy_rate
+from repro.survey.report import format_table
+
+
+def test_table6_privacy_registrars(benchmark, survey_bundle):
+    _stats, db, _parser = survey_bundle
+    scope = db.normal()
+    rows = benchmark(privacy_by_registrar, scope)
+    emit(
+        f"Table 6: registrars of privacy-protected domains "
+        f"(overall privacy rate {privacy_rate(scope):.1%}; paper: ~20%)",
+        format_table(rows, key_header="Registrar"),
+    )
+    assert rows[0].key == "GoDaddy"  # paper: 33.1% via Domains By Proxy
+    assert 0.05 < privacy_rate(scope) < 0.40

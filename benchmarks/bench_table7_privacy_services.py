@@ -1,0 +1,17 @@
+"""Table 7: top privacy protection services used for com domains."""
+
+from conftest import emit
+
+from repro.survey.analysis import top_privacy_services
+from repro.survey.report import format_table
+
+
+def test_table7_privacy_services(benchmark, survey_bundle):
+    _stats, db, _parser = survey_bundle
+    rows = benchmark(top_privacy_services, db.normal())
+    emit("Table 7: top privacy protection services",
+         format_table(rows, key_header="Protection Service"))
+    assert rows
+    # Paper: Domains By Proxy dominates with 35.7% of protected domains.
+    assert "Proxy" in rows[0].key or "proxy" in rows[0].key
+    assert rows[0].share > 0.2

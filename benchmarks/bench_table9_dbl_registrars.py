@@ -1,0 +1,21 @@
+"""Table 9: top registrars of com domains on the DBL (2014)."""
+
+from conftest import emit
+
+from repro.survey.analysis import dbl_registrars
+from repro.survey.report import format_table
+
+
+def test_table9_dbl_registrars(benchmark, survey_bundle):
+    _stats, db, _parser = survey_bundle
+    rows = benchmark(dbl_registrars, db)
+    emit("Table 9: registrars of 2014 DBL domains",
+         format_table(rows, key_header="Registrar"))
+    top4 = {row.key for row in rows[:4]}
+    # Paper: eNom 25.1%, GoDaddy 20.8%, GMO 20.5% lead; abuse-implicated
+    # registrars (eNom, Xinnet, Moniker, Bizcn) are more prominent than in
+    # the overall market (Table 5).
+    assert {"eNom", "GMO Internet"} & top4
+    named = [row.key for row in rows]
+    assert ("Moniker" in named) or ("Bizcn.com" in named) \
+        or ("Xinnet" in named)

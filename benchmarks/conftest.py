@@ -1,0 +1,100 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper.  The
+expensive pipelines (training the parser, crawling the synthetic zone,
+building the survey database) are session-scoped so the per-experiment
+benchmarks measure their own analysis step on top of a shared substrate.
+
+Scales are set by environment variables so the harness can be dialed up:
+
+- ``REPRO_BENCH_TRAIN``   (default 300)  training records for the parser
+- ``REPRO_BENCH_TEST``    (default 1000) labeled test records
+- ``REPRO_BENCH_DOMAINS`` (default 4000) zone size for the crawl/survey
+- ``REPRO_BENCH_DBL``     (default 1000) blacklisted registrations
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datagen import CorpusGenerator
+from repro.datagen.corpus import CorpusConfig
+from repro.eval.experiments import crawl_and_survey, make_parser
+
+
+def _scale(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+TRAIN_SIZE = _scale("REPRO_BENCH_TRAIN", 300)
+TEST_SIZE = _scale("REPRO_BENCH_TEST", 1000)
+SURVEY_DOMAINS = _scale("REPRO_BENCH_DOMAINS", 4000)
+DBL_SIZE = _scale("REPRO_BENCH_DBL", 1000)
+SEED = _scale("REPRO_BENCH_SEED", 0)
+
+
+@pytest.fixture(scope="session")
+def train_corpus():
+    generator = CorpusGenerator(CorpusConfig(seed=SEED))
+    return generator.labeled_corpus(TRAIN_SIZE)
+
+
+@pytest.fixture(scope="session")
+def test_corpus():
+    generator = CorpusGenerator(CorpusConfig(seed=SEED + 1))
+    return generator.labeled_corpus(TEST_SIZE)
+
+
+@pytest.fixture(scope="session")
+def trained_parser(train_corpus):
+    return make_parser(train_corpus)
+
+
+CURVE_RECORDS = _scale("REPRO_BENCH_CURVE_RECORDS", 1600)
+CURVE_FOLDS = _scale("REPRO_BENCH_CURVE_FOLDS", 5)
+CURVE_SIZES = (20, 100, 300)
+
+
+@pytest.fixture(scope="session")
+def learning_points():
+    """The Figure 2/3 cross-validated curves (computed once per session)."""
+    from repro.eval.experiments import figures2_3_learning_curves
+
+    return figures2_3_learning_curves(
+        n_records=CURVE_RECORDS,
+        train_sizes=CURVE_SIZES,
+        n_folds=CURVE_FOLDS,
+        seed=SEED,
+    )
+
+
+def curve_series(points, metric: str) -> str:
+    lines = [f"{'parser':<12} {'n train':>8} {'mean':>9} {'std':>9}"]
+    for point in points:
+        mean = getattr(point, f"{metric}_mean")
+        std = getattr(point, f"{metric}_std")
+        lines.append(
+            f"{point.parser_name:<12} {point.train_size:>8} "
+            f"{mean:>9.5f} {std:>9.5f}"
+        )
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="session")
+def survey_bundle():
+    """(CrawlStats, SurveyDatabase, WhoisParser) shared by the Section 6
+    benches."""
+    return crawl_and_survey(
+        n_domains=SURVEY_DOMAINS,
+        n_train=TRAIN_SIZE,
+        n_dbl=DBL_SIZE,
+        seed=SEED,
+    )
+
+
+def emit(title: str, body: str) -> None:
+    """Print one experiment's regenerated rows, clearly delimited."""
+    line = "=" * 72
+    print(f"\n{line}\n{title}\n{line}\n{body}\n")

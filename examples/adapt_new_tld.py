@@ -1,0 +1,55 @@
+"""Maintainability (Section 5.3): adapting the parser to a new TLD's
+never-seen schema with a single labeled example.
+
+Run:  python examples/adapt_new_tld.py
+"""
+
+from repro.datagen import CorpusConfig, CorpusGenerator
+from repro.eval.metrics import count_line_errors
+from repro.parser import WhoisParser
+
+
+def errors_on(parser, record) -> int:
+    return count_line_errors(parser.predict_blocks(record),
+                             record.block_labels)
+
+
+def main() -> None:
+    generator = CorpusGenerator(CorpusConfig(seed=11))
+    com_corpus = generator.labeled_corpus(120)
+    parser = WhoisParser(l2=0.1).fit(com_corpus)
+    print(f"parser trained on {len(com_corpus)} com records\n")
+
+    # Find a new TLD whose never-seen schema trips the com-trained parser
+    # (dotCoop's type-as-value layout is the usual offender).
+    failing_tld, record, before = None, None, 0
+    for tld, candidate in generator.new_tld_records().items():
+        errors = errors_on(parser, candidate)
+        if errors > before:
+            failing_tld, record, before = tld, candidate, errors
+    if failing_tld is None:
+        print("the parser already handles all twelve new TLDs on this draw")
+        return
+    print(f"first encounter with {record.domain} (.{failing_tld}): "
+          f"{before}/{len(record.block_labels)} lines mislabeled")
+
+    # The fix costs one labeled example and a retrain -- "this manual
+    # exercise [of revising rules] is not required".
+    print("adding that one labeled record and retraining...")
+    parser.partial_fit([record], replay=com_corpus[:100])
+
+    fresh = CorpusGenerator(CorpusConfig(seed=12)).new_tld_record(failing_tld)
+    after = errors_on(parser, fresh)
+    print(f"fresh .{failing_tld} record ({fresh.domain}): "
+          f"{after}/{len(fresh.block_labels)} lines mislabeled")
+
+    # And com accuracy is retained.
+    test = generator.labeled_corpus(50)
+    com_errors = sum(errors_on(parser, r) for r in test)
+    com_lines = sum(len(r.block_labels) for r in test)
+    print(f"com accuracy after adaptation: "
+          f"{1 - com_errors / com_lines:.2%} on {len(test)} fresh records")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the paper's workflow:
+
+- ``generate``  write a labeled synthetic corpus (JSONL)
+- ``train``     fit the statistical parser from a labeled corpus
+- ``parse``     parse raw WHOIS text with a saved model
+- ``crawl``     run the simulated com crawl and save the thick records
+- ``survey``    build the Section 6 tables from crawled records
+- ``eval``      line/document error of a saved model on a labeled corpus
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.datagen import CorpusConfig, CorpusGenerator
+from repro.eval.metrics import evaluate_parser
+from repro.netsim.crawler import WhoisCrawler
+from repro.netsim.internet import build_com_internet
+from repro.parser import WhoisParser
+from repro.survey.analysis import (
+    top_privacy_services,
+    top_registrant_countries,
+    top_registrars,
+)
+from repro.survey.database import SurveyDatabase
+from repro.survey.report import format_table
+from repro.whois.io import load_corpus, save_corpus
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    generator = CorpusGenerator(
+        CorpusConfig(seed=args.seed, drift_probability=args.drift)
+    )
+    count = save_corpus(generator.labeled_corpus(args.count), args.output)
+    print(f"wrote {count} labeled records to {args.output}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    corpus = load_corpus(args.corpus)
+    parser = WhoisParser(l2=args.l2, min_count=args.min_count).fit(corpus)
+    parser.save(args.model)
+    n_features = parser.block_crf.index.n_features
+    print(f"trained on {len(corpus)} records "
+          f"({n_features:,} first-level features); model saved to {args.model}")
+    return 0
+
+
+def _cmd_parse(args: argparse.Namespace) -> int:
+    parser = WhoisParser.load(args.model)
+    text = (
+        Path(args.input).read_text() if args.input != "-" else sys.stdin.read()
+    )
+    parsed = parser.parse(text)
+    output = {
+        "domain": parsed.domain,
+        "registrar": parsed.registrar,
+        "created": parsed.created.isoformat() if parsed.created else None,
+        "updated": parsed.updated.isoformat() if parsed.updated else None,
+        "expires": parsed.expires.isoformat() if parsed.expires else None,
+        "statuses": parsed.statuses,
+        "name_servers": parsed.name_servers,
+        "registrant": parsed.registrant,
+    }
+    if args.lines:
+        output["lines"] = [
+            {"text": line, "block": block, "sub": sub}
+            for line, block, sub in parser.label_lines(text)
+        ]
+    print(json.dumps(output, indent=2))
+    return 0
+
+
+def _cmd_crawl(args: argparse.Namespace) -> int:
+    generator = CorpusGenerator(CorpusConfig(seed=args.seed))
+    zone, registrations = generator.zone(args.domains)
+    internet, clock, _truth = build_com_internet(generator, zone, registrations)
+    crawler = WhoisCrawler(internet)
+    results = crawler.crawl(zone)
+    stats = crawler.stats
+    with Path(args.output).open("w", encoding="utf-8") as handle:
+        for result in results:
+            handle.write(json.dumps({
+                "domain": result.domain,
+                "status": result.status,
+                "registrar_server": result.registrar_server,
+                "thick_text": result.thick_text,
+            }) + "\n")
+    print(f"crawled {stats.total} domains in simulated {clock.now():,.0f}s: "
+          f"{stats.ok} thick ({stats.thick_coverage:.1%}), "
+          f"{stats.no_match} no-match, "
+          f"{stats.thin_only + stats.failed} failed "
+          f"({stats.failure_rate:.1%}); saved to {args.output}")
+    return 0
+
+
+def _cmd_survey(args: argparse.Namespace) -> int:
+    parser = WhoisParser.load(args.model)
+    db = SurveyDatabase()
+    with Path(args.crawl).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            row = json.loads(line)
+            if not row.get("thick_text"):
+                continue
+            db.add_parsed(row["domain"], parser.parse(row["thick_text"]))
+    print(f"parsed {len(db)} records\n")
+    print(format_table(top_registrant_countries(db),
+                       title="Top registrant countries (Table 3)",
+                       key_header="Country"))
+    print()
+    print(format_table(top_registrars(db),
+                       title="Top registrars (Table 5)",
+                       key_header="Registrar"))
+    print()
+    print(format_table(top_privacy_services(db),
+                       title="Top privacy services (Table 7)",
+                       key_header="Protection Service"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.reportgen import ReportScale, generate_report
+
+    scale = ReportScale.smoke() if args.smoke else ReportScale(seed=args.seed)
+    text = generate_report(scale)
+    Path(args.output).write_text(text)
+    print(f"wrote reproduction report to {args.output} "
+          f"({len(text.splitlines())} lines)")
+    return 0
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    parser = WhoisParser.load(args.model)
+    corpus = load_corpus(args.corpus)
+    evaluation = evaluate_parser(parser, corpus)
+    print(f"records:        {evaluation.n_records}")
+    print(f"lines:          {evaluation.n_lines}")
+    print(f"line error:     {evaluation.line_error_rate:.5f}")
+    print(f"document error: {evaluation.document_error_rate:.5f}")
+    if args.confusion and evaluation.confusion:
+        print("confusion (gold -> predicted):")
+        for (gold, predicted), count in sorted(
+            evaluation.confusion.items(), key=lambda item: -item[1]
+        ):
+            print(f"  {gold:>10} -> {predicted:<10} {count}")
+    return 0
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    root = argparse.ArgumentParser(
+        prog="repro",
+        description="Statistical WHOIS parsing (IMC 2015 reproduction)",
+    )
+    sub = root.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="write a labeled corpus")
+    generate.add_argument("output", help="output JSONL path")
+    generate.add_argument("--count", type=int, default=500)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--drift", type=float, default=0.0,
+                          help="schema-drift probability")
+    generate.set_defaults(func=_cmd_generate)
+
+    train = sub.add_parser("train", help="train the statistical parser")
+    train.add_argument("corpus", help="labeled JSONL corpus")
+    train.add_argument("model", help="model output directory")
+    train.add_argument("--l2", type=float, default=0.1)
+    train.add_argument("--min-count", type=int, default=1)
+    train.set_defaults(func=_cmd_train)
+
+    parse = sub.add_parser("parse", help="parse one WHOIS record")
+    parse.add_argument("model", help="model directory")
+    parse.add_argument("input", help="record file, or - for stdin")
+    parse.add_argument("--lines", action="store_true",
+                       help="include per-line labels")
+    parse.set_defaults(func=_cmd_parse)
+
+    crawl = sub.add_parser("crawl", help="run the simulated com crawl")
+    crawl.add_argument("output", help="output JSONL path")
+    crawl.add_argument("--domains", type=int, default=2000)
+    crawl.add_argument("--seed", type=int, default=0)
+    crawl.set_defaults(func=_cmd_crawl)
+
+    survey = sub.add_parser("survey", help="survey crawled records")
+    survey.add_argument("model", help="model directory")
+    survey.add_argument("crawl", help="crawl JSONL from the crawl command")
+    survey.set_defaults(func=_cmd_survey)
+
+    report = sub.add_parser(
+        "report", help="regenerate every table/figure into one markdown file"
+    )
+    report.add_argument("output", help="markdown output path")
+    report.add_argument("--smoke", action="store_true",
+                        help="tiny scales for a fast end-to-end check")
+    report.add_argument("--seed", type=int, default=0)
+    report.set_defaults(func=_cmd_report)
+
+    evaluate = sub.add_parser("eval", help="evaluate a saved model")
+    evaluate.add_argument("model", help="model directory")
+    evaluate.add_argument("corpus", help="labeled JSONL corpus")
+    evaluate.add_argument("--confusion", action="store_true")
+    evaluate.set_defaults(func=_cmd_eval)
+    return root
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+"""Linear-chain conditional random fields, implemented from scratch.
+
+This package implements the probabilistic model of Section 3.1 and the
+appendix of *Who is .com? Learning to Parse WHOIS Records* (IMC 2015):
+log-space forward-backward for the normalization factor and marginals
+(eqs. 9-12), Viterbi decoding (eqs. 13-17), the convex log-likelihood
+objective (eq. 11) with its exact gradient, and both batch (L-BFGS) and
+stochastic (AdaGrad SGD) parameter estimation.
+
+The public entry point is :class:`ChainCRF`, which consumes sequences of
+*attribute lists* (one list of string attributes per token) and label
+sequences, and learns binary features of the two forms used by the paper:
+``f(y_t, x_t)`` observation features and ``f(y_{t-1}, y_t, x_t)``
+transition features.
+"""
+
+from repro.crf.features import EncodedSequence, FeatureIndex, Sequence
+from repro.crf.inference import (
+    edge_marginals,
+    log_forward,
+    log_backward,
+    log_partition,
+    node_marginals,
+    posterior_score,
+    viterbi,
+)
+from repro.crf.analysis import ModelSummary, model_summary, prune, top_weight_share
+from repro.crf.batch import EncodedBatch, batch_nll_grad
+from repro.crf.model import ChainCRF
+from repro.crf.train import LBFGSTrainer, SGDTrainer, TrainLog
+
+__all__ = [
+    "ChainCRF",
+    "EncodedBatch",
+    "ModelSummary",
+    "batch_nll_grad",
+    "model_summary",
+    "prune",
+    "top_weight_share",
+    "EncodedSequence",
+    "FeatureIndex",
+    "LBFGSTrainer",
+    "SGDTrainer",
+    "Sequence",
+    "TrainLog",
+    "edge_marginals",
+    "log_backward",
+    "log_forward",
+    "log_partition",
+    "node_marginals",
+    "posterior_score",
+    "viterbi",
+]

@@ -1,0 +1,136 @@
+"""Dynamic-programming inference for linear-chain CRFs.
+
+These routines implement the appendix of the paper in log space.  All of
+them take the *potentials* of one sequence:
+
+- ``emit``:  array of shape ``(T, S)``, where ``emit[t, j]`` is the sum of
+  the weights of all observation features firing for label ``j`` at token
+  ``t`` (plus the start weight at ``t = 0``);
+- ``trans``: array of shape ``(T-1, S, S)``, where ``trans[t, i, j]`` is the
+  sum of the weights of all transition features firing on the edge between
+  tokens ``t`` and ``t+1`` for the label pair ``(i, j)``.  This is the
+  log of the matrix ``M_t`` of eq. (9).
+
+Everything runs in ``O(S^2 T)`` as eq. (10) promises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import logsumexp
+
+
+def _check(emit: np.ndarray, trans: np.ndarray) -> None:
+    if emit.ndim != 2:
+        raise ValueError(f"emit must be 2-D, got shape {emit.shape}")
+    n_tokens, n_states = emit.shape
+    if n_tokens == 0:
+        raise ValueError("empty sequence")
+    expected = (max(n_tokens - 1, 0), n_states, n_states)
+    if n_tokens > 1 and trans.shape != expected:
+        raise ValueError(f"trans must have shape {expected}, got {trans.shape}")
+
+
+def log_forward(emit: np.ndarray, trans: np.ndarray) -> np.ndarray:
+    """Forward recursion: ``alpha[t, j] = log sum over prefixes ending in j``."""
+    _check(emit, trans)
+    n_tokens, n_states = emit.shape
+    alpha = np.empty((n_tokens, n_states))
+    alpha[0] = emit[0]
+    for t in range(1, n_tokens):
+        # alpha[t, j] = logsumexp_i(alpha[t-1, i] + trans[t-1, i, j]) + emit[t, j]
+        alpha[t] = logsumexp(alpha[t - 1][:, None] + trans[t - 1], axis=0) + emit[t]
+    return alpha
+
+
+def log_backward(emit: np.ndarray, trans: np.ndarray) -> np.ndarray:
+    """Backward recursion: ``beta[t, i] = log sum over suffixes starting after i``."""
+    _check(emit, trans)
+    n_tokens, n_states = emit.shape
+    beta = np.zeros((n_tokens, n_states))
+    for t in range(n_tokens - 2, -1, -1):
+        beta[t] = logsumexp(trans[t] + (emit[t + 1] + beta[t + 1])[None, :], axis=1)
+    return beta
+
+
+def log_partition(emit: np.ndarray, trans: np.ndarray) -> float:
+    """``log Z(x)`` of eq. (3), computed via eq. (10)."""
+    alpha = log_forward(emit, trans)
+    return float(logsumexp(alpha[-1]))
+
+
+def node_marginals(
+    emit: np.ndarray,
+    trans: np.ndarray,
+    *,
+    alpha: np.ndarray | None = None,
+    beta: np.ndarray | None = None,
+) -> np.ndarray:
+    """Posterior ``Pr(y_t = j | x)`` for every token, shape ``(T, S)``."""
+    if alpha is None:
+        alpha = log_forward(emit, trans)
+    if beta is None:
+        beta = log_backward(emit, trans)
+    log_z = logsumexp(alpha[-1])
+    return np.exp(alpha + beta - log_z)
+
+
+def edge_marginals(
+    emit: np.ndarray,
+    trans: np.ndarray,
+    *,
+    alpha: np.ndarray | None = None,
+    beta: np.ndarray | None = None,
+) -> np.ndarray:
+    """Posterior ``Pr(y_t = i, y_{t+1} = j | x)`` per eq. (12), shape ``(T-1, S, S)``."""
+    if alpha is None:
+        alpha = log_forward(emit, trans)
+    if beta is None:
+        beta = log_backward(emit, trans)
+    log_z = logsumexp(alpha[-1])
+    n_tokens = emit.shape[0]
+    if n_tokens < 2:
+        return np.zeros((0, emit.shape[1], emit.shape[1]))
+    # log p(t, i, j) = alpha[t, i] + trans[t, i, j] + emit[t+1, j] + beta[t+1, j] - logZ
+    log_p = (
+        alpha[:-1, :, None]
+        + trans
+        + emit[1:, None, :]
+        + beta[1:, None, :]
+        - log_z
+    )
+    return np.exp(log_p)
+
+
+def posterior_score(
+    emit: np.ndarray, trans: np.ndarray, labels: np.ndarray
+) -> float:
+    """Unnormalized log score of one label sequence (the bracket of eq. (2))."""
+    _check(emit, trans)
+    labels = np.asarray(labels, dtype=np.intp)
+    if labels.shape[0] != emit.shape[0]:
+        raise ValueError("label sequence length does not match emissions")
+    score = float(emit[np.arange(emit.shape[0]), labels].sum())
+    if emit.shape[0] > 1:
+        score += float(
+            trans[np.arange(emit.shape[0] - 1), labels[:-1], labels[1:]].sum()
+        )
+    return score
+
+
+def viterbi(emit: np.ndarray, trans: np.ndarray) -> np.ndarray:
+    """Most likely label sequence, eqs. (13)-(17).  Returns int array of length T."""
+    _check(emit, trans)
+    n_tokens, n_states = emit.shape
+    value = np.empty((n_tokens, n_states))
+    back = np.empty((n_tokens, n_states), dtype=np.intp)
+    value[0] = emit[0]  # eq. (14)
+    for t in range(1, n_tokens):
+        scores = value[t - 1][:, None] + trans[t - 1]  # eq. (15) inner bracket
+        back[t] = np.argmax(scores, axis=0)  # eq. (16)
+        value[t] = scores[back[t], np.arange(n_states)] + emit[t]
+    labels = np.empty(n_tokens, dtype=np.intp)
+    labels[-1] = int(np.argmax(value[-1]))
+    for t in range(n_tokens - 2, -1, -1):  # eq. (17)
+        labels[t] = back[t + 1][labels[t + 1]]
+    return labels

@@ -1,0 +1,284 @@
+"""The public CRF model class."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence as TypingSequence
+
+import numpy as np
+
+from repro.crf.features import FeatureIndex, Sequence
+from repro.crf.inference import (
+    log_partition,
+    node_marginals,
+    posterior_score,
+    viterbi,
+)
+from repro.crf.objective import ParamView, sequence_potentials
+from repro.crf.train import LBFGSTrainer, SGDTrainer, TrainLog
+
+
+def _as_sequence(seq: Sequence | list[list[str]]) -> Sequence:
+    if isinstance(seq, Sequence):
+        return seq
+    return Sequence(obs=seq)
+
+
+class ChainCRF:
+    """A linear-chain conditional random field over string labels.
+
+    Parameters
+    ----------
+    labels:
+        The finite state space (e.g. the six block labels of the first-level
+        WHOIS CRF).
+    min_count:
+        Observation attributes occurring fewer than this many times in the
+        training corpus are trimmed from the dictionary, as in Section 3.3.
+    l2:
+        L2 regularization strength.
+    trainer:
+        ``"lbfgs"`` (default, the paper's batch optimizer) or ``"sgd"``.
+
+    Examples
+    --------
+    >>> crf = ChainCRF(["a", "b"], l2=0.1)
+    >>> train = [Sequence(obs=[["x"], ["y"]]), Sequence(obs=[["x"], ["y"]])]
+    >>> _ = crf.fit(train, [["a", "b"], ["a", "b"]])
+    >>> crf.predict(Sequence(obs=[["x"], ["y"]]))
+    ['a', 'b']
+    """
+
+    def __init__(
+        self,
+        labels: TypingSequence[str],
+        *,
+        min_count: int = 1,
+        min_edge_count: int = 1,
+        l2: float = 1.0,
+        trainer: str = "lbfgs",
+        max_iterations: int = 200,
+        sgd_epochs: int = 10,
+        seed: int = 0,
+    ) -> None:
+        if trainer not in ("lbfgs", "sgd"):
+            raise ValueError(f"unknown trainer {trainer!r}")
+        self._labels = tuple(labels)
+        self._min_count = min_count
+        self._min_edge_count = min_edge_count
+        self._l2 = l2
+        self._trainer_name = trainer
+        self._max_iterations = max_iterations
+        self._sgd_epochs = sgd_epochs
+        self._seed = seed
+        self.index: FeatureIndex | None = None
+        self.params: np.ndarray | None = None
+        self.train_log: TrainLog | None = None
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return self._labels
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.params is not None
+
+    def _make_trainer(self) -> LBFGSTrainer | SGDTrainer:
+        if self._trainer_name == "lbfgs":
+            return LBFGSTrainer(l2=self._l2, max_iterations=self._max_iterations)
+        return SGDTrainer(l2=self._l2, epochs=self._sgd_epochs, seed=self._seed)
+
+    def fit(
+        self,
+        sequences: Iterable[Sequence | list[list[str]]],
+        label_sequences: Iterable[TypingSequence[str]],
+    ) -> "ChainCRF":
+        """Estimate parameters from labeled sequences (eq. (4))."""
+        seqs = [_as_sequence(s) for s in sequences]
+        labels = list(label_sequences)
+        if len(seqs) != len(labels):
+            raise ValueError("sequences and label_sequences differ in length")
+        for seq, lab in zip(seqs, labels):
+            if len(seq) != len(lab):
+                raise ValueError(
+                    f"sequence of length {len(seq)} has {len(lab)} labels"
+                )
+        self.index = FeatureIndex(
+            self._labels,
+            min_count=self._min_count,
+            min_edge_count=self._min_edge_count,
+        ).build(seqs)
+        dataset = [
+            (self.index.encode(seq), self.index.encode_labels(lab))
+            for seq, lab in zip(seqs, labels)
+        ]
+        self.params, self.train_log = self._make_trainer().fit(dataset, self.index)
+        return self
+
+    def partial_fit(
+        self,
+        sequences: Iterable[Sequence | list[list[str]]],
+        label_sequences: Iterable[TypingSequence[str]],
+        *,
+        replay: list[tuple[Sequence, TypingSequence[str]]] | None = None,
+    ) -> "ChainCRF":
+        """Enlarge the model with new labeled examples (Section 5.3).
+
+        New attributes are appended to the feature index; existing weights
+        are kept as a warm start and training continues on the new examples
+        plus an optional replay set of earlier examples.  This is the
+        maintainability workflow the paper contrasts with hand-editing
+        rule bases.
+        """
+        if self.index is None or self.params is None:
+            raise RuntimeError("partial_fit() requires a fitted model")
+        seqs = [_as_sequence(s) for s in sequences]
+        labels = list(label_sequences)
+        if len(seqs) != len(labels):
+            raise ValueError("sequences and label_sequences differ in length")
+        old_index = self.index
+        old_view = ParamView.of(self.params, old_index)
+        old_n_obs, old_n_edge = old_index.n_obs, old_index.n_edge
+
+        old_index.extend(seqs)
+        new_params = np.zeros(old_index.n_features)
+        new_view = ParamView.of(new_params, old_index)
+        new_view.start[:] = old_view.start
+        new_view.obs[:old_n_obs] = old_view.obs
+        new_view.trans[:] = old_view.trans
+        new_view.edge[:old_n_edge] = old_view.edge
+
+        pairs: list[tuple[Sequence, TypingSequence[str]]] = list(zip(seqs, labels))
+        if replay:
+            pairs.extend(
+                (_as_sequence(s), lab) for s, lab in replay
+            )
+        dataset = [
+            (old_index.encode(seq), old_index.encode_labels(list(lab)))
+            for seq, lab in pairs
+        ]
+        self.params, self.train_log = self._make_trainer().fit(
+            dataset, old_index, initial=new_params
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+
+    def _require_fitted(self) -> tuple[FeatureIndex, ParamView]:
+        if self.index is None or self.params is None:
+            raise RuntimeError("model is not fitted")
+        return self.index, ParamView.of(self.params, self.index)
+
+    def _potentials(self, seq: Sequence | list[list[str]]):
+        index, view = self._require_fitted()
+        encoded = index.encode(_as_sequence(seq))
+        return index, sequence_potentials(encoded, view, index.n_states)
+
+    def predict(self, seq: Sequence | list[list[str]]) -> list[str]:
+        """Most likely label sequence (Viterbi decoding, eq. (5))."""
+        if len(_as_sequence(seq)) == 0:
+            return []
+        index, (emit, trans) = self._potentials(seq)
+        return index.decode_labels(viterbi(emit, trans).tolist())
+
+    def predict_batch(
+        self, sequences: Iterable[Sequence | list[list[str]]]
+    ) -> list[list[str]]:
+        return [self.predict(seq) for seq in sequences]
+
+    def predict_marginals(self, seq: Sequence | list[list[str]]) -> np.ndarray:
+        """Per-token posterior ``Pr(y_t | x)``, shape ``(T, n_states)``."""
+        index, (emit, trans) = self._potentials(seq)
+        return node_marginals(emit, trans)
+
+    def log_likelihood(
+        self, seq: Sequence | list[list[str]], labels: TypingSequence[str]
+    ) -> float:
+        """``ln Pr(labels | seq)`` under the fitted model."""
+        index, (emit, trans) = self._potentials(seq)
+        encoded_labels = np.asarray(index.encode_labels(list(labels)), dtype=np.intp)
+        return posterior_score(emit, trans, encoded_labels) - log_partition(
+            emit, trans
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection (Table 1 / Figure 1)
+    # ------------------------------------------------------------------
+
+    def top_observation_features(
+        self, label: str, k: int = 10
+    ) -> list[tuple[str, float]]:
+        """The ``k`` heaviest-weighted observation attributes for ``label``.
+
+        This is the view that produces Table 1 of the paper.
+        """
+        index, view = self._require_fitted()
+        j = index.label_ids[label]
+        names = index.obs_attribute_names()
+        weights = view.obs[:, j]
+        order = np.argsort(-weights)[:k]
+        return [(names[i], float(weights[i])) for i in order]
+
+    def top_transition_features(
+        self, k: int = 20, *, include_self: bool = False
+    ) -> list[tuple[str, str, str, float]]:
+        """The heaviest transition features ``(attr, y_prev, y, weight)``.
+
+        With ``include_self=False`` (the default) only features between
+        *different* labels are reported, matching Figure 1, which visualizes
+        block-boundary detectors.
+        """
+        index, view = self._require_fitted()
+        names = index.edge_attribute_names()
+        entries: list[tuple[str, str, str, float]] = []
+        for e, attr in enumerate(names):
+            for i, y_prev in enumerate(index.labels):
+                for j, y in enumerate(index.labels):
+                    if not include_self and i == j:
+                        continue
+                    entries.append((attr, y_prev, y, float(view.edge[e, i, j])))
+        entries.sort(key=lambda item: -item[3])
+        return entries[:k]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Persist the model as ``<path>.json`` (index) + ``<path>.npz`` (weights)."""
+        if self.index is None or self.params is None:
+            raise RuntimeError("cannot save an unfitted model")
+        path = Path(path)
+        meta = {
+            "labels": list(self._labels),
+            "min_count": self._min_count,
+            "min_edge_count": self._min_edge_count,
+            "l2": self._l2,
+            "trainer": self._trainer_name,
+            "index": self.index.to_dict(),
+        }
+        path.with_suffix(".json").write_text(json.dumps(meta))
+        np.savez_compressed(path.with_suffix(".npz"), params=self.params)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ChainCRF":
+        path = Path(path)
+        meta = json.loads(path.with_suffix(".json").read_text())
+        model = cls(
+            meta["labels"],
+            min_count=meta["min_count"],
+            min_edge_count=meta["min_edge_count"],
+            l2=meta["l2"],
+            trainer=meta["trainer"],
+        )
+        model.index = FeatureIndex.from_dict(meta["index"])
+        with np.load(path.with_suffix(".npz")) as data:
+            model.params = data["params"]
+        return model

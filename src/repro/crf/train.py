@@ -1,0 +1,147 @@
+"""Parameter estimation for the CRF.
+
+The paper estimates parameters with limited-memory BFGS (citing Nocedal &
+Wright) and mentions a specialized stochastic-gradient pipeline.  We provide
+both:
+
+- :class:`LBFGSTrainer` wraps ``scipy.optimize.minimize(method="L-BFGS-B")``
+  over the exact batch objective; and
+- :class:`SGDTrainer` implements minibatch stochastic gradient descent with
+  AdaGrad step sizes, useful when the corpus is large.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.crf.batch import EncodedBatch, batch_nll_grad
+from repro.crf.features import EncodedSequence, FeatureIndex
+from repro.crf.objective import ParamView, sequence_nll_grad
+
+
+@dataclass
+class TrainLog:
+    """Objective values observed during training (one per evaluation/epoch)."""
+
+    objective_values: list[float] = field(default_factory=list)
+    n_iterations: int = 0
+    converged: bool = False
+
+    def record(self, value: float) -> None:
+        self.objective_values.append(float(value))
+        self.n_iterations += 1
+
+
+class LBFGSTrainer:
+    """Batch maximum-likelihood training with L-BFGS."""
+
+    def __init__(
+        self,
+        *,
+        l2: float = 1.0,
+        max_iterations: int = 200,
+        tolerance: float = 1e-6,
+    ) -> None:
+        self.l2 = l2
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+
+    def fit(
+        self,
+        dataset: list[tuple[EncodedSequence, list[int]]],
+        index: FeatureIndex,
+        *,
+        initial: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, TrainLog]:
+        if not dataset:
+            raise ValueError("cannot train on an empty dataset")
+        params = (
+            np.zeros(index.n_features) if initial is None else initial.astype(float)
+        )
+        if params.shape != (index.n_features,):
+            raise ValueError("initial parameter vector has the wrong size")
+        log = TrainLog()
+        batch = EncodedBatch(dataset, index)
+
+        def objective(theta: np.ndarray) -> tuple[float, np.ndarray]:
+            nll, grad = batch_nll_grad(theta, batch, index, self.l2)
+            log.record(nll)
+            return nll, grad
+
+        result = minimize(
+            objective,
+            params,
+            jac=True,
+            method="L-BFGS-B",
+            options={"maxiter": self.max_iterations, "ftol": self.tolerance},
+        )
+        log.converged = bool(result.success)
+        return result.x, log
+
+
+class SGDTrainer:
+    """Minibatch stochastic gradient descent with AdaGrad step sizes."""
+
+    def __init__(
+        self,
+        *,
+        l2: float = 1.0,
+        epochs: int = 10,
+        batch_size: int = 8,
+        learning_rate: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.l2 = l2
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.seed = seed
+
+    def fit(
+        self,
+        dataset: list[tuple[EncodedSequence, list[int]]],
+        index: FeatureIndex,
+        *,
+        initial: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, TrainLog]:
+        if not dataset:
+            raise ValueError("cannot train on an empty dataset")
+        rng = random.Random(self.seed)
+        params = (
+            np.zeros(index.n_features) if initial is None else initial.astype(float)
+        )
+        accumulated_sq = np.full(index.n_features, 1e-8)
+        log = TrainLog()
+        order = list(range(len(dataset)))
+        n = len(dataset)
+        for _ in range(self.epochs):
+            rng.shuffle(order)
+            epoch_nll = 0.0
+            for batch_start in range(0, n, self.batch_size):
+                batch = order[batch_start : batch_start + self.batch_size]
+                grad = np.zeros_like(params)
+                view = ParamView.of(params, index)
+                grad_view = ParamView.of(grad, index)
+                for i in batch:
+                    encoded, labels = dataset[i]
+                    epoch_nll += sequence_nll_grad(
+                        encoded, labels, view, grad_view, index.n_states
+                    )
+                # Scale the L2 term so a full epoch applies it exactly once.
+                if self.l2 > 0.0:
+                    grad += (self.l2 * len(batch) / n) * params
+                accumulated_sq += grad * grad
+                params -= self.learning_rate * grad / np.sqrt(accumulated_sq)
+            if self.l2 > 0.0:
+                epoch_nll += 0.5 * self.l2 * float(params @ params)
+            log.record(epoch_nll)
+        log.converged = True
+        return params, log

@@ -1,0 +1,38 @@
+"""Synthetic WHOIS data substrate.
+
+The paper's evaluation rests on two corpora we cannot obtain offline: 86K
+hand/rule-labeled com records and a 102M-record crawl.  This package builds
+the closest synthetic equivalent: registrar profiles with the market shares
+the paper reports, ~20 distinct thick-record schema families rendered with
+exact line-level ground truth, Verisign-style thin records, twelve new-TLD
+templates (Table 2), a zone file, and a synthetic DBL blacklist.  Every
+generator is seeded and deterministic.
+"""
+
+from repro.datagen.countries import COUNTRIES, Country, country_by_code
+from repro.datagen.entities import Contact, EntityGenerator
+from repro.datagen.registration import Registration
+from repro.datagen.registrars import (
+    REGISTRARS,
+    RegistrarProfile,
+    registrar_by_name,
+)
+from repro.datagen.corpus import CorpusConfig, CorpusGenerator
+from repro.datagen.blacklist import BlacklistGenerator
+from repro.datagen.zone import ZoneFile
+
+__all__ = [
+    "BlacklistGenerator",
+    "COUNTRIES",
+    "Contact",
+    "CorpusConfig",
+    "CorpusGenerator",
+    "Country",
+    "EntityGenerator",
+    "REGISTRARS",
+    "Registration",
+    "RegistrarProfile",
+    "ZoneFile",
+    "country_by_code",
+    "registrar_by_name",
+]

@@ -1,0 +1,394 @@
+"""The top-level corpus generator.
+
+:class:`CorpusGenerator` ties the substrate together: it samples creation
+years from a Figure 4a-shaped histogram, registrars from Table 5-shaped
+(year-blended) market shares, registrant countries from Table 3 / Figure 5
+mixtures, privacy services from Tables 6-7, brand organizations from
+Table 4, and renders each registration through its registrar's schema
+family with exact line labels.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from datetime import date, timedelta
+
+from repro.datagen.blacklist import BlacklistGenerator, weighted_choice
+from repro.datagen.countries import OTHER_CODES, UNKNOWN, country_profile
+from repro.datagen.entities import Contact, EntityGenerator
+from repro.datagen.registrars import (
+    REGISTRARS,
+    RegistrarProfile,
+    TAIL_REGISTRAR_COUNT,
+    registrar_by_name,
+    registrar_shares,
+    tail_registrar_profile,
+)
+from repro.datagen.registration import Registration
+from repro.datagen.schemas import family_by_name
+from repro.datagen.tlds import EXAMPLE_DOMAINS, NEW_TLDS, REGISTRY_OPERATORS
+from repro.datagen.zone import ZoneFile
+from repro.whois.records import LabeledRecord
+
+# Figure 4a: relative number of com domains created per year (the histogram
+# accelerates, with small dips after the dot-com bust and 2008-09).
+YEAR_WEIGHTS: dict[int, float] = {
+    **{year: 0.0002 for year in range(1985, 1995)},
+    1995: 0.002, 1996: 0.004, 1997: 0.006, 1998: 0.009, 1999: 0.014,
+    2000: 0.020, 2001: 0.018, 2002: 0.017, 2003: 0.020, 2004: 0.026,
+    2005: 0.033, 2006: 0.042, 2007: 0.052, 2008: 0.060, 2009: 0.058,
+    2010: 0.072, 2011: 0.086, 2012: 0.103, 2013: 0.122, 2014: 0.234,
+}
+
+# Table 4: well-known brand companies with the most com domains.
+BRAND_WEIGHTS: dict[str, int] = {
+    "Amazon": 20596,
+    "AOL": 17136,
+    "Microsoft": 16694,
+    "21st Century Fox": 14249,
+    "Warner Bros.": 13674,
+    "Yahoo": 10502,
+    "Disney": 10342,
+    "Google": 6612,
+    "AT&T": 3931,
+    "eBay": 2570,
+    "Nike": 2566,
+}
+
+_STATUSES = ("clientTransferProhibited", "clientDeleteProhibited",
+             "clientUpdateProhibited", "clientRenewProhibited", "ok")
+
+_CRAWL_DATE = date(2015, 2, 17)  # the paper's zone-file snapshot
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Knobs for corpus generation."""
+
+    seed: int = 0
+    #: probability that a drift-capable registrar renders its v2 template
+    drift_probability: float = 0.0
+    #: fraction of domains held by Table 4 brand companies.  The paper's true
+    #: rate is ~0.12%; the default boost (~25x) keeps Table 4's ordering
+    #: stable in corpora of thousands of records instead of 102M (shape,
+    #: not scale).
+    brand_rate: float = 0.03
+    #: base privacy-protection probability for domains created in 2014
+    #: (Figure 4b: passes 20% in 2014); earlier years scale down linearly.
+    privacy_rate_2014: float = 0.21
+    #: fraction of zone domains that expire before the crawl reaches them
+    zone_expired_rate: float = 0.04
+    #: probability that a rendered labelable line has a typo injected into
+    #: its field title (two adjacent letters swapped), modeling the sloppy
+    #: template edits real registrars ship.  Off by default: the paper's
+    #: rule parser is exact on its own corpus.
+    typo_rate: float = 0.0
+
+
+class CorpusGenerator:
+    """Deterministic generator of labeled WHOIS corpora and survey data."""
+
+    def __init__(self, config: CorpusConfig | None = None, *, seed: int | None = None):
+        if config is None:
+            config = CorpusConfig(seed=seed if seed is not None else 0)
+        elif seed is not None:
+            raise ValueError("pass the seed via CorpusConfig or seed=, not both")
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.entities = EntityGenerator(self.rng)
+        self._blacklist = BlacklistGenerator(self.rng)
+        self._seen_domains: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Elementary sampling
+    # ------------------------------------------------------------------
+
+    def sample_year(self) -> int:
+        return int(weighted_choice(self.rng, {str(y): w for y, w in
+                                              YEAR_WEIGHTS.items()}))
+
+    def sample_registrar(self, year: int) -> RegistrarProfile:
+        shares = registrar_shares(year)
+        named_total = sum(shares.values())
+        tail_mass = max(0.0, 1.0 - named_total)
+        x = self.rng.random()
+        cumulative = 0.0
+        for name, share in shares.items():
+            cumulative += share
+            if x < cumulative:
+                return registrar_by_name(name)
+        index = min(
+            int((x - named_total) / max(tail_mass, 1e-9) * TAIL_REGISTRAR_COUNT),
+            TAIL_REGISTRAR_COUNT - 1,
+        )
+        return tail_registrar_profile(index)
+
+    def sample_country(self, registrar: RegistrarProfile, year: int) -> str:
+        profile = country_profile(year)
+        if registrar.country_mix is None:
+            dist = profile
+        elif registrar.mix_blend >= 1.0:
+            dist = registrar.country_mix
+        else:
+            # Sorted for cross-process determinism of the sampling order.
+            keys = sorted(set(profile) | set(registrar.country_mix))
+            w = registrar.mix_blend
+            dist = {
+                key: w * registrar.country_mix.get(key, 0.0)
+                + (1 - w) * profile.get(key, 0.0)
+                for key in keys
+            }
+        code = weighted_choice(self.rng, dist)
+        if code == "OTHER":
+            code = self.rng.choice(OTHER_CODES)
+        return code
+
+    def _privacy_probability(self, registrar: RegistrarProfile, year: int) -> float:
+        base = self.config.privacy_rate_2014 * max(0.0, (year - 1998) / 16.0)
+        return min(0.9, base * registrar.privacy_multiplier)
+
+    def _sample_dates(self, year: int) -> tuple[date, date, date]:
+        created = date(year, self.rng.randint(1, 12), self.rng.randint(1, 28))
+        if created >= _CRAWL_DATE:
+            created = created.replace(year=year - 1) if year > 1985 else created
+        updated = created + timedelta(days=self.rng.randint(0, 500))
+        updated = min(updated, _CRAWL_DATE - timedelta(days=1))
+        expires = _CRAWL_DATE + timedelta(days=self.rng.randint(30, 1000))
+        return created, updated, expires
+
+    def _privacy_contact(self, service: str) -> Contact:
+        token = f"{self.rng.randint(10**7, 10**8 - 1)}"
+        host = service.split()[0].lower().strip(",.") + "-privacy.com"
+        return Contact(
+            name="Registration Private",
+            org=service,
+            street="14455 N. Hayden Road Suite 219",
+            city="Scottsdale",
+            state="AZ",
+            postcode="85260",
+            country_code="US",
+            country_display="United States",
+            phone="+1.4806242599",
+            fax="+1.4806242598",
+            email=f"{token}@{host}",
+            handle=f"P{token}",
+        )
+
+    def _unique_domain(self, tld: str) -> str:
+        for _ in range(100):
+            domain = self.entities.domain_name(tld)
+            if domain not in self._seen_domains:
+                self._seen_domains.add(domain)
+                return domain
+        # Fall back to an explicit counter; collisions are corpus-size bound.
+        domain = f"domain{len(self._seen_domains)}.{tld}"
+        self._seen_domains.add(domain)
+        return domain
+
+    # ------------------------------------------------------------------
+    # Registrations
+    # ------------------------------------------------------------------
+
+    def sample_registration(
+        self,
+        *,
+        year: int | None = None,
+        tld: str = "com",
+        registrar: RegistrarProfile | None = None,
+        country: str | None = None,
+        blacklisted: bool = False,
+        domain: str | None = None,
+    ) -> Registration:
+        rng = self.rng
+        year = year if year is not None else self.sample_year()
+        registrar = registrar or self.sample_registrar(year)
+        country_code = country or self.sample_country(registrar, year)
+        created, updated, expires = self._sample_dates(year)
+
+        brand = None
+        privacy_service = None
+        if rng.random() < self.config.brand_rate and country_code == "US":
+            brand = weighted_choice(
+                rng, {k: float(v) for k, v in BRAND_WEIGHTS.items()}
+            )
+        elif rng.random() < self._privacy_probability(registrar, year):
+            services = registrar.privacy_services or (
+                ("Whois Privacy Service", 1.0),
+            )
+            privacy_service = weighted_choice(rng, dict(services))
+
+        if privacy_service is not None:
+            registrant = self._privacy_contact(privacy_service)
+        else:
+            registrant = self.entities.contact(
+                country_code,
+                org=f"{brand} Inc." if brand else None,
+            )
+        admin = self.entities.contact(
+            registrant.country_code if registrant.country_code != UNKNOWN else "US"
+        )
+        tech = self.entities.contact("US" if rng.random() < 0.5 else admin.country_code)
+        billing = (
+            self.entities.contact(admin.country_code) if rng.random() < 0.3 else None
+        )
+        domain = domain or self._unique_domain(tld)
+        n_statuses = rng.choice((1, 1, 1, 2, 3))
+        statuses = tuple(
+            dict.fromkeys(rng.choice(_STATUSES) for _ in range(n_statuses))
+        )
+        family = family_by_name(registrar.schema_family)
+        version = 1
+        if (
+            self.config.drift_probability > 0
+            and registrar.drift
+            and family.n_versions > 1
+            and rng.random() < self.config.drift_probability
+        ):
+            version = 2
+        return Registration(
+            domain=domain,
+            tld=tld,
+            registrar_name=registrar.name,
+            registrar_iana_id=registrar.iana_id,
+            registrar_url=registrar.url,
+            registrar_whois_server=registrar.whois_server,
+            created=created,
+            updated=updated,
+            expires=expires,
+            statuses=statuses,
+            name_servers=tuple(self.entities.name_servers(domain)),
+            registrant=registrant,
+            admin=admin,
+            tech=tech,
+            billing=billing,
+            dnssec="unsigned" if rng.random() < 0.95 else "signedDelegation",
+            privacy_service=privacy_service,
+            brand=brand,
+            blacklisted=blacklisted,
+            schema_family=registrar.schema_family,
+            schema_version=version,
+        )
+
+    def render(self, registration: Registration) -> LabeledRecord:
+        """Render a com registration through its registrar's schema family."""
+        family = family_by_name(registration.schema_family)
+        record = family.render(
+            registration, self.rng, version=registration.schema_version
+        )
+        if self.config.typo_rate > 0.0:
+            record = self._inject_typos(record)
+        return record
+
+    def _inject_typos(self, record: LabeledRecord) -> LabeledRecord:
+        """Swap two adjacent title letters on a fraction of lines."""
+        from repro.whois.records import LabeledLine, LabeledRecord
+
+        new_raw: list[str] = []
+        new_lines: list[LabeledLine] = []
+        line_iter = iter(record.lines)
+        for raw in record.raw_lines:
+            from repro.whois.records import is_labelable
+
+            if not is_labelable(raw):
+                new_raw.append(raw)
+                continue
+            line = next(line_iter)
+            text = line.text
+            if self.rng.random() < self.config.typo_rate:
+                letters = [i for i, ch in enumerate(text[:-1])
+                           if ch.isalpha() and text[i + 1].isalpha()]
+                colon = text.find(":")
+                candidates = [i for i in letters if colon < 0 or i < colon - 1]
+                if candidates:
+                    i = self.rng.choice(candidates)
+                    text = text[:i] + text[i + 1] + text[i] + text[i + 2:]
+            new_raw.append(text)
+            new_lines.append(
+                LabeledLine(text=text, block=line.block, sub=line.sub)
+            )
+        return LabeledRecord(
+            domain=record.domain,
+            raw_lines=new_raw,
+            lines=new_lines,
+            tld=record.tld,
+            registrar=record.registrar,
+            schema_family=record.schema_family,
+        )
+
+    # ------------------------------------------------------------------
+    # Corpora
+    # ------------------------------------------------------------------
+
+    def labeled_corpus(self, n: int) -> list[LabeledRecord]:
+        """``n`` labeled thick com records (the 86K-record analogue)."""
+        return [self.render(self.sample_registration()) for _ in range(n)]
+
+    def registrations(self, n: int) -> list[Registration]:
+        return [self.sample_registration() for _ in range(n)]
+
+    def dbl_registrations(self, n: int) -> list[Registration]:
+        """``n`` blacklisted 2014 registrations with Table 8/9 skews."""
+        result = []
+        for _ in range(n):
+            registrar_name = self._blacklist.sample_registrar()
+            if registrar_name == "OTHER":
+                registrar = tail_registrar_profile(
+                    self.rng.randrange(TAIL_REGISTRAR_COUNT)
+                )
+            else:
+                registrar = registrar_by_name(registrar_name)
+            country = self._blacklist.sample_country()
+            if country == "OTHER":
+                country = self.rng.choice(OTHER_CODES)
+            result.append(
+                self.sample_registration(
+                    year=2014,
+                    registrar=registrar,
+                    country=country,
+                    blacklisted=True,
+                )
+            )
+        return result
+
+    def new_tld_record(self, tld: str) -> LabeledRecord:
+        """One labeled record for a Table 2 TLD, using the paper's example domain."""
+        renderer = NEW_TLDS[tld]
+        operator = REGISTRY_OPERATORS[tld]
+        registrar = RegistrarProfile(
+            name=operator,
+            iana_id=9999,
+            whois_server=f"whois.nic.{tld}",
+            url=f"http://nic.{tld}",
+            share_alltime=0.0,
+            share_2014=0.0,
+            schema_family="generic_a",  # unused: the TLD has its own renderer
+            country_mix=None,
+        )
+        registration = self.sample_registration(
+            tld=tld,
+            registrar=registrar,
+            domain=EXAMPLE_DOMAINS[tld],
+        )
+        return renderer(registration, self.rng)
+
+    def new_tld_records(self) -> dict[str, LabeledRecord]:
+        return {tld: self.new_tld_record(tld) for tld in sorted(NEW_TLDS)}
+
+    def zone(self, n: int) -> tuple[ZoneFile, dict[str, Registration]]:
+        """A zone-file snapshot plus the registry's backing registrations.
+
+        A config-controlled fraction of domains is marked expired: they are
+        listed in the snapshot but return "no match" when crawled, as
+        happened to the paper's crawler.
+        """
+        registrations = {}
+        domains = []
+        expired = set()
+        for _ in range(n):
+            registration = self.sample_registration()
+            domains.append(registration.domain)
+            registrations[registration.domain] = registration
+            if self.rng.random() < self.config.zone_expired_rate:
+                expired.add(registration.domain)
+        return ZoneFile(tld="com", domains=domains, expired=expired), registrations

@@ -1,0 +1,143 @@
+"""Country metadata and year-dependent registrant-country distributions.
+
+The sampling targets come straight from the paper: Table 3 gives the
+all-time and 2014 registrant-country breakdowns of com, and Figure 4b shows
+the US share falling while the Chinese share rises.  We model the per-year
+country profile as a linear blend between an "early" profile (dominated by
+the US) and the 2014 profile, which reproduces both the trend lines of
+Figure 4b and, after aggregating over the creation-date histogram, a
+Table 3-shaped all-time distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Country:
+    """One country as it appears in WHOIS records."""
+
+    code: str  # ISO 3166-1 alpha-2
+    name: str  # canonical display name
+    region: str  # which entity bank to draw names/addresses from
+    phone_cc: str  # international dialing prefix
+    aliases: tuple[str, ...] = ()  # other spellings seen in records
+
+    def whois_spellings(self) -> tuple[str, ...]:
+        """All the ways this country may be written on a WHOIS line."""
+        return (self.name, self.code) + self.aliases
+
+
+COUNTRIES: tuple[Country, ...] = (
+    Country("US", "United States", "western", "1",
+            ("UNITED STATES", "U.S.A.", "USA", "United States of America")),
+    Country("CN", "China", "chinese", "86", ("CHINA", "P.R. China", "CN China")),
+    Country("GB", "United Kingdom", "western", "44",
+            ("UNITED KINGDOM", "UK", "Great Britain")),
+    Country("DE", "Germany", "german", "49", ("GERMANY", "Deutschland")),
+    Country("FR", "France", "french", "33", ("FRANCE",)),
+    Country("CA", "Canada", "western", "1", ("CANADA",)),
+    Country("ES", "Spain", "spanish", "34", ("SPAIN", "Espana")),
+    Country("AU", "Australia", "western", "61", ("AUSTRALIA",)),
+    Country("JP", "Japan", "japanese", "81", ("JAPAN",)),
+    Country("IN", "India", "indian", "91", ("INDIA",)),
+    Country("TR", "Turkey", "turkish", "90", ("TURKEY", "Turkiye")),
+    Country("VN", "Vietnam", "vietnamese", "84", ("VIETNAM", "Viet Nam")),
+    Country("RU", "Russia", "russian", "7", ("RUSSIAN FEDERATION", "Russian Federation")),
+    Country("HK", "Hong Kong", "chinese", "852", ("HONG KONG",)),
+    Country("NL", "Netherlands", "western", "31", ("NETHERLANDS", "The Netherlands")),
+    Country("IT", "Italy", "italian", "39", ("ITALY", "Italia")),
+    Country("BR", "Brazil", "spanish", "55", ("BRAZIL", "Brasil")),
+    Country("KR", "South Korea", "korean", "82", ("KOREA", "Republic of Korea")),
+    Country("SE", "Sweden", "western", "46", ("SWEDEN",)),
+    Country("PL", "Poland", "western", "48", ("POLAND", "Polska")),
+    Country("MX", "Mexico", "spanish", "52", ("MEXICO",)),
+    Country("CH", "Switzerland", "german", "41", ("SWITZERLAND",)),
+    Country("DK", "Denmark", "western", "45", ("DENMARK",)),
+    Country("NO", "Norway", "western", "47", ("NORWAY",)),
+    Country("IL", "Israel", "western", "972", ("ISRAEL",)),
+)
+
+_BY_CODE = {country.code: country for country in COUNTRIES}
+
+#: Countries that make up the paper's "(Other)" row, with rough sub-weights.
+OTHER_CODES: tuple[str, ...] = (
+    "VN", "RU", "HK", "NL", "IT", "BR", "KR", "SE", "PL", "MX",
+    "CH", "DK", "NO", "IL",
+)
+
+#: Sentinel code for registrations whose record carries no country line.
+UNKNOWN = "??"
+
+
+def country_by_code(code: str) -> Country:
+    try:
+        return _BY_CODE[code]
+    except KeyError as exc:
+        raise KeyError(f"unknown country code {code!r}") from exc
+
+
+# ----------------------------------------------------------------------
+# Year-dependent sampling profiles
+# ----------------------------------------------------------------------
+
+# Table 3, right half: registrant countries of domains created in 2014
+# (shares of all 2014 domains, privacy-protected ones excluded upstream).
+PROFILE_2014: dict[str, float] = {
+    "US": 0.411,
+    "CN": 0.182,
+    "GB": 0.035,
+    "FR": 0.029,
+    "CA": 0.025,
+    "IN": 0.025,
+    "JP": 0.021,
+    "DE": 0.019,
+    "ES": 0.017,
+    "TR": 0.017,
+    "AU": 0.015,
+    UNKNOWN: 0.029,
+    "OTHER": 0.175,
+}
+
+# An "early web" profile chosen so that blending toward PROFILE_2014 over
+# the creation-date histogram lands the all-time aggregate near the left
+# half of Table 3 (US 47.6%, CN 9.6%, GB 4.7%, DE 3.5%, ...).
+PROFILE_EARLY: dict[str, float] = {
+    "US": 0.62,
+    "CN": 0.002,
+    "GB": 0.072,
+    "DE": 0.062,
+    "FR": 0.045,
+    "CA": 0.042,
+    "ES": 0.028,
+    "AU": 0.025,
+    "JP": 0.016,
+    "IN": 0.004,
+    "TR": 0.002,
+    UNKNOWN: 0.042,
+    "OTHER": 0.090,
+}
+
+_EARLY_YEAR = 1995
+_LATE_YEAR = 2014
+
+
+def country_profile(year: int) -> dict[str, float]:
+    """The registrant-country distribution for domains created in ``year``.
+
+    Linear blend between :data:`PROFILE_EARLY` and :data:`PROFILE_2014`,
+    clamped outside [1995, 2014]; normalized to sum to one.
+    """
+    t = (min(max(year, _EARLY_YEAR), _LATE_YEAR) - _EARLY_YEAR) / (
+        _LATE_YEAR - _EARLY_YEAR
+    )
+    # Keys are sorted so downstream weighted sampling iterates the same
+    # order in every process (set order varies with PYTHONHASHSEED).
+    keys = sorted(set(PROFILE_EARLY) | set(PROFILE_2014))
+    blended = {
+        key: (1 - t) * PROFILE_EARLY.get(key, 0.0) + t * PROFILE_2014.get(key, 0.0)
+        for key in keys
+    }
+    total = sum(blended.values())
+    return {key: value / total for key, value in blended.items()}

@@ -1,0 +1,305 @@
+"""Synthetic people, organizations, and postal addresses per country.
+
+These banks are intentionally broad rather than deep: the parser's features
+are driven by field *titles* and text *shapes* (five-digit ZIPs, phone
+punctuation, email syntax), so a few dozen names per region exercise the
+same code paths as millions of real registrants while keeping the package
+small.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datagen.countries import Country, UNKNOWN, country_by_code
+
+
+@dataclass(frozen=True)
+class Contact:
+    """One WHOIS contact (registrant, admin, tech, or billing)."""
+
+    name: str
+    org: str
+    street: str
+    city: str
+    state: str
+    postcode: str
+    country_code: str  # ISO code, or countries.UNKNOWN
+    country_display: str  # how the record spells it ("" when omitted)
+    phone: str
+    fax: str
+    email: str
+    handle: str
+
+
+_FIRST_NAMES: dict[str, tuple[str, ...]] = {
+    "western": ("John", "Mary", "James", "Sarah", "David", "Emma", "Michael",
+                "Laura", "Robert", "Alice", "Peter", "Susan", "Thomas",
+                "Karen", "Andrew", "Rachel", "Brian", "Nancy", "Kevin",
+                "Julia"),
+    "german": ("Hans", "Anna", "Klaus", "Greta", "Jurgen", "Heike", "Stefan",
+               "Monika", "Wolfgang", "Sabine", "Dieter", "Petra"),
+    "french": ("Pierre", "Marie", "Jean", "Sophie", "Luc", "Camille",
+               "Antoine", "Claire", "Michel", "Isabelle", "Henri", "Elodie"),
+    "spanish": ("Carlos", "Maria", "Jose", "Lucia", "Miguel", "Carmen",
+                "Antonio", "Elena", "Javier", "Rosa", "Diego", "Ana"),
+    "chinese": ("Wei", "Li", "Jun", "Min", "Hua", "Lei", "Yan", "Ping",
+                "Xin", "Hong", "Tao", "Fang"),
+    "japanese": ("Hiroshi", "Yuki", "Takeshi", "Akiko", "Kenji", "Naoko",
+                 "Satoshi", "Mariko", "Kazuo", "Emi", "Daisuke", "Rie"),
+    "indian": ("Raj", "Priya", "Amit", "Sunita", "Vijay", "Anita", "Sanjay",
+               "Kavita", "Rahul", "Deepa", "Arun", "Meena"),
+    "turkish": ("Mehmet", "Ayse", "Mustafa", "Fatma", "Ahmet", "Emine",
+                "Ali", "Zeynep", "Hasan", "Elif"),
+    "vietnamese": ("Nguyen", "Linh", "Minh", "Huong", "Duc", "Mai", "Tuan",
+                   "Lan", "Hai", "Thao"),
+    "russian": ("Ivan", "Olga", "Dmitri", "Natasha", "Sergei", "Elena",
+                "Alexei", "Irina", "Mikhail", "Svetlana"),
+    "italian": ("Marco", "Giulia", "Luca", "Francesca", "Paolo", "Chiara",
+                "Andrea", "Valentina", "Giovanni", "Elisa"),
+    "korean": ("Min-jun", "Seo-yeon", "Ji-hoon", "Ha-eun", "Dong-hyun",
+               "Soo-jin", "Young-ho", "Eun-ji"),
+}
+
+_LAST_NAMES: dict[str, tuple[str, ...]] = {
+    "western": ("Smith", "Johnson", "Brown", "Taylor", "Wilson", "Davies",
+                "Clark", "Walker", "Harris", "Lewis", "Martin", "Young",
+                "Hall", "Allen", "Wright", "King", "Scott", "Baker",
+                "Adams", "Nelson"),
+    "german": ("Mueller", "Schmidt", "Schneider", "Fischer", "Weber",
+               "Wagner", "Becker", "Hoffmann", "Koch", "Richter"),
+    "french": ("Martin", "Bernard", "Dubois", "Laurent", "Moreau", "Petit",
+               "Durand", "Leroy", "Rousseau", "Fontaine"),
+    "spanish": ("Garcia", "Martinez", "Lopez", "Sanchez", "Gonzalez",
+                "Rodriguez", "Fernandez", "Perez", "Gomez", "Diaz"),
+    "chinese": ("Wang", "Li", "Zhang", "Liu", "Chen", "Yang", "Huang",
+                "Zhao", "Wu", "Zhou", "Xu", "Sun"),
+    "japanese": ("Sato", "Suzuki", "Takahashi", "Tanaka", "Watanabe", "Ito",
+                 "Yamamoto", "Nakamura", "Kobayashi", "Kato"),
+    "indian": ("Sharma", "Patel", "Singh", "Kumar", "Gupta", "Verma",
+               "Reddy", "Mehta", "Joshi", "Nair"),
+    "turkish": ("Yilmaz", "Kaya", "Demir", "Celik", "Sahin", "Ozturk",
+                "Arslan", "Dogan"),
+    "vietnamese": ("Tran", "Le", "Pham", "Hoang", "Vu", "Dang", "Bui", "Do"),
+    "russian": ("Ivanov", "Petrov", "Sidorov", "Smirnov", "Volkov",
+                "Kuznetsov", "Popov", "Sokolov"),
+    "italian": ("Rossi", "Russo", "Ferrari", "Esposito", "Bianchi",
+                "Romano", "Colombo", "Ricci"),
+    "korean": ("Kim", "Lee", "Park", "Choi", "Jung", "Kang", "Cho", "Yoon"),
+}
+
+_ORG_STEMS = ("Blue", "Global", "Prime", "Next", "Bright", "Silver", "Apex",
+              "North", "Pacific", "Summit", "Green", "Rapid", "Central",
+              "Digital", "First", "Star", "Union", "Delta", "Golden", "Iron")
+_ORG_CORES = ("Tech", "Media", "Trade", "Web", "Data", "Soft", "Net", "Shop",
+              "Travel", "Consult", "Market", "Design", "Host", "Studio",
+              "Systems", "Labs")
+_ORG_SUFFIXES = ("LLC", "Inc.", "Ltd.", "GmbH", "S.A.", "Co., Ltd.",
+                 "Pty Ltd", "Corp.", "K.K.", "B.V.")
+
+_STREET_NAMES = ("Main", "Oak", "Maple", "Cedar", "Park", "Lake", "Hill",
+                 "River", "Sunset", "Washington", "Lincoln", "Jefferson",
+                 "Madison", "Franklin", "Highland", "Valley", "Forest",
+                 "Spring", "Church", "Market")
+_STREET_SUFFIXES = ("St", "Ave", "Blvd", "Dr", "Rd", "Ln", "Way", "Ct")
+
+_CITIES: dict[str, tuple[tuple[str, str], ...]] = {
+    # (city, state/province) pairs per country code
+    "US": (("New York", "NY"), ("Los Angeles", "CA"), ("Chicago", "IL"),
+           ("Houston", "TX"), ("Phoenix", "AZ"), ("San Diego", "CA"),
+           ("Dallas", "TX"), ("Seattle", "WA"), ("Denver", "CO"),
+           ("Boston", "MA"), ("Atlanta", "GA"), ("Miami", "FL"),
+           ("Portland", "OR"), ("Austin", "TX"), ("Scottsdale", "AZ")),
+    "CA": (("Toronto", "ON"), ("Vancouver", "BC"), ("Montreal", "QC"),
+           ("Calgary", "AB"), ("Ottawa", "ON")),
+    "GB": (("London", "Greater London"), ("Manchester", "Greater Manchester"),
+           ("Birmingham", "West Midlands"), ("Leeds", "West Yorkshire"),
+           ("Bristol", "Avon")),
+    "CN": (("Beijing", "Beijing"), ("Shanghai", "Shanghai"),
+           ("Hangzhou", "Zhejiang"), ("Shenzhen", "Guangdong"),
+           ("Guangzhou", "Guangdong"), ("Chengdu", "Sichuan")),
+    "JP": (("Tokyo", "Tokyo"), ("Osaka", "Osaka"), ("Shibuya-ku", "Tokyo"),
+           ("Yokohama", "Kanagawa"), ("Nagoya", "Aichi")),
+    "DE": (("Berlin", "Berlin"), ("Munich", "Bayern"), ("Hamburg", "Hamburg"),
+           ("Cologne", "NRW"), ("Frankfurt", "Hessen")),
+    "FR": (("Paris", "Ile-de-France"), ("Lyon", "Rhone"),
+           ("Marseille", "Bouches-du-Rhone"), ("Toulouse", "Haute-Garonne")),
+    "ES": (("Madrid", "Madrid"), ("Barcelona", "Barcelona"),
+           ("Valencia", "Valencia"), ("Sevilla", "Andalucia")),
+    "AU": (("Sydney", "NSW"), ("Melbourne", "VIC"), ("Brisbane", "QLD"),
+           ("Perth", "WA")),
+    "IN": (("Mumbai", "Maharashtra"), ("Delhi", "Delhi"),
+           ("Bangalore", "Karnataka"), ("Chennai", "Tamil Nadu")),
+    "TR": (("Istanbul", "Istanbul"), ("Ankara", "Ankara"),
+           ("Izmir", "Izmir")),
+    "VN": (("Hanoi", "Hanoi"), ("Ho Chi Minh City", "Ho Chi Minh")),
+    "RU": (("Moscow", "Moscow"), ("Saint Petersburg", "Saint Petersburg")),
+    "HK": (("Hong Kong", "Hong Kong"), ("Kowloon", "Hong Kong")),
+    "NL": (("Amsterdam", "Noord-Holland"), ("Rotterdam", "Zuid-Holland")),
+    "IT": (("Rome", "Lazio"), ("Milan", "Lombardia"), ("Turin", "Piemonte")),
+    "BR": (("Sao Paulo", "SP"), ("Rio de Janeiro", "RJ")),
+    "KR": (("Seoul", "Seoul"), ("Busan", "Busan")),
+    "SE": (("Stockholm", "Stockholm"), ("Gothenburg", "Vastra Gotaland")),
+    "PL": (("Warsaw", "Mazowieckie"), ("Krakow", "Malopolskie")),
+    "MX": (("Mexico City", "CDMX"), ("Guadalajara", "Jalisco")),
+    "CH": (("Zurich", "ZH"), ("Geneva", "GE")),
+    "DK": (("Copenhagen", "Hovedstaden"),),
+    "NO": (("Oslo", "Oslo"),),
+    "IL": (("Tel Aviv", "Tel Aviv"),),
+}
+
+_EMAIL_DOMAINS = ("gmail.com", "yahoo.com", "hotmail.com", "outlook.com",
+                  "aol.com", "mail.com", "163.com", "qq.com", "web.de",
+                  "orange.fr", "yandex.ru", "naver.com")
+
+
+class EntityGenerator:
+    """Deterministic generator of contacts, organizations, and domains."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+
+    # ------------------------------------------------------------------
+    # Contacts
+    # ------------------------------------------------------------------
+
+    def person_name(self, region: str) -> str:
+        first = self.rng.choice(_FIRST_NAMES.get(region, _FIRST_NAMES["western"]))
+        last = self.rng.choice(_LAST_NAMES.get(region, _LAST_NAMES["western"]))
+        return f"{first} {last}"
+
+    def organization(self) -> str:
+        stem = self.rng.choice(_ORG_STEMS)
+        core = self.rng.choice(_ORG_CORES)
+        suffix = self.rng.choice(_ORG_SUFFIXES)
+        return f"{stem}{core} {suffix}"
+
+    def street(self) -> str:
+        number = self.rng.randint(1, 9999)
+        name = self.rng.choice(_STREET_NAMES)
+        suffix = self.rng.choice(_STREET_SUFFIXES)
+        if self.rng.random() < 0.15:
+            return f"{number} {name} {suffix} Suite {self.rng.randint(100, 999)}"
+        return f"{number} {name} {suffix}"
+
+    def postcode(self, country_code: str) -> str:
+        rng = self.rng
+        if country_code in ("US",):
+            return f"{rng.randint(10000, 99599):05d}"
+        if country_code == "GB":
+            letters = "ABCDEFGHJKLMNPRSTUWXY"
+            return (f"{rng.choice(letters)}{rng.choice(letters)}"
+                    f"{rng.randint(1, 9)} {rng.randint(1, 9)}"
+                    f"{rng.choice(letters)}{rng.choice(letters)}")
+        if country_code == "CA":
+            letters = "ABCEGHJKLMNPRSTVXY"
+            return (f"{rng.choice(letters)}{rng.randint(0, 9)}"
+                    f"{rng.choice(letters)} {rng.randint(0, 9)}"
+                    f"{rng.choice(letters)}{rng.randint(0, 9)}")
+        if country_code == "JP":
+            return f"{rng.randint(100, 999)}-{rng.randint(0, 9999):04d}"
+        if country_code == "CN":
+            return f"{rng.randint(100000, 699999)}"
+        if country_code in ("DE", "FR", "ES", "IT", "TR", "MX"):
+            return f"{rng.randint(10000, 98999):05d}"
+        if country_code == "AU":
+            return f"{rng.randint(2000, 7999)}"
+        if country_code == "IN":
+            return f"{rng.randint(110000, 999999)}"
+        if country_code in ("NL",):
+            return f"{rng.randint(1000, 9999)} {rng.choice('ABCDEFG')}{rng.choice('ABCDEFG')}"
+        return f"{rng.randint(10000, 99999)}"
+
+    def phone(self, country: Country, style: str = "icann") -> str:
+        rng = self.rng
+        national = rng.randint(200_000_000, 999_999_999)
+        if style == "icann":
+            return f"+{country.phone_cc}.{national}"
+        if style == "dotted":
+            digits = str(national)
+            return f"+{country.phone_cc} {digits[:3]}.{digits[3:6]}.{digits[6:]}"
+        digits = str(national)
+        return f"({digits[:3]}) {digits[3:6]}-{digits[6:]}"
+
+    def email(self, name: str, domain: str | None = None) -> str:
+        local = name.lower().replace(" ", ".").replace("'", "")
+        host = domain or self.rng.choice(_EMAIL_DOMAINS)
+        if self.rng.random() < 0.25:
+            local = f"{local}{self.rng.randint(1, 99)}"
+        return f"{local}@{host}"
+
+    def handle(self, prefix: str = "C") -> str:
+        return f"{prefix}{self.rng.randint(10_000_000, 99_999_999)}"
+
+    def contact(
+        self,
+        country_code: str,
+        *,
+        org: str | None = None,
+        with_country: bool = True,
+    ) -> Contact:
+        """A full synthetic contact located in ``country_code``.
+
+        With ``country_code == countries.UNKNOWN`` (or ``with_country=False``)
+        the contact is generated from the western bank with no country line,
+        which surfaces as "(Unknown)" in the survey, as in Table 3.
+        """
+        if country_code == UNKNOWN or not with_country:
+            region, cc = "western", "US"
+            display = ""
+            code = UNKNOWN
+        else:
+            country = country_by_code(country_code)
+            region, cc, code = country.region, country.code, country.code
+            display = self.rng.choice(country.whois_spellings())
+        name = self.person_name(region)
+        city, state = self.rng.choice(_CITIES.get(cc, _CITIES["US"]))
+        phone_country = country_by_code(cc)
+        organization = org if org is not None else (
+            self.organization() if self.rng.random() < 0.55 else name
+        )
+        return Contact(
+            name=name,
+            org=organization,
+            street=self.street(),
+            city=city,
+            state=state,
+            postcode=self.postcode(cc),
+            country_code=code,
+            country_display=display,
+            phone=self.phone(phone_country),
+            fax=self.phone(phone_country) if self.rng.random() < 0.4 else "",
+            email=self.email(name),
+            handle=self.handle(),
+        )
+
+    # ------------------------------------------------------------------
+    # Domains
+    # ------------------------------------------------------------------
+
+    _DOMAIN_WORDS = ("shop", "best", "my", "the", "top", "go", "web", "net",
+                     "pro", "fast", "easy", "smart", "blue", "red", "new",
+                     "site", "hub", "zone", "mart", "deal", "tech", "cloud",
+                     "data", "play", "game", "news", "travel", "food", "home")
+
+    def domain_name(self, tld: str = "com") -> str:
+        rng = self.rng
+        n_words = rng.choice((1, 2, 2, 2, 3))
+        label = "".join(rng.choice(self._DOMAIN_WORDS) for _ in range(n_words))
+        if rng.random() < 0.2:
+            label += str(rng.randint(1, 999))
+        return f"{label}.{tld}"
+
+    def name_servers(self, domain: str, count: int | None = None) -> list[str]:
+        rng = self.rng
+        count = count or rng.choice((2, 2, 2, 3, 4))
+        if rng.random() < 0.5:
+            host = domain
+        else:
+            provider = rng.choice(
+                ("domaincontrol.com", "cloudns.net", "registrar-servers.com",
+                 "hostgator.com", "dnspod.net", "name-services.com")
+            )
+            host = provider
+        return [f"ns{i + 1}.{host}" for i in range(count)]

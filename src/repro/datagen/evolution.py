@@ -1,0 +1,147 @@
+"""Temporal evolution of registrations between crawls.
+
+The paper crawled com twice (February-May and July-August 2015) and notes
+format drift and churn between snapshots.  This module evolves a
+registration across the inter-crawl gap: renewals, registrar transfers,
+registrant changes, privacy toggles, and expirations -- the event mix that
+drives the two-snapshot analyses in :mod:`repro.survey.changes`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from datetime import timedelta
+from enum import Enum
+
+from repro.datagen.entities import EntityGenerator
+from repro.datagen.registrars import RegistrarProfile
+from repro.datagen.registration import Registration
+
+
+class ChurnEvent(str, Enum):
+    UNCHANGED = "unchanged"
+    RENEWED = "renewed"
+    TRANSFERRED = "transferred"
+    REGISTRANT_CHANGED = "registrant_changed"
+    PRIVACY_ADDED = "privacy_added"
+    PRIVACY_REMOVED = "privacy_removed"
+    DROPPED = "dropped"
+
+
+#: default per-gap event probabilities (remainder = unchanged)
+DEFAULT_RATES: dict[ChurnEvent, float] = {
+    ChurnEvent.DROPPED: 0.03,
+    ChurnEvent.TRANSFERRED: 0.02,
+    ChurnEvent.RENEWED: 0.10,
+    ChurnEvent.REGISTRANT_CHANGED: 0.03,
+    ChurnEvent.PRIVACY_ADDED: 0.02,
+    ChurnEvent.PRIVACY_REMOVED: 0.01,
+}
+
+
+def evolve_registration(
+    registration: Registration,
+    rng: random.Random,
+    entities: EntityGenerator,
+    *,
+    rates: dict[ChurnEvent, float] | None = None,
+    transfer_targets: tuple[RegistrarProfile, ...] = (),
+) -> tuple[ChurnEvent, Registration | None]:
+    """One inter-crawl step.  Returns (event, evolved registration or None).
+
+    Events are mutually exclusive per step; privacy toggles only fire when
+    applicable (adding privacy to an already-private domain is a no-op and
+    resolves to UNCHANGED).
+    """
+    rates = rates or DEFAULT_RATES
+    x = rng.random()
+    cumulative = 0.0
+    event = ChurnEvent.UNCHANGED
+    for candidate, probability in rates.items():
+        cumulative += probability
+        if x < cumulative:
+            event = candidate
+            break
+
+    if event is ChurnEvent.DROPPED:
+        return event, None
+    if event is ChurnEvent.RENEWED:
+        return event, replace(
+            registration,
+            expires=registration.expires + timedelta(days=365),
+            updated=registration.updated + timedelta(days=60),
+        )
+    if event is ChurnEvent.TRANSFERRED and transfer_targets:
+        target = rng.choice(transfer_targets)
+        if target.name != registration.registrar_name:
+            return event, replace(
+                registration,
+                registrar_name=target.name,
+                registrar_iana_id=target.iana_id,
+                registrar_url=target.url,
+                registrar_whois_server=target.whois_server,
+                schema_family=target.schema_family,
+                schema_version=1,
+                updated=registration.updated + timedelta(days=30),
+            )
+        event = ChurnEvent.UNCHANGED
+    if event is ChurnEvent.REGISTRANT_CHANGED:
+        new_contact = entities.contact(
+            registration.registrant.country_code
+            if registration.registrant.country_code != "??"
+            else "US"
+        )
+        return event, replace(
+            registration,
+            registrant=new_contact,
+            privacy_service=None,
+            updated=registration.updated + timedelta(days=45),
+        )
+    if event is ChurnEvent.PRIVACY_ADDED and not registration.is_private:
+        service = (
+            registration.privacy_service
+            or "Whois Privacy Service"
+        )
+        # Reuse the corpus generator's convention: privacy replaces the
+        # registrant contact with the service's.
+        private_contact = replace(
+            registration.registrant,
+            name="Registration Private",
+            org=service,
+            email=f"{rng.randint(10**7, 10**8)}@privacy.example",
+        )
+        return event, replace(
+            registration,
+            privacy_service=service,
+            registrant=private_contact,
+        )
+    if event is ChurnEvent.PRIVACY_REMOVED and registration.is_private:
+        return event, replace(
+            registration,
+            privacy_service=None,
+            registrant=entities.contact("US"),
+        )
+    return ChurnEvent.UNCHANGED, registration
+
+
+def evolve_snapshot(
+    registrations: dict[str, Registration],
+    rng: random.Random,
+    entities: EntityGenerator,
+    *,
+    rates: dict[ChurnEvent, float] | None = None,
+    transfer_targets: tuple[RegistrarProfile, ...] = (),
+) -> tuple[dict[str, Registration], dict[str, ChurnEvent]]:
+    """Evolve a whole registry snapshot; returns (new snapshot, events)."""
+    evolved: dict[str, Registration] = {}
+    events: dict[str, ChurnEvent] = {}
+    for domain, registration in registrations.items():
+        event, new_registration = evolve_registration(
+            registration, rng, entities,
+            rates=rates, transfer_targets=transfer_targets,
+        )
+        events[domain] = event
+        if new_registration is not None:
+            evolved[domain] = new_registration
+    return evolved, events

@@ -1,0 +1,512 @@
+"""Registrar profiles with the market structure the paper reports.
+
+Shares come from Table 5 (all-time and 2014 com registrations), the
+registrant-country mixes of the four featured registrars from Figure 5, the
+privacy-service associations from Tables 6-7, and the rate-limiting
+behaviour from Section 4.1 (including Network Solutions' strict limit that
+cost the authors their thick records, footnote 11).
+
+Each registrar renders thick records with one *schema family*; families
+with ``drift=True`` have a second version of their template, modeling the
+"one large registrar modifying their schema significantly during the four
+months of WHOIS measurements" (Section 2.3, footnote 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RateLimitSpec:
+    """Per-source-IP query budget of a WHOIS server (Section 4.1)."""
+
+    limit: int  # queries allowed per window
+    window: float  # seconds
+    penalty: float  # seconds of silence after tripping the limit
+    failure_mode: str = "empty"  # "empty" | "error" | "drop"
+
+
+@dataclass(frozen=True)
+class RegistrarProfile:
+    """One com registrar: market share, schema, and operational behaviour."""
+
+    name: str
+    iana_id: int
+    whois_server: str
+    url: str
+    share_alltime: float  # fraction of all com domains (Table 5 left)
+    share_2014: float  # fraction of 2014 registrations (Table 5 right)
+    schema_family: str
+    country_mix: dict[str, float] | None = None  # None -> year profile
+    mix_blend: float = 1.0  # weight on country_mix vs the year profile
+    privacy_services: tuple[tuple[str, float], ...] = ()
+    privacy_multiplier: float = 1.0  # relative appetite for privacy protection
+    drift: bool = False
+    founded: int = 1995  # no registrations before this year
+    rate_limit: RateLimitSpec = field(
+        default_factory=lambda: RateLimitSpec(limit=60, window=10.0, penalty=30.0)
+    )
+
+
+_GODADDY_MIX = {
+    "US": 0.62, "GB": 0.05, "CA": 0.05, "IN": 0.03, "CN": 0.025,
+    "AU": 0.025, "DE": 0.02, "FR": 0.02, "ES": 0.02, "TR": 0.02,
+    "JP": 0.005, "??": 0.03, "OTHER": 0.085,
+}
+
+REGISTRARS: tuple[RegistrarProfile, ...] = (
+    RegistrarProfile(
+        name="GoDaddy.com, LLC",
+        iana_id=146,
+        whois_server="whois.godaddy.com",
+        url="http://www.godaddy.com",
+        share_alltime=0.342,
+        share_2014=0.344,
+        schema_family="godaddy",
+        founded=1999,
+        country_mix=_GODADDY_MIX,
+        mix_blend=0.8,
+        privacy_services=(("Domains By Proxy, LLC", 1.0),),
+        privacy_multiplier=1.0,
+        drift=True,  # the large registrar whose schema changed mid-crawl
+    ),
+    RegistrarProfile(
+        name="eNom, Inc.",
+        iana_id=48,
+        whois_server="whois.enom.com",
+        url="http://www.enom.com",
+        share_alltime=0.087,
+        share_2014=0.077,
+        schema_family="enom",
+        founded=1997,
+        # Figure 5: top-3 registrant countries US, CA, GB.
+        country_mix={
+            "US": 0.55, "CA": 0.09, "GB": 0.08, "DE": 0.02, "FR": 0.02,
+            "AU": 0.02, "IN": 0.02, "JP": 0.01, "??": 0.03, "OTHER": 0.16,
+        },
+        privacy_services=(
+            ("WhoisGuard, Inc.", 0.55),
+            ("Whois Privacy Protection Service, Inc.", 0.45),
+        ),
+        privacy_multiplier=1.5,
+    ),
+    RegistrarProfile(
+        name="Network Solutions, LLC",
+        iana_id=2,
+        whois_server="whois.networksolutions.com",
+        url="http://networksolutions.com",
+        share_alltime=0.050,
+        share_2014=0.043,
+        schema_family="netsol",
+        founded=1993,
+        country_mix={
+            "US": 0.75, "CA": 0.05, "GB": 0.04, "??": 0.04, "OTHER": 0.12,
+        },
+        privacy_services=(("Perfect Privacy, LLC", 1.0),),
+        privacy_multiplier=0.4,
+        # Pathologically strict: ~1 query/minute per source with long
+        # penalties, so crawling its thick records is hopeless at scale and
+        # only thin records survive (footnote 11).
+        rate_limit=RateLimitSpec(limit=10, window=600.0, penalty=1800.0,
+                                 failure_mode="error"),
+    ),
+    RegistrarProfile(
+        name="1&1 Internet AG",
+        iana_id=83,
+        whois_server="whois.1and1.com",
+        url="http://1and1.com",
+        share_alltime=0.030,
+        share_2014=0.021,
+        schema_family="oneandone",
+        founded=1998,
+        country_mix={
+            "DE": 0.45, "US": 0.25, "GB": 0.08, "FR": 0.05, "ES": 0.03,
+            "??": 0.03, "OTHER": 0.11,
+        },
+        privacy_services=(("1&1 Internet Inc.", 1.0),),
+        privacy_multiplier=0.7,
+    ),
+    RegistrarProfile(
+        name="Wild West Domains, LLC",
+        iana_id=440,
+        whois_server="whois.wildwestdomains.com",
+        url="http://www.wildwestdomains.com",
+        share_alltime=0.026,
+        share_2014=0.024,
+        schema_family="godaddy",  # GoDaddy reseller platform, same schema
+        founded=2002,
+        country_mix=_GODADDY_MIX,
+        mix_blend=0.8,
+        privacy_services=(("Domains By Proxy, LLC", 1.0),),
+        privacy_multiplier=1.1,
+        drift=True,
+    ),
+    RegistrarProfile(
+        name="HiChina Zhicheng Technology Ltd.",
+        iana_id=420,
+        whois_server="grs-whois.hichina.com",
+        url="http://www.net.cn",
+        share_alltime=0.021,
+        share_2014=0.037,
+        schema_family="hichina",
+        founded=2002,
+        # Figure 5: CN dominant, then records lacking country ("[]"), HK, VN.
+        country_mix={
+            "CN": 0.82, "??": 0.07, "HK": 0.04, "VN": 0.03, "OTHER": 0.04,
+        },
+        privacy_services=(("Aliyun Computing Co., Ltd", 1.0),),
+        privacy_multiplier=1.3,
+    ),
+    RegistrarProfile(
+        name="PDR Ltd. d/b/a PublicDomainRegistry.com",
+        iana_id=303,
+        whois_server="whois.publicdomainregistry.com",
+        url="http://www.publicdomainregistry.com",
+        share_alltime=0.021,
+        share_2014=0.032,
+        schema_family="pdr",
+        founded=2002,
+        country_mix={
+            "IN": 0.40, "US": 0.20, "CN": 0.05, "TR": 0.06, "VN": 0.03,
+            "??": 0.04, "OTHER": 0.22,
+        },
+        privacy_services=(("PrivacyProtect.org", 1.0),),
+        privacy_multiplier=1.2,
+    ),
+    RegistrarProfile(
+        name="Register.com, Inc.",
+        iana_id=9,
+        whois_server="whois.register.com",
+        url="http://www.register.com",
+        share_alltime=0.020,
+        share_2014=0.021,
+        schema_family="dotleader",
+        founded=1994,
+        country_mix={"US": 0.70, "CA": 0.06, "GB": 0.04, "??": 0.03,
+                     "OTHER": 0.17},
+        privacy_services=(("Perfect Privacy, LLC", 1.0),),
+        privacy_multiplier=1.2,
+    ),
+    RegistrarProfile(
+        name="FastDomain Inc.",
+        iana_id=1154,
+        whois_server="whois.fastdomain.com",
+        url="http://www.fastdomain.com",
+        share_alltime=0.019,
+        share_2014=0.012,
+        schema_family="fastdomain",
+        founded=2004,
+        country_mix={"US": 0.68, "CA": 0.05, "GB": 0.04, "IN": 0.03,
+                     "??": 0.03, "OTHER": 0.17},
+        privacy_services=(("FBO REGISTRANT", 1.0),),
+        privacy_multiplier=1.4,
+    ),
+    RegistrarProfile(
+        name="GMO Internet, Inc. d/b/a Onamae.com",
+        iana_id=49,
+        whois_server="whois.discount-domain.com",
+        url="http://www.onamae.com",
+        share_alltime=0.018,
+        share_2014=0.030,
+        schema_family="gmo",
+        founded=1999,
+        # Figure 5: JP dominant, then US.
+        country_mix={"JP": 0.85, "US": 0.05, "??": 0.03, "OTHER": 0.07},
+        privacy_services=(
+            ("Whois Privacy Protection Service by onamae.com", 0.6),
+            ("MuuMuuDomain", 0.4),
+        ),
+        privacy_multiplier=2.2,
+    ),
+    RegistrarProfile(
+        name="Xin Net Technology Corporation",
+        iana_id=120,
+        whois_server="whois.paycenter.com.cn",
+        url="http://www.xinnet.com",
+        share_alltime=0.012,
+        share_2014=0.033,
+        schema_family="xinnet",
+        founded=2000,
+        country_mix={"CN": 0.85, "??": 0.05, "HK": 0.03, "OTHER": 0.07},
+        privacy_multiplier=0.5,
+    ),
+    RegistrarProfile(
+        name="Tucows Domains Inc.",
+        iana_id=69,
+        whois_server="whois.tucows.com",
+        url="http://www.tucows.com",
+        share_alltime=0.015,
+        share_2014=0.010,
+        schema_family="tucows",
+        founded=1995,
+        country_mix={"US": 0.50, "CA": 0.15, "GB": 0.08, "DE": 0.04,
+                     "??": 0.03, "OTHER": 0.20},
+        privacy_services=(("Contact Privacy Inc.", 1.0),),
+        privacy_multiplier=0.9,
+    ),
+    RegistrarProfile(
+        name="Melbourne IT Ltd",
+        iana_id=13,
+        whois_server="whois.melbourneit.com",
+        url="http://www.melbourneit.com.au",
+        share_alltime=0.010,
+        share_2014=0.005,
+        schema_family="melbourneit",
+        founded=1996,
+        # Figure 5: US customers dominate, then AU, then JP.
+        country_mix={"US": 0.45, "AU": 0.28, "JP": 0.12, "GB": 0.04,
+                     "??": 0.02, "OTHER": 0.09},
+        privacy_multiplier=0.3,
+    ),
+    RegistrarProfile(
+        name="Moniker Online Services LLC",
+        iana_id=228,
+        whois_server="whois.moniker.com",
+        url="http://www.moniker.com",
+        share_alltime=0.008,
+        share_2014=0.005,
+        schema_family="moniker",
+        founded=1999,
+        country_mix={"US": 0.60, "??": 0.04, "OTHER": 0.36},
+        privacy_services=(("Moniker Privacy Services", 1.0),),
+        privacy_multiplier=1.6,
+    ),
+    RegistrarProfile(
+        name="DreamHost, LLC",
+        iana_id=431,
+        whois_server="whois.dreamhost.com",
+        url="http://www.dreamhost.com",
+        share_alltime=0.007,
+        share_2014=0.007,
+        schema_family="dreamhost",
+        founded=2003,
+        country_mix={"US": 0.70, "CA": 0.05, "??": 0.03, "OTHER": 0.22},
+        privacy_services=(("Happy DreamHost", 1.0),),
+        privacy_multiplier=2.8,
+    ),
+    RegistrarProfile(
+        name="Name.com, Inc.",
+        iana_id=625,
+        whois_server="whois.name.com",
+        url="http://www.name.com",
+        share_alltime=0.006,
+        share_2014=0.007,
+        schema_family="namecom",
+        founded=2003,
+        country_mix={"US": 0.62, "CA": 0.06, "GB": 0.05, "??": 0.03,
+                     "OTHER": 0.24},
+        privacy_services=(("Whois Agent (name.com)", 1.0),),
+        privacy_multiplier=1.0,
+    ),
+    RegistrarProfile(
+        name="Bizcn.com, Inc.",
+        iana_id=471,
+        whois_server="whois.bizcn.com",
+        url="http://www.bizcn.com",
+        share_alltime=0.004,
+        share_2014=0.006,
+        schema_family="bizcn",
+        founded=2002,
+        country_mix={"CN": 0.80, "??": 0.06, "HK": 0.04, "OTHER": 0.10},
+        privacy_multiplier=0.6,
+    ),
+    RegistrarProfile(
+        name="NameCheap, Inc.",
+        iana_id=1068,
+        whois_server="whois.namecheap.com",
+        url="http://www.namecheap.com",
+        share_alltime=0.012,
+        share_2014=0.018,
+        schema_family="namecheap",
+        founded=2001,
+        country_mix={"US": 0.52, "GB": 0.06, "CA": 0.05, "IN": 0.04,
+                     "TR": 0.03, "??": 0.03, "OTHER": 0.27},
+        privacy_services=(("WhoisGuard, Inc.", 1.0),),
+        privacy_multiplier=2.0,
+    ),
+    RegistrarProfile(
+        name="OVH SAS",
+        iana_id=433,
+        whois_server="whois.ovh.com",
+        url="http://www.ovh.com",
+        share_alltime=0.008,
+        share_2014=0.010,
+        schema_family="ovh",
+        founded=2004,
+        country_mix={"FR": 0.62, "ES": 0.05, "DE": 0.04, "GB": 0.03,
+                     "??": 0.03, "OTHER": 0.23},
+        privacy_multiplier=0.8,
+    ),
+    RegistrarProfile(
+        name="Gandi SAS",
+        iana_id=81,
+        whois_server="whois.gandi.net",
+        url="http://www.gandi.net",
+        share_alltime=0.006,
+        share_2014=0.007,
+        schema_family="gandi",
+        founded=2000,
+        country_mix={"FR": 0.55, "US": 0.10, "GB": 0.05, "??": 0.03,
+                     "OTHER": 0.27},
+        privacy_multiplier=0.7,
+    ),
+    RegistrarProfile(
+        name="Key-Systems GmbH",
+        iana_id=269,
+        whois_server="whois.rrpproxy.net",
+        url="http://www.key-systems.net",
+        share_alltime=0.007,
+        share_2014=0.007,
+        schema_family="rrpproxy",
+        founded=2002,
+        country_mix={"DE": 0.48, "US": 0.12, "GB": 0.06, "??": 0.04,
+                     "OTHER": 0.30},
+        privacy_multiplier=0.8,
+    ),
+    RegistrarProfile(
+        name="united-domains AG",
+        iana_id=1408,
+        whois_server="whois.united-domains.de",
+        url="http://www.united-domains.de",
+        share_alltime=0.004,
+        share_2014=0.004,
+        schema_family="generic_a",
+        founded=2000,
+        country_mix={"DE": 0.70, "CH": 0.06, "??": 0.03, "OTHER": 0.21},
+        privacy_multiplier=0.4,
+    ),
+    RegistrarProfile(
+        name="eName Technology Co., Ltd.",
+        iana_id=1331,
+        whois_server="whois.ename.com",
+        url="http://www.ename.net",
+        share_alltime=0.005,
+        share_2014=0.012,
+        schema_family="generic_b",
+        founded=2005,
+        country_mix={"CN": 0.88, "??": 0.04, "OTHER": 0.08},
+        privacy_multiplier=0.5,
+    ),
+    RegistrarProfile(
+        name="Launchpad.com Inc.",
+        iana_id=955,
+        whois_server="whois.launchpad.com",
+        url="http://www.launchpad.com",
+        share_alltime=0.005,
+        share_2014=0.005,
+        schema_family="generic_c",
+        founded=2004,
+        country_mix={"US": 0.58, "CA": 0.08, "??": 0.03, "OTHER": 0.31},
+        privacy_multiplier=1.2,
+    ),
+    RegistrarProfile(
+        name="Dynadot, LLC",
+        iana_id=472,
+        whois_server="whois.dynadot.com",
+        url="http://www.dynadot.com",
+        share_alltime=0.004,
+        share_2014=0.006,
+        schema_family="generic_a",
+        founded=2002,
+        country_mix={"US": 0.50, "CN": 0.12, "??": 0.03, "OTHER": 0.35},
+        privacy_multiplier=1.5,
+    ),
+    RegistrarProfile(
+        name="Hover (Tucows)",
+        iana_id=1600,
+        whois_server="whois.hover.com",
+        url="http://www.hover.com",
+        share_alltime=0.003,
+        share_2014=0.003,
+        schema_family="tucows",
+        founded=2008,
+        country_mix={"US": 0.55, "CA": 0.20, "??": 0.02, "OTHER": 0.23},
+        privacy_multiplier=0.9,
+    ),
+    RegistrarProfile(
+        name="Todaynic.com, Inc.",
+        iana_id=697,
+        whois_server="whois.todaynic.com",
+        url="http://www.now.cn",
+        share_alltime=0.003,
+        share_2014=0.005,
+        schema_family="generic_b",
+        founded=2000,
+        country_mix={"CN": 0.84, "??": 0.05, "OTHER": 0.11},
+        privacy_multiplier=0.5,
+    ),
+    RegistrarProfile(
+        name="Vitalwerks Internet Solutions, LLC",
+        iana_id=1327,
+        whois_server="whois.no-ip.com",
+        url="http://www.noip.com",
+        share_alltime=0.002,
+        share_2014=0.002,
+        schema_family="odd",
+        founded=2000,
+        country_mix={"US": 0.55, "??": 0.05, "OTHER": 0.40},
+        privacy_multiplier=0.8,
+    ),
+)
+
+_BY_NAME = {profile.name: profile for profile in REGISTRARS}
+
+
+def registrar_by_name(name: str) -> RegistrarProfile:
+    try:
+        return _BY_NAME[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown registrar {name!r}") from exc
+
+
+def registrar_shares(year: int) -> dict[str, float]:
+    """Market shares for domains created in ``year``.
+
+    Linear blend between the all-time and 2014 columns of Table 5 (the
+    all-time column stands in for the "early" regime).  Registrars that did
+    not exist yet in ``year`` get zero share; their mass flows to Network
+    Solutions and Register.com, the registration monopoly/duopoly of the
+    1990s (Section 2.1).  The residual "(Other)" mass is spread over a
+    synthetic tail of small registrars by :mod:`repro.datagen.corpus`.
+    """
+    t = (min(max(year, 2000), 2014) - 2000) / 14.0
+    shares = {}
+    removed = 0.0
+    for profile in REGISTRARS:
+        share = (1 - t) * profile.share_alltime + t * profile.share_2014
+        if year < profile.founded:
+            removed += share
+            share = 0.0
+        shares[profile.name] = share
+    if removed > 0.0:
+        shares["Network Solutions, LLC"] += 0.7 * removed
+        shares["Register.com, Inc."] += 0.3 * removed
+    total = sum(shares.values())
+    if total > 1.0:
+        return {name: share / total for name, share in shares.items()}
+    return shares
+
+
+TAIL_REGISTRAR_COUNT = 40  # synthetic long tail standing in for ~1400 registrars
+
+
+def tail_registrar_profile(i: int) -> RegistrarProfile:
+    """The ``i``-th synthetic tail registrar (generic schema, tiny share)."""
+    if not 0 <= i < TAIL_REGISTRAR_COUNT:
+        raise ValueError(f"tail registrar index {i} out of range")
+    family = ("generic_a", "generic_b", "generic_c", "odd")[i % 4]
+    return RegistrarProfile(
+        name=f"Domain Registrar {i + 1:02d}, Inc.",
+        iana_id=2000 + i,
+        whois_server=f"whois.registrar{i + 1:02d}.com",
+        url=f"http://www.registrar{i + 1:02d}.com",
+        share_alltime=0.0,
+        share_2014=0.0,
+        schema_family=family,
+        country_mix=None,
+        privacy_multiplier=1.0 if i % 3 else 1.8,
+        privacy_services=((f"Private Registration {i + 1:02d}", 1.0),)
+        if i % 3 == 0
+        else (),
+    )

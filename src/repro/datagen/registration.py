@@ -1,0 +1,56 @@
+"""The ground-truth facts behind one domain registration.
+
+A :class:`Registration` is the *semantic* record; schema families render it
+into WHOIS text.  Keeping the two separate lets us (a) emit exact line-level
+labels, and (b) validate the survey pipeline end to end, because the
+parsed-and-aggregated results can be compared against the known inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+
+from repro.datagen.entities import Contact
+
+
+@dataclass(frozen=True)
+class Registration:
+    """Everything a thick WHOIS record can say about one domain."""
+
+    domain: str
+    tld: str
+    registrar_name: str
+    registrar_iana_id: int
+    registrar_url: str
+    registrar_whois_server: str
+    created: date
+    updated: date
+    expires: date
+    statuses: tuple[str, ...]
+    name_servers: tuple[str, ...]
+    registrant: Contact
+    admin: Contact
+    tech: Contact
+    billing: Contact | None = None
+    reseller: str = ""
+    dnssec: str = "unsigned"
+    privacy_service: str | None = None
+    brand: str | None = None
+    blacklisted: bool = False
+    schema_family: str = ""
+    schema_version: int = 1
+    extras: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def is_private(self) -> bool:
+        return self.privacy_service is not None
+
+    @property
+    def creation_year(self) -> int:
+        return self.created.year
+
+    @property
+    def registrant_country(self) -> str:
+        """ISO code of the registrant, or ``"??"`` when the record omits it."""
+        return self.registrant.country_code

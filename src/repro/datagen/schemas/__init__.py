@@ -1,0 +1,21 @@
+"""Thick-record schema families.
+
+Each family renders a :class:`~repro.datagen.registration.Registration`
+into WHOIS text with exact line-level ground truth.  The families mirror
+the between-registrar format diversity the paper identifies as the core
+difficulty of parsing com: modern ICANN-style ``key: value`` records,
+dot-leader templates, indented block styles, bracket-header styles,
+lowercase ``owner:`` styles, and deliberately odd free-form records.
+"""
+
+from repro.datagen.schemas.base import Row, SchemaFamily, build_record, fmt_date
+from repro.datagen.schemas.registry import FAMILIES, family_by_name
+
+__all__ = [
+    "FAMILIES",
+    "Row",
+    "SchemaFamily",
+    "build_record",
+    "family_by_name",
+    "fmt_date",
+]

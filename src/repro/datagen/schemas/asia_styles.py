@@ -1,0 +1,190 @@
+"""Schema families of the large Chinese and Japanese registrars."""
+
+from __future__ import annotations
+
+import random
+
+from repro.datagen.registration import Registration
+from repro.datagen.schemas.base import Row, SchemaFamily, blank, build_record, fmt_date
+from repro.whois.records import LabeledRecord
+
+
+class HichinaFamily(SchemaFamily):
+    """HiChina: dot-leader titles, one field per line, ID-first registrant."""
+
+    name = "hichina"
+
+    @staticmethod
+    def _kv(title: str, value: str, block: str, sub: str | None = None) -> Row:
+        padded = f"{title} ".ljust(34, ".")
+        return Row(f"{padded} {value}", block, sub)
+
+    def render(
+        self, registration: Registration, rng: random.Random, *, version: int = 1
+    ) -> LabeledRecord:
+        self._check_version(version)
+        reg = registration
+        contact = reg.registrant
+        kv = self._kv
+        rows: list[Row] = [
+            kv("Domain Name", reg.domain, "domain"),
+            kv("Registrant ID", f"hc{rng.randint(10**8, 10**9 - 1)}",
+               "registrant", "id"),
+            kv("Registrant Name", contact.name.lower(), "registrant", "name"),
+            kv("Registrant Organization", contact.org.lower(), "registrant", "org"),
+            kv("Registrant Address", contact.street.lower(), "registrant", "street"),
+            kv("Registrant City", contact.city.lower(), "registrant", "city"),
+            kv("Registrant Province/State", contact.state.lower(),
+               "registrant", "state"),
+            kv("Registrant Postal Code", contact.postcode, "registrant", "postcode"),
+        ]
+        if contact.country_display:
+            rows.append(
+                kv("Registrant Country Code", contact.country_code,
+                   "registrant", "country")
+            )
+        rows.append(
+            kv("Registrant Phone Number", contact.phone, "registrant", "phone")
+        )
+        if contact.fax:
+            rows.append(kv("Registrant Fax", contact.fax, "registrant", "fax"))
+        rows.append(kv("Registrant Email", contact.email, "registrant", "email"))
+        rows.append(kv("Sponsoring Registrar", reg.registrar_name, "registrar"))
+        rows.extend(
+            kv("Name Server", ns, "domain") for ns in reg.name_servers
+        )
+        rows.extend(
+            kv("Domain Status", status, "domain") for status in reg.statuses
+        )
+        rows.append(
+            kv("Registration Date", fmt_date(reg.created, "iso"), "date")
+        )
+        rows.append(kv("Expiration Date", fmt_date(reg.expires, "iso"), "date"))
+        rows.append(blank())
+        rows.append(
+            Row(
+                "The Data in HiChina's WHOIS database is provided by HiChina "
+                "for information purposes only.",
+                "null",
+            )
+        )
+        return build_record(reg, rows, family=self.name)
+
+
+class XinnetFamily(SchemaFamily):
+    """Xin Net: terse colon key-values with a two-line contact footer."""
+
+    name = "xinnet"
+
+    def render(
+        self, registration: Registration, rng: random.Random, *, version: int = 1
+    ) -> LabeledRecord:
+        self._check_version(version)
+        reg = registration
+        contact = reg.registrant
+        rows: list[Row] = [
+            Row(f"Domain Name: {reg.domain}", "domain"),
+            Row(f"Registrar: {reg.registrar_name}", "registrar"),
+            Row(f"Whois Server: {reg.registrar_whois_server}", "registrar"),
+            Row(f"Referral URL: {reg.registrar_url}", "registrar"),
+            Row(f"Record created on {fmt_date(reg.created, 'iso')}", "date"),
+            Row(f"Record expires on {fmt_date(reg.expires, 'iso')}", "date"),
+            Row(f"Record updated on {fmt_date(reg.updated, 'iso')}", "date"),
+            blank(),
+            Row("Registrant:", "registrant", "other"),
+            Row(f"  name: {contact.name.lower()}", "registrant", "name"),
+            Row(f"  org: {contact.org.lower()}", "registrant", "org"),
+            Row(f"  address: {contact.street.lower()}", "registrant", "street"),
+            Row(f"  city: {contact.city.lower()}", "registrant", "city"),
+            Row(f"  zipcode: {contact.postcode}", "registrant", "postcode"),
+        ]
+        if contact.country_display:
+            rows.append(
+                Row(f"  country: {contact.country_code}", "registrant", "country")
+            )
+        rows.append(Row(f"  tel: {contact.phone}", "registrant", "phone"))
+        rows.append(Row(f"  email: {contact.email}", "registrant", "email"))
+        rows.append(blank())
+        rows.append(Row("Domain servers:", "domain"))
+        rows.extend(Row(f"  {ns}", "domain") for ns in reg.name_servers)
+        rows.append(Row(f"Domain Status: {reg.statuses[0]}", "domain"))
+        rows.append(blank())
+        rows.append(Row("Admin contact: " + reg.admin.email, "other"))
+        rows.append(Row("Tech contact: " + reg.tech.email, "other"))
+        return build_record(reg, rows, family=self.name)
+
+
+class GmoFamily(SchemaFamily):
+    """GMO/Onamae: JPRS-flavoured bracket headers with values on own lines."""
+
+    name = "gmo"
+
+    def render(
+        self, registration: Registration, rng: random.Random, *, version: int = 1
+    ) -> LabeledRecord:
+        self._check_version(version)
+        reg = registration
+        contact = reg.registrant
+        rows: list[Row] = [
+            Row("Domain Information:", "domain"),
+            Row(f"[Domain Name]                   {reg.domain.upper()}", "domain"),
+            blank(),
+            Row(f"[Registrant]                    {contact.name}",
+                "registrant", "name"),
+            Row(f"[Organization]                  {contact.org}",
+                "registrant", "org"),
+            Row(f"[Postal Address]                {contact.street}",
+                "registrant", "street"),
+            Row(f"[City]                          {contact.city}",
+                "registrant", "city"),
+            Row(f"[Postal Code]                   {contact.postcode}",
+                "registrant", "postcode"),
+        ]
+        if contact.country_display:
+            rows.append(
+                Row(f"[Country]                       {contact.country_display}",
+                    "registrant", "country")
+            )
+        rows.append(
+            Row(f"[Phone]                         {contact.phone}",
+                "registrant", "phone")
+        )
+        rows.append(
+            Row(f"[Email]                         {contact.email}",
+                "registrant", "email")
+        )
+        rows.append(blank())
+        rows.append(Row("[Name Server]", "domain"))
+        rows.extend(Row(f"    {ns}", "domain") for ns in reg.name_servers)
+        rows.append(blank())
+        rows.append(
+            Row(f"[Created on]                    {fmt_date(reg.created, 'slash')}",
+                "date")
+        )
+        rows.append(
+            Row(f"[Expires on]                    {fmt_date(reg.expires, 'slash')}",
+                "date")
+        )
+        rows.append(
+            Row(f"[Last Updated]                  {fmt_date(reg.updated, 'slash')}",
+                "date")
+        )
+        rows.append(Row(f"[Status]                        Active", "domain"))
+        rows.append(blank())
+        rows.append(Row("Contact Information:", "other"))
+        rows.append(Row(f"[Name]                          {reg.admin.name}", "other"))
+        rows.append(
+            Row(f"[Email]                         {reg.admin.email}", "other")
+        )
+        rows.append(
+            Row(f"[Phone]                         {reg.admin.phone}", "other")
+        )
+        rows.append(blank())
+        rows.append(
+            Row(f"Registrar: {reg.registrar_name}", "registrar")
+        )
+        rows.append(
+            Row("You can find Japanese registration information at "
+                "http://www.onamae.com/", "null")
+        )
+        return build_record(reg, rows, family=self.name)

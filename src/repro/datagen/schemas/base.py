@@ -1,0 +1,124 @@
+"""Shared machinery for schema-family renderers."""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from datetime import date
+
+from repro.datagen.registration import Registration
+from repro.whois.records import LabeledLine, LabeledRecord, is_labelable
+
+
+@dataclass(frozen=True)
+class Row:
+    """One rendered line with its ground-truth labels.
+
+    ``block`` is ``None`` for lines that carry no label (blank lines and
+    pure-punctuation separators); ``sub`` is the second-level registrant
+    label and is only meaningful when ``block == "registrant"``.
+    """
+
+    text: str
+    block: str | None
+    sub: str | None = None
+
+
+def blank() -> Row:
+    return Row("", None)
+
+
+def rule(char: str = "-", width: int = 60) -> Row:
+    return Row(char * width, None)
+
+
+def build_record(
+    registration: Registration,
+    rows: list[Row],
+    *,
+    family: str,
+    tld: str | None = None,
+) -> LabeledRecord:
+    """Assemble rows into a validated :class:`LabeledRecord`."""
+    raw_lines: list[str] = []
+    lines: list[LabeledLine] = []
+    for row in rows:
+        raw_lines.append(row.text)
+        if is_labelable(row.text):
+            if row.block is None:
+                raise ValueError(
+                    f"{family}: labelable line {row.text!r} has no block label"
+                )
+            lines.append(LabeledLine(text=row.text, block=row.block, sub=row.sub))
+        elif row.block is not None:
+            raise ValueError(
+                f"{family}: unlabelable line {row.text!r} carries label "
+                f"{row.block!r}"
+            )
+    return LabeledRecord(
+        domain=registration.domain,
+        raw_lines=raw_lines,
+        lines=lines,
+        tld=tld or registration.tld,
+        registrar=registration.registrar_name,
+        schema_family=family,
+    )
+
+
+_MONTHS = ("Jan", "Feb", "Mar", "Apr", "May", "Jun",
+           "Jul", "Aug", "Sep", "Oct", "Nov", "Dec")
+_MONTHS_FULL = ("January", "February", "March", "April", "May", "June",
+                "July", "August", "September", "October", "November",
+                "December")
+
+
+def fmt_date(value: date, style: str) -> str:
+    """Format a date in one of the styles observed across registrars."""
+    month_abbr = _MONTHS[value.month - 1]
+    if style == "iso":
+        return value.strftime("%Y-%m-%d")
+    if style == "iso_time":
+        return value.strftime("%Y-%m-%dT%H:%M:%SZ")
+    if style == "slash":
+        return value.strftime("%Y/%m/%d")
+    if style == "us":
+        return value.strftime("%m/%d/%Y")
+    if style == "dmy_abbr":
+        return f"{value.day:02d}-{month_abbr}-{value.year}"
+    if style == "dmy_space":
+        return f"{value.day:02d} {month_abbr} {value.year}"
+    if style == "long":
+        return f"{_MONTHS_FULL[value.month - 1]} {value.day}, {value.year}"
+    raise ValueError(f"unknown date style {style!r}")
+
+
+class SchemaFamily(ABC):
+    """A registrar's record format, possibly with drifted versions.
+
+    ``render`` must be deterministic given (registration, rng state,
+    version); version 2, where supported, models the schema drift the paper
+    observed during its measurement window.
+    """
+
+    #: unique family key, referenced by RegistrarProfile.schema_family
+    name: str = ""
+    #: number of template versions (>= 2 enables drift experiments)
+    n_versions: int = 1
+
+    @abstractmethod
+    def render(
+        self,
+        registration: Registration,
+        rng: random.Random,
+        *,
+        version: int = 1,
+    ) -> LabeledRecord:
+        """Render one registration into a labeled thick record."""
+
+    def _check_version(self, version: int) -> None:
+        if not 1 <= version <= self.n_versions:
+            raise ValueError(
+                f"{self.name}: version {version} out of range "
+                f"(1..{self.n_versions})"
+            )

@@ -1,0 +1,118 @@
+"""The eNom reseller-platform schema (also used by NameCheap storefronts)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.datagen.entities import Contact
+from repro.datagen.registration import Registration
+from repro.datagen.schemas.base import Row, SchemaFamily, blank, build_record, fmt_date
+from repro.whois.records import LabeledRecord
+
+
+def _indented_contact(
+    header: str, contact: Contact, block: str, *, sub_labels: bool
+) -> list[Row]:
+    def sub(name: str) -> str | None:
+        return name if sub_labels else None
+
+    rows = [Row(f"{header}:", block, sub("other"))]
+    rows.append(Row(f"   {contact.org}", block, sub("org")))
+    rows.append(Row(f"   {contact.name} ({contact.email})", block, sub("name")))
+    rows.append(Row(f"   {contact.street}", block, sub("street")))
+    city_line = f"   {contact.city}, {contact.state} {contact.postcode}"
+    rows.append(Row(city_line, block, sub("city")))
+    if contact.country_display:
+        rows.append(Row(f"   {contact.country_display}", block, sub("country")))
+    rows.append(Row(f"   Tel. {contact.phone}", block, sub("phone")))
+    if contact.fax:
+        rows.append(Row(f"   Fax. {contact.fax}", block, sub("fax")))
+    return rows
+
+
+class EnomFamily(SchemaFamily):
+    """eNom: provider banner, indented contact blocks, trailing dates."""
+
+    name = "enom"
+
+    #: storefront banners by registrar name; default falls back to eNom
+    _BANNERS = {
+        "NameCheap, Inc.": "NAMECHEAP.COM",
+        "eNom, Inc.": "ENOM, INC.",
+    }
+
+    def render(
+        self, registration: Registration, rng: random.Random, *, version: int = 1
+    ) -> LabeledRecord:
+        self._check_version(version)
+        reg = registration
+        banner = self._BANNERS.get(reg.registrar_name, "ENOM, INC.")
+        rows: list[Row] = [
+            Row(f"Registration Service Provided By: {banner}", "registrar"),
+            Row(f"Contact: support@{banner.lower().rstrip('.').replace(', inc', '').replace(' ', '')}",
+                "registrar"),
+            Row(f"Visit: {reg.registrar_url}", "registrar"),
+            blank(),
+            Row(f"Domain name: {reg.domain}", "domain"),
+            blank(),
+        ]
+        rows.extend(
+            _indented_contact(
+                "Registrant Contact", reg.registrant, "registrant", sub_labels=True
+            )
+        )
+        rows.append(blank())
+        rows.extend(
+            _indented_contact(
+                "Administrative Contact", reg.admin, "other", sub_labels=False
+            )
+        )
+        rows.append(blank())
+        rows.extend(
+            _indented_contact(
+                "Technical Contact", reg.tech, "other", sub_labels=False
+            )
+        )
+        rows.append(blank())
+        if reg.billing is not None:
+            rows.extend(
+                _indented_contact(
+                    "Billing Contact", reg.billing, "other", sub_labels=False
+                )
+            )
+            rows.append(blank())
+        rows.append(Row(f"Status: {reg.statuses[0]}", "domain"))
+        rows.append(blank())
+        rows.append(Row("Name Servers:", "domain"))
+        rows.extend(Row(f"   {ns}", "domain") for ns in reg.name_servers)
+        rows.append(blank())
+        rows.append(
+            Row(f"Creation date: {fmt_date(reg.created, 'dmy_space')}", "date")
+        )
+        rows.append(
+            Row(f"Expiration date: {fmt_date(reg.expires, 'dmy_space')}", "date")
+        )
+        rows.append(blank())
+        rows.append(
+            Row(
+                "The data in this whois database is provided to you for "
+                "information purposes only,",
+                "null",
+            )
+        )
+        rows.append(
+            Row(
+                "that is, to assist you in obtaining information about or "
+                "related to a domain name",
+                "null",
+            )
+        )
+        rows.append(
+            Row(
+                "registration record. We make this information available "
+                '"as is", and do not',
+                "null",
+            )
+        )
+        rows.append(Row("guarantee its accuracy.", "null"))
+        return build_record(reg, rows, family=self.name)

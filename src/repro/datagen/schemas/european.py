@@ -1,0 +1,173 @@
+"""Schema families of the large European registrars (Gandi, OVH,
+Key-Systems/RRPproxy)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.datagen.registration import Registration
+from repro.datagen.schemas.base import Row, SchemaFamily, blank, build_record, fmt_date
+from repro.whois.records import LabeledRecord
+
+
+class GandiFamily(SchemaFamily):
+    """Gandi: RIPE-style lowercase keys with explicit contact handles and
+    repeated per-contact stanzas introduced by ``nic-hdl``-style headers."""
+
+    name = "gandi"
+
+    def render(
+        self, registration: Registration, rng: random.Random, *, version: int = 1
+    ) -> LabeledRecord:
+        self._check_version(version)
+        reg = registration
+        contact = reg.registrant
+        rows: list[Row] = [
+            Row("%% This is the GANDI Whois server.", "null"),
+            Row("%% Usage of this service is subject to rate limiting.",
+                "null"),
+            blank(),
+            Row(f"domain:      {reg.domain}", "domain"),
+            Row(f"reg_created: {fmt_date(reg.created, 'iso')}", "date"),
+            Row(f"expires:     {fmt_date(reg.expires, 'iso')}", "date"),
+            Row(f"created:     {fmt_date(reg.created, 'iso')}", "date"),
+            Row(f"changed:     {fmt_date(reg.updated, 'iso')}", "date"),
+        ]
+        rows.extend(
+            Row(f"ns{i}:         {ns}", "domain")
+            for i, ns in enumerate(reg.name_servers)
+        )
+        rows.append(blank())
+        rows.append(Row(f"registrar:   {reg.registrar_name}", "registrar"))
+        rows.append(Row(f"website:     {reg.registrar_url}", "registrar"))
+        rows.append(blank())
+        rows.append(Row("owner-c:", "registrant", "other"))
+        rows.append(Row(f"  nic-hdl:   {contact.handle}-GANDI",
+                        "registrant", "id"))
+        rows.append(Row(f"  owner:     {contact.name}", "registrant", "name"))
+        rows.append(Row(f"  organisation: {contact.org}", "registrant", "org"))
+        rows.append(Row(f"  address:   {contact.street}", "registrant",
+                        "street"))
+        rows.append(Row(f"  city:      {contact.city}", "registrant", "city"))
+        rows.append(Row(f"  zipcode:   {contact.postcode}", "registrant",
+                        "postcode"))
+        if contact.country_display:
+            rows.append(Row(f"  country:   {contact.country_display}",
+                            "registrant", "country"))
+        rows.append(Row(f"  phone:     {contact.phone}", "registrant", "phone"))
+        rows.append(Row(f"  e-mail:    {contact.email}", "registrant", "email"))
+        rows.append(blank())
+        rows.append(Row("admin-c:", "other"))
+        rows.append(Row(f"  nic-hdl:   {reg.admin.handle}-GANDI", "other"))
+        rows.append(Row(f"  contact:   {reg.admin.name}", "other"))
+        rows.append(Row(f"  e-mail:    {reg.admin.email}", "other"))
+        rows.append(blank())
+        rows.append(Row("tech-c:", "other"))
+        rows.append(Row(f"  nic-hdl:   {reg.tech.handle}-GANDI", "other"))
+        rows.append(Row(f"  contact:   {reg.tech.name}", "other"))
+        rows.append(Row(f"  e-mail:    {reg.tech.email}", "other"))
+        return build_record(reg, rows, family=self.name)
+
+
+class OvhFamily(SchemaFamily):
+    """OVH: terse hash-commented banner and compact ``key: value`` body."""
+
+    name = "ovh"
+
+    def render(
+        self, registration: Registration, rng: random.Random, *, version: int = 1
+    ) -> LabeledRecord:
+        self._check_version(version)
+        reg = registration
+        contact = reg.registrant
+        rows: list[Row] = [
+            Row("# ovh whois server", "null"),
+            Row("# use of this data is subject to the terms at ovh.com",
+                "null"),
+            blank(),
+            Row(f"Domain Name: {reg.domain}", "domain"),
+            Row(f"Registry Domain ID: {rng.randint(10**8, 10**9 - 1)}",
+                "domain"),
+            Row(f"Registrar: {reg.registrar_name}", "registrar"),
+            Row(f"Registrar URL: {reg.registrar_url}", "registrar"),
+            Row(f"Creation Date: {fmt_date(reg.created, 'iso_time')}", "date"),
+            Row(f"Updated Date: {fmt_date(reg.updated, 'iso_time')}", "date"),
+            Row(f"Registrar Registration Expiration Date: "
+                f"{fmt_date(reg.expires, 'iso_time')}", "date"),
+        ]
+        rows.extend(
+            Row(f"Domain Status: {s}", "domain") for s in reg.statuses
+        )
+        rows.append(Row(f"Registrant Name: {contact.name}", "registrant",
+                        "name"))
+        rows.append(Row(f"Registrant Organization: {contact.org}",
+                        "registrant", "org"))
+        rows.append(Row(f"Registrant Street: {contact.street}", "registrant",
+                        "street"))
+        rows.append(Row(f"Registrant City: {contact.city}", "registrant",
+                        "city"))
+        rows.append(Row(f"Registrant Postal Code: {contact.postcode}",
+                        "registrant", "postcode"))
+        if contact.country_display:
+            rows.append(Row(f"Registrant Country: {contact.country_code}",
+                            "registrant", "country"))
+        rows.append(Row(f"Registrant Phone: {contact.phone}", "registrant",
+                        "phone"))
+        rows.append(Row(f"Registrant Email: {contact.email}", "registrant",
+                        "email"))
+        rows.append(Row(f"Admin Email: {reg.admin.email}", "other"))
+        rows.append(Row(f"Tech Email: {reg.tech.email}", "other"))
+        rows.extend(
+            Row(f"Name Server: {ns}", "domain") for ns in reg.name_servers
+        )
+        rows.append(Row(f"DNSSEC: {reg.dnssec}", "domain"))
+        return build_record(reg, rows, family=self.name)
+
+
+class RrpproxyFamily(SchemaFamily):
+    """Key-Systems / RRPproxy: ``property: value`` pairs with a ``property``
+    prefix column, as returned by the RRP gateway."""
+
+    name = "rrpproxy"
+
+    def render(
+        self, registration: Registration, rng: random.Random, *, version: int = 1
+    ) -> LabeledRecord:
+        self._check_version(version)
+        reg = registration
+        contact = reg.registrant
+
+        def kv(key: str, value: str, block: str, sub: str | None = None) -> Row:
+            return Row(f"property[{key}]: {value}", block, sub)
+
+        rows: list[Row] = [
+            kv("DOMAIN", reg.domain, "domain"),
+            kv("STATUS", reg.statuses[0], "domain"),
+            kv("CREATEDDATE", fmt_date(reg.created, "iso"), "date"),
+            kv("UPDATEDDATE", fmt_date(reg.updated, "iso"), "date"),
+            kv("REGISTRATIONEXPIRATIONDATE", fmt_date(reg.expires, "iso"),
+               "date"),
+            kv("REGISTRAR", reg.registrar_name, "registrar"),
+            kv("OWNERCONTACT NAME", contact.name, "registrant", "name"),
+            kv("OWNERCONTACT ORGANIZATION", contact.org, "registrant", "org"),
+            kv("OWNERCONTACT STREET", contact.street, "registrant", "street"),
+            kv("OWNERCONTACT CITY", contact.city, "registrant", "city"),
+            kv("OWNERCONTACT ZIP", contact.postcode, "registrant", "postcode"),
+        ]
+        if contact.country_display:
+            rows.append(kv("OWNERCONTACT COUNTRY", contact.country_code,
+                           "registrant", "country"))
+        rows.append(kv("OWNERCONTACT PHONE", contact.phone, "registrant",
+                       "phone"))
+        rows.append(kv("OWNERCONTACT EMAIL", contact.email, "registrant",
+                       "email"))
+        rows.append(kv("ADMINCONTACT NAME", reg.admin.name, "other"))
+        rows.append(kv("ADMINCONTACT EMAIL", reg.admin.email, "other"))
+        rows.append(kv("TECHCONTACT NAME", reg.tech.name, "other"))
+        rows.append(kv("TECHCONTACT EMAIL", reg.tech.email, "other"))
+        for i, ns in enumerate(reg.name_servers):
+            rows.append(kv(f"NAMESERVER{i}", ns, "domain"))
+        rows.append(blank())
+        rows.append(Row("RATE-LIMITED ACCESS; see www.rrpproxy.net for terms",
+                        "null"))
+        return build_record(reg, rows, family=self.name)

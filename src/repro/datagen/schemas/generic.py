@@ -1,0 +1,244 @@
+"""Generic tail-registrar schema families, plus the deliberately odd one.
+
+The generic families are *parameterized per registrar*: each registrar
+draws a deterministic variant (field-title synonyms, block order) seeded by
+its name.  This models the long tail of com formats -- with dozens of tail
+registrars, small training samples inevitably miss some variants, which is
+what gives the Figure 2/3 learning curves their shape.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datagen.registration import Registration
+from repro.datagen.schemas.base import Row, SchemaFamily, blank, build_record, fmt_date
+from repro.whois.records import LabeledRecord
+
+
+class _Variant:
+    """Per-registrar template choices for the generic families."""
+
+    _REGISTRANT_PREFIX = ("Registrant", "Owner", "Holder")
+    _NAME = ("Name",)
+    _ORG = ("Organization", "Organisation", "Company")
+    _STREET = ("Street", "Address", "Street Address")
+    _POSTCODE = ("Postal Code", "Zip Code", "Postcode")
+    _CREATED = ("Creation Date", "Created On", "Registered On", "Created",
+                "Domain Registration Date")
+    _UPDATED = ("Updated Date", "Last Updated", "Last Modified", "Changed")
+    _EXPIRES = ("Expiration Date", "Expiry Date", "Expires On", "Valid Until",
+                "Paid Till")
+    _REGISTRAR = ("Registrar", "Sponsoring Registrar", "Registrar Name")
+    _NS = ("Name Server", "Nameserver", "Host Name", "DNS")
+    _STATUS = ("Status", "Domain Status", "Flags")
+
+    def __init__(self, registrar_name: str) -> None:
+        rng = random.Random(f"template-variant:{registrar_name}")
+        self.registrant_prefix = rng.choice(self._REGISTRANT_PREFIX)
+        self.name_title = rng.choice(self._NAME)
+        self.org_title = rng.choice(self._ORG)
+        self.street_title = rng.choice(self._STREET)
+        self.postcode_title = rng.choice(self._POSTCODE)
+        self.created_title = rng.choice(self._CREATED)
+        self.updated_title = rng.choice(self._UPDATED)
+        self.expires_title = rng.choice(self._EXPIRES)
+        self.registrar_title = rng.choice(self._REGISTRAR)
+        self.ns_title = rng.choice(self._NS)
+        self.status_title = rng.choice(self._STATUS)
+        self.registrant_first = rng.random() < 0.4
+        self.dates_with_registrar = rng.random() < 0.3
+
+
+class GenericAFamily(SchemaFamily):
+    """Plain capitalized ``Key: Value`` schema used by many small registrars."""
+
+    name = "generic_a"
+
+    def render(
+        self, registration: Registration, rng: random.Random, *, version: int = 1
+    ) -> LabeledRecord:
+        self._check_version(version)
+        reg = registration
+        contact = reg.registrant
+        v = _Variant(reg.registrar_name)
+        p = v.registrant_prefix
+        domain_rows = [
+            Row(f"Domain Name: {reg.domain}", "domain"),
+            Row(f"{v.registrar_title}: {reg.registrar_name}", "registrar"),
+            Row(f"Registrar URL: {reg.registrar_url}", "registrar"),
+            Row(f"{v.created_title}: {fmt_date(reg.created, 'iso')}", "date"),
+            Row(f"{v.updated_title}: {fmt_date(reg.updated, 'iso')}", "date"),
+            Row(f"{v.expires_title}: {fmt_date(reg.expires, 'iso')}", "date"),
+        ]
+        registrant_rows = [
+            Row(f"{p} {v.name_title}: {contact.name}", "registrant", "name"),
+            Row(f"{p} {v.org_title}: {contact.org}", "registrant", "org"),
+            Row(f"{p} {v.street_title}: {contact.street}", "registrant",
+                "street"),
+            Row(f"{p} City: {contact.city}", "registrant", "city"),
+            Row(f"{p} State: {contact.state}", "registrant", "state"),
+            Row(f"{p} {v.postcode_title}: {contact.postcode}",
+                "registrant", "postcode"),
+        ]
+        if contact.country_display:
+            registrant_rows.append(
+                Row(f"{p} Country: {contact.country_display}",
+                    "registrant", "country")
+            )
+        registrant_rows.append(
+            Row(f"{p} Phone: {contact.phone}", "registrant", "phone")
+        )
+        registrant_rows.append(
+            Row(f"{p} Email: {contact.email}", "registrant", "email")
+        )
+        if v.registrant_first:
+            rows = registrant_rows + [blank()] + domain_rows
+        else:
+            rows = domain_rows + [blank()] + registrant_rows
+        rows.append(blank())
+        rows.append(Row(f"Admin Name: {reg.admin.name}", "other"))
+        rows.append(Row(f"Admin Email: {reg.admin.email}", "other"))
+        rows.append(Row(f"Tech Name: {reg.tech.name}", "other"))
+        rows.append(Row(f"Tech Email: {reg.tech.email}", "other"))
+        rows.append(blank())
+        rows.extend(
+            Row(f"{v.ns_title}: {ns}", "domain") for ns in reg.name_servers
+        )
+        rows.extend(
+            Row(f"{v.status_title}: {s}", "domain") for s in reg.statuses
+        )
+        return build_record(reg, rows, family=self.name)
+
+
+class GenericCFamily(SchemaFamily):
+    """Uppercase section banners with indented key-values."""
+
+    name = "generic_c"
+
+    def render(
+        self, registration: Registration, rng: random.Random, *, version: int = 1
+    ) -> LabeledRecord:
+        self._check_version(version)
+        reg = registration
+        contact = reg.registrant
+        v = _Variant(reg.registrar_name)
+        registrant_banner = (
+            "REGISTRANT CONTACT" if v.registrant_prefix == "Registrant"
+            else f"{v.registrant_prefix.upper()} CONTACT INFO"
+        )
+        rows: list[Row] = [
+            Row("DOMAIN INFORMATION", "domain"),
+            Row(f"   Name: {reg.domain}", "domain"),
+            Row(f"   {v.status_title}: {reg.statuses[0]}", "domain"),
+            Row(f"   Nameservers: {', '.join(reg.name_servers)}", "domain"),
+            blank(),
+            Row("IMPORTANT DATES", "date"),
+            Row(f"   {v.created_title}: {fmt_date(reg.created, 'dmy_space')}",
+                "date"),
+            Row(f"   {v.expires_title}: {fmt_date(reg.expires, 'dmy_space')}",
+                "date"),
+            Row(f"   {v.updated_title}: {fmt_date(reg.updated, 'dmy_space')}",
+                "date"),
+            blank(),
+            Row(registrant_banner, "registrant", "other"),
+            Row(f"   Name: {contact.name}", "registrant", "name"),
+            Row(f"   Organization: {contact.org}", "registrant", "org"),
+            Row(f"   Mailing Address: {contact.street}", "registrant", "street"),
+            Row(f"   City: {contact.city}", "registrant", "city"),
+            Row(f"   State: {contact.state}", "registrant", "state"),
+            Row(f"   Zip: {contact.postcode}", "registrant", "postcode"),
+        ]
+        if contact.country_display:
+            rows.append(Row(f"   Country: {contact.country_display}",
+                            "registrant", "country"))
+        rows.append(Row(f"   Phone: {contact.phone}", "registrant", "phone"))
+        rows.append(Row(f"   Email: {contact.email}", "registrant", "email"))
+        rows.append(blank())
+        rows.append(Row("ADMINISTRATIVE CONTACT", "other"))
+        rows.append(Row(f"   Name: {reg.admin.name}", "other"))
+        rows.append(Row(f"   Email: {reg.admin.email}", "other"))
+        rows.append(blank())
+        rows.append(Row("SPONSORING REGISTRAR", "registrar"))
+        rows.append(Row(f"   Name: {reg.registrar_name}", "registrar"))
+        rows.append(Row(f"   Website: {reg.registrar_url}", "registrar"))
+        return build_record(reg, rows, family=self.name)
+
+
+class DreamhostFamily(SchemaFamily):
+    """DreamHost: compact key-values with chatty boilerplate."""
+
+    name = "dreamhost"
+
+    def render(
+        self, registration: Registration, rng: random.Random, *, version: int = 1
+    ) -> LabeledRecord:
+        self._check_version(version)
+        reg = registration
+        contact = reg.registrant
+        rows: list[Row] = [
+            Row(f"Domain Name: {reg.domain.upper()}", "domain"),
+            Row(f"Registrar: {reg.registrar_name}", "registrar"),
+            Row(f"Registrar Homepage: {reg.registrar_url}", "registrar"),
+            blank(),
+            Row(f"Created: {fmt_date(reg.created, 'dmy_abbr')}", "date"),
+            Row(f"Expires: {fmt_date(reg.expires, 'dmy_abbr')}", "date"),
+            blank(),
+            Row("Registrant Contact Information:", "registrant", "other"),
+            Row(f"  Name: {contact.name}", "registrant", "name"),
+            Row(f"  Organization: {contact.org}", "registrant", "org"),
+            Row(f"  Address: {contact.street}", "registrant", "street"),
+            Row(f"  City: {contact.city}", "registrant", "city"),
+            Row(f"  State: {contact.state}", "registrant", "state"),
+            Row(f"  Postal Code: {contact.postcode}", "registrant", "postcode"),
+        ]
+        if contact.country_display:
+            rows.append(Row(f"  Country: {contact.country_code}",
+                            "registrant", "country"))
+        rows.append(Row(f"  Phone: {contact.phone}", "registrant", "phone"))
+        rows.append(Row(f"  Email: {contact.email}", "registrant", "email"))
+        rows.append(blank())
+        rows.append(Row("Technical Contact Information:", "other"))
+        rows.append(Row(f"  Name: {reg.tech.name}", "other"))
+        rows.append(Row(f"  Email: {reg.tech.email}", "other"))
+        rows.append(blank())
+        rows.extend(Row(f"Nameserver: {ns}", "domain") for ns in reg.name_servers)
+        rows.append(blank())
+        rows.append(
+            Row("Happy DreamHosting! Register your own domain at "
+                "http://www.dreamhost.com/", "null")
+        )
+        return build_record(reg, rows, family=self.name)
+
+
+class OddFamily(SchemaFamily):
+    """A free-form record with no separators, like the albygg.com example
+    the paper notes even commercial parsers fail on."""
+
+    name = "odd"
+
+    def render(
+        self, registration: Registration, rng: random.Random, *, version: int = 1
+    ) -> LabeledRecord:
+        self._check_version(version)
+        reg = registration
+        contact = reg.registrant
+        rows: list[Row] = [
+            Row(f"{reg.domain} is registered through "
+                f"{reg.registrar_name}", "registrar"),
+            blank(),
+            Row("Holder of domain name", "registrant", "other"),
+            Row(f"{contact.name}", "registrant", "name"),
+            Row(f"{contact.street}", "registrant", "street"),
+            Row(f"{contact.city} {contact.postcode}", "registrant", "city"),
+        ]
+        if contact.country_display:
+            rows.append(Row(f"{contact.country_display}", "registrant", "country"))
+        rows.append(Row(f"contact {contact.email}", "registrant", "email"))
+        rows.append(blank())
+        rows.append(Row(f"record created {fmt_date(reg.created, 'iso')}", "date"))
+        rows.append(Row(f"renewal due {fmt_date(reg.expires, 'iso')}", "date"))
+        rows.append(blank())
+        rows.append(Row("dns", "domain"))
+        rows.extend(Row(f"{ns}", "domain") for ns in reg.name_servers)
+        return build_record(reg, rows, family=self.name)

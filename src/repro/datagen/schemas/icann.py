@@ -1,0 +1,302 @@
+"""Modern ICANN-style ``key: value`` schema families (GoDaddy and kin)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.datagen.entities import Contact
+from repro.datagen.registration import Registration
+from repro.datagen.schemas.base import (
+    Row,
+    SchemaFamily,
+    blank,
+    build_record,
+    fmt_date,
+)
+from repro.whois.records import LabeledRecord
+
+
+def _contact_rows(
+    prefix: str,
+    contact: Contact,
+    block: str,
+    *,
+    sub_labels: bool,
+    state_title: str = "State/Province",
+    include_id: bool = True,
+) -> list[Row]:
+    """The standard ICANN contact stanza (``Registrant Name: ...``)."""
+
+    def sub(name: str) -> str | None:
+        return name if sub_labels else None
+
+    rows: list[Row] = []
+    if include_id:
+        rows.append(Row(f"Registry {prefix} ID: {contact.handle}", block, sub("id")))
+    rows.append(Row(f"{prefix} Name: {contact.name}", block, sub("name")))
+    rows.append(Row(f"{prefix} Organization: {contact.org}", block, sub("org")))
+    rows.append(Row(f"{prefix} Street: {contact.street}", block, sub("street")))
+    rows.append(Row(f"{prefix} City: {contact.city}", block, sub("city")))
+    rows.append(Row(f"{prefix} {state_title}: {contact.state}", block, sub("state")))
+    rows.append(Row(f"{prefix} Postal Code: {contact.postcode}", block, sub("postcode")))
+    if contact.country_display:
+        rows.append(Row(f"{prefix} Country: {contact.country_display}", block, sub("country")))
+    rows.append(Row(f"{prefix} Phone: {contact.phone}", block, sub("phone")))
+    if contact.fax:
+        rows.append(Row(f"{prefix} Fax: {contact.fax}", block, sub("fax")))
+    rows.append(Row(f"{prefix} Email: {contact.email}", block, sub("email")))
+    return rows
+
+
+class GodaddyFamily(SchemaFamily):
+    """GoDaddy / Wild West Domains: the 2013 ICANN RAA record layout.
+
+    Version 2 models the drift the paper observed mid-crawl: several field
+    titles are reworded and the date block moves below the registrar block.
+    """
+
+    name = "godaddy"
+    n_versions = 2
+
+    def render(
+        self, registration: Registration, rng: random.Random, *, version: int = 1
+    ) -> LabeledRecord:
+        self._check_version(version)
+        reg = registration
+        updated_title = "Updated Date" if version == 1 else "Update Date"
+        expiry_title = (
+            "Registrar Registration Expiration Date"
+            if version == 1
+            else "Registry Expiry Date"
+        )
+        state_title = "State/Province" if version == 1 else "State"
+        rows: list[Row] = [
+            Row(f"Domain Name: {reg.domain.upper()}", "domain"),
+            Row(
+                f"Registry Domain ID: {rng.randint(10_000_000, 99_999_999)}"
+                "_DOMAIN_COM-VRSN",
+                "domain",
+            ),
+            Row(f"Registrar WHOIS Server: {reg.registrar_whois_server}", "registrar"),
+            Row(f"Registrar URL: {reg.registrar_url}", "registrar"),
+            Row(f"{updated_title}: {fmt_date(reg.updated, 'iso_time')}", "date"),
+            Row(f"Creation Date: {fmt_date(reg.created, 'iso_time')}", "date"),
+            Row(f"{expiry_title}: {fmt_date(reg.expires, 'iso_time')}", "date"),
+            Row(f"Registrar: {reg.registrar_name}", "registrar"),
+            Row(f"Registrar IANA ID: {reg.registrar_iana_id}", "registrar"),
+            Row(
+                f"Registrar Abuse Contact Email: abuse@"
+                f"{reg.registrar_whois_server.removeprefix('whois.')}",
+                "registrar",
+            ),
+            Row(
+                f"Registrar Abuse Contact Phone: +1.{rng.randint(2000000000, 9999999999)}",
+                "registrar",
+            ),
+        ]
+        if version == 2 and reg.reseller:
+            rows.append(Row(f"Reseller: {reg.reseller}", "registrar"))
+        rows.extend(
+            Row(f"Domain Status: {status}", "domain") for status in reg.statuses
+        )
+        rows.extend(
+            _contact_rows(
+                "Registrant",
+                reg.registrant,
+                "registrant",
+                sub_labels=True,
+                state_title=state_title,
+            )
+        )
+        other_contacts = [("Admin", reg.admin), ("Tech", reg.tech)]
+        if reg.billing is not None:
+            other_contacts.append(("Billing", reg.billing))
+        for role, contact in other_contacts:
+            rows.extend(
+                _contact_rows(
+                    role, contact, "other", sub_labels=False, state_title=state_title
+                )
+            )
+        rows.extend(
+            Row(f"Name Server: {ns.upper()}", "domain") for ns in reg.name_servers
+        )
+        rows.append(Row(f"DNSSEC: {reg.dnssec}", "domain"))
+        rows.append(
+            Row(
+                "URL of the ICANN WHOIS Data Problem Reporting System: "
+                "http://wdprs.internic.net/",
+                "null",
+            )
+        )
+        rows.append(
+            Row(
+                f">>> Last update of WHOIS database: "
+                f"{fmt_date(reg.updated, 'iso_time')} <<<",
+                "null",
+            )
+        )
+        rows.append(blank())
+        rows.append(
+            Row(
+                'For more information on Whois status codes, please visit',
+                "null",
+            )
+        )
+        rows.append(Row("https://www.icann.org/epp", "null"))
+        return build_record(reg, rows, family=self.name)
+
+
+class FastdomainFamily(SchemaFamily):
+    """FastDomain / BlueHost: ICANN layout wrapped in a provider banner."""
+
+    name = "fastdomain"
+
+    def render(
+        self, registration: Registration, rng: random.Random, *, version: int = 1
+    ) -> LabeledRecord:
+        self._check_version(version)
+        reg = registration
+        rows: list[Row] = [
+            Row("Registration Service Provided By: FASTDOMAIN, INC.", "registrar"),
+            Row(f"Contact: support@fastdomain.com", "registrar"),
+            blank(),
+            Row(f"Domain Name: {reg.domain.upper()}", "domain"),
+            blank(),
+            Row(f"Registrar: {reg.registrar_name}", "registrar"),
+            Row(f"Registrar URL: {reg.registrar_url}", "registrar"),
+            blank(),
+            Row(f"Creation Date: {fmt_date(reg.created, 'iso')}", "date"),
+            Row(f"Expiration Date: {fmt_date(reg.expires, 'iso')}", "date"),
+            Row(f"Last Updated: {fmt_date(reg.updated, 'iso')}", "date"),
+            blank(),
+        ]
+        rows.extend(
+            _contact_rows(
+                "Registrant", reg.registrant, "registrant", sub_labels=True,
+                include_id=False,
+            )
+        )
+        rows.append(blank())
+        rows.append(Row("Administrative Contact:", "other"))
+        rows.append(Row(f"   {reg.admin.name}", "other"))
+        rows.append(Row(f"   {reg.admin.email}", "other"))
+        rows.append(Row(f"   {reg.admin.phone}", "other"))
+        rows.append(blank())
+        rows.extend(
+            Row(f"Name Server: {ns}", "domain") for ns in reg.name_servers
+        )
+        rows.extend(
+            Row(f"Status: {status}", "domain") for status in reg.statuses
+        )
+        rows.append(blank())
+        rows.append(
+            Row(
+                "This data is provided for information purposes only.",
+                "null",
+            )
+        )
+        rows.append(
+            Row(
+                "FastDomain Inc. does not guarantee its accuracy.",
+                "null",
+            )
+        )
+        return build_record(reg, rows, family=self.name)
+
+
+class NamecomFamily(SchemaFamily):
+    """Name.com: ICANN layout with lowercase titles and a trimmed tail."""
+
+    name = "namecom"
+
+    def render(
+        self, registration: Registration, rng: random.Random, *, version: int = 1
+    ) -> LabeledRecord:
+        self._check_version(version)
+        reg = registration
+        rows: list[Row] = [
+            Row(f"Domain Name: {reg.domain}", "domain"),
+            Row(f"Registry Domain ID: {rng.randint(10**8, 10**9 - 1)}", "domain"),
+            Row(f"Registrar WHOIS Server: {reg.registrar_whois_server}", "registrar"),
+            Row(f"Registrar URL: {reg.registrar_url}", "registrar"),
+            Row(f"Updated Date: {fmt_date(reg.updated, 'iso_time')}", "date"),
+            Row(f"Creation Date: {fmt_date(reg.created, 'iso_time')}", "date"),
+            Row(f"Expiry Date: {fmt_date(reg.expires, 'iso_time')}", "date"),
+            Row(f"Registrar: {reg.registrar_name}", "registrar"),
+            Row(f"Registrar IANA ID: {reg.registrar_iana_id}", "registrar"),
+        ]
+        rows.extend(
+            Row(f"Domain Status: {status}", "domain") for status in reg.statuses
+        )
+        rows.extend(
+            _contact_rows(
+                "Registrant", reg.registrant, "registrant", sub_labels=True
+            )
+        )
+        rows.extend(
+            _contact_rows("Admin", reg.admin, "other", sub_labels=False)
+        )
+        rows.extend(
+            Row(f"Name Server: {ns}", "domain") for ns in reg.name_servers
+        )
+        rows.append(Row(f"DNSSEC: {reg.dnssec}", "domain"))
+        return build_record(reg, rows, family=self.name)
+
+
+class BizcnFamily(SchemaFamily):
+    """Bizcn: colon key-values with per-field ``Registrant`` titles and CN quirks."""
+
+    name = "bizcn"
+
+    def render(
+        self, registration: Registration, rng: random.Random, *, version: int = 1
+    ) -> LabeledRecord:
+        self._check_version(version)
+        reg = registration
+        contact = reg.registrant
+        rows: list[Row] = [
+            Row(f"Domain Name: {reg.domain}", "domain"),
+            Row(f"Registry Domain ID: whois protect", "domain"),
+            Row(f"Registrar WHOIS Server: {reg.registrar_whois_server}", "registrar"),
+            Row(f"Registrar URL: {reg.registrar_url}", "registrar"),
+            Row(f"Updated Date: {fmt_date(reg.updated, 'iso')}", "date"),
+            Row(f"Creation Date: {fmt_date(reg.created, 'iso')}", "date"),
+            Row(
+                f"Registrar Registration Expiration Date: "
+                f"{fmt_date(reg.expires, 'iso')}",
+                "date",
+            ),
+            Row(f"Registrar: {reg.registrar_name}", "registrar"),
+            Row(f"Registrar IANA ID: {reg.registrar_iana_id}", "registrar"),
+            Row(f"Registrant ID: {contact.handle}", "registrant", "id"),
+            Row(f"Registrant Name: {contact.name}", "registrant", "name"),
+            Row(f"Registrant Organization: {contact.org}", "registrant", "org"),
+            Row(f"Registrant Street: {contact.street}", "registrant", "street"),
+            Row(f"Registrant City: {contact.city}", "registrant", "city"),
+            Row(f"Registrant Province: {contact.state}", "registrant", "state"),
+            Row(f"Registrant Postal Code: {contact.postcode}", "registrant", "postcode"),
+        ]
+        if contact.country_display:
+            rows.append(
+                Row(f"Registrant Country: {contact.country_display}",
+                    "registrant", "country")
+            )
+        rows.append(Row(f"Registrant Phone: {contact.phone}", "registrant", "phone"))
+        rows.append(Row(f"Registrant Email: {contact.email}", "registrant", "email"))
+        rows.append(Row(f"Admin Name: {reg.admin.name}", "other"))
+        rows.append(Row(f"Admin Email: {reg.admin.email}", "other"))
+        rows.append(Row(f"Tech Name: {reg.tech.name}", "other"))
+        rows.append(Row(f"Tech Email: {reg.tech.email}", "other"))
+        rows.extend(
+            Row(f"Name Server: {ns}", "domain") for ns in reg.name_servers
+        )
+        rows.extend(
+            Row(f"Domain Status: {status}", "domain") for status in reg.statuses
+        )
+        rows.append(
+            Row(
+                "Please register your domains at http://www.bizcn.com/",
+                "null",
+            )
+        )
+        return build_record(reg, rows, family=self.name)

@@ -1,0 +1,168 @@
+"""Legacy dot-leader and uppercase schema families (Register.com era)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.datagen.registration import Registration
+from repro.datagen.schemas.base import Row, SchemaFamily, blank, build_record, fmt_date
+from repro.whois.records import LabeledRecord
+
+
+class DotleaderFamily(SchemaFamily):
+    """Register.com: organization block up top, dot-leader dates below."""
+
+    name = "dotleader"
+
+    def render(
+        self, registration: Registration, rng: random.Random, *, version: int = 1
+    ) -> LabeledRecord:
+        self._check_version(version)
+        reg = registration
+        contact = reg.registrant
+        rows: list[Row] = [
+            Row("Organization:", "registrant", "other"),
+            Row(f"   {contact.org}", "registrant", "org"),
+            Row(f"   {contact.name}", "registrant", "name"),
+            Row(f"   {contact.street}", "registrant", "street"),
+            Row(f"   {contact.city}, {contact.state} {contact.postcode}",
+                "registrant", "city"),
+        ]
+        if contact.country_display:
+            rows.append(Row(f"   {contact.country_display}", "registrant", "country"))
+        rows.append(Row(f"   Phone: {contact.phone}", "registrant", "phone"))
+        rows.append(Row(f"   Email: {contact.email}", "registrant", "email"))
+        rows.append(blank())
+        rows.append(Row(f"Registrar of Record: {reg.registrar_name.upper()}",
+                        "registrar"))
+        rows.append(
+            Row(f"Record last updated on..............: "
+                f"{fmt_date(reg.updated, 'dmy_abbr')}", "date")
+        )
+        rows.append(
+            Row(f"Record expires on...................: "
+                f"{fmt_date(reg.expires, 'dmy_abbr')}", "date")
+        )
+        rows.append(
+            Row(f"Record created on...................: "
+                f"{fmt_date(reg.created, 'dmy_abbr')}", "date")
+        )
+        rows.append(blank())
+        rows.append(Row(f"Domain Name: {reg.domain.upper()}", "domain"))
+        rows.append(Row("Domain servers in listed order:", "domain"))
+        rows.extend(Row(f"   {ns.upper()}", "domain") for ns in reg.name_servers)
+        rows.append(blank())
+        rows.append(
+            Row(f"Domain status: {reg.statuses[0]}", "domain")
+        )
+        rows.append(blank())
+        rows.append(Row("Administrative Contact:", "other"))
+        rows.append(Row(f"   {reg.admin.name}", "other"))
+        rows.append(Row(f"   Phone: {reg.admin.phone}", "other"))
+        rows.append(Row(f"   Email: {reg.admin.email}", "other"))
+        rows.append(blank())
+        rows.append(
+            Row("The data in Register.com's WHOIS database is provided to "
+                "you by Register.com", "null")
+        )
+        rows.append(
+            Row("for information purposes only, that is, to assist you in "
+                "obtaining information", "null")
+        )
+        rows.append(Row("about or related to a domain name registration record.",
+                        "null"))
+        return build_record(reg, rows, family=self.name)
+
+
+class MelbourneFamily(SchemaFamily):
+    """Melbourne IT: dot-padded titles, repeated ``Organisation Address`` lines."""
+
+    name = "melbourneit"
+
+    @staticmethod
+    def _kv(title: str, value: str, block: str, sub: str | None = None) -> Row:
+        return Row(f"{title} ".ljust(26, ".") + f" {value}", block, sub)
+
+    def render(
+        self, registration: Registration, rng: random.Random, *, version: int = 1
+    ) -> LabeledRecord:
+        self._check_version(version)
+        reg = registration
+        contact = reg.registrant
+        kv = self._kv
+        rows: list[Row] = [
+            kv("Domain Name", reg.domain, "domain"),
+            kv("Creation Date", fmt_date(reg.created, "iso"), "date"),
+            kv("Registration Date", fmt_date(reg.created, "iso"), "date"),
+            kv("Expiry Date", fmt_date(reg.expires, "iso"), "date"),
+            kv("Organisation Name", contact.name, "registrant", "name"),
+            kv("Organisation Address", contact.street, "registrant", "street"),
+            kv("Organisation Address", contact.city, "registrant", "city"),
+            kv("Organisation Address", contact.postcode, "registrant", "postcode"),
+            kv("Organisation Address", contact.state, "registrant", "state"),
+        ]
+        if contact.country_display:
+            rows.append(
+                kv("Organisation Address", contact.country_display.upper(),
+                   "registrant", "country")
+            )
+        rows.append(blank())
+        rows.append(kv("Registrar Name", reg.registrar_name, "registrar"))
+        rows.append(kv("Registrar URL", reg.registrar_url, "registrar"))
+        rows.append(blank())
+        rows.append(kv("Admin Name", reg.admin.name, "other"))
+        rows.append(kv("Admin Address", reg.admin.street, "other"))
+        rows.append(kv("Admin Email", reg.admin.email, "other"))
+        rows.append(kv("Admin Phone", reg.admin.phone, "other"))
+        rows.append(blank())
+        rows.append(kv("Tech Name", reg.tech.name, "other"))
+        rows.append(kv("Tech Email", reg.tech.email, "other"))
+        for ns in reg.name_servers:
+            rows.append(kv("Name Server", ns, "domain"))
+        return build_record(reg, rows, family=self.name)
+
+
+class MonikerFamily(SchemaFamily):
+    """Moniker: uppercase banner, bracketed registrant id, terse dates."""
+
+    name = "moniker"
+
+    def render(
+        self, registration: Registration, rng: random.Random, *, version: int = 1
+    ) -> LabeledRecord:
+        self._check_version(version)
+        reg = registration
+        contact = reg.registrant
+        rows: list[Row] = [
+            Row("The Data in Moniker's WHOIS database is provided for "
+                "information purposes only.", "null"),
+            blank(),
+            Row(f"Domain Name: {reg.domain.upper()}", "domain"),
+            Row(f"Registrar: {reg.registrar_name}", "registrar"),
+            blank(),
+            Row(f"Registrant [{contact.handle}]:", "registrant", "id"),
+            Row(f"    {contact.name}", "registrant", "name"),
+            Row(f"    {contact.org}", "registrant", "org"),
+            Row(f"    {contact.street}", "registrant", "street"),
+            Row(f"    {contact.city}, {contact.state} {contact.postcode}",
+                "registrant", "city"),
+        ]
+        if contact.country_display:
+            rows.append(Row(f"    {contact.country_code}", "registrant", "country"))
+        rows.append(blank())
+        rows.append(Row(f"Administrative Contact [{reg.admin.handle}]:", "other"))
+        rows.append(Row(f"    {reg.admin.name}", "other"))
+        rows.append(Row(f"    {reg.admin.email}", "other"))
+        rows.append(Row(f"    {reg.admin.phone}", "other"))
+        rows.append(blank())
+        rows.append(Row(f"Record created on: {fmt_date(reg.created, 'iso')}",
+                        "date"))
+        rows.append(Row(f"Record expires on: {fmt_date(reg.expires, 'iso')}",
+                        "date"))
+        rows.append(Row(f"Database last updated on: {fmt_date(reg.updated, 'iso')}",
+                        "date"))
+        rows.append(blank())
+        rows.append(Row("Domain servers in listed order:", "domain"))
+        rows.extend(Row(f"    {ns.upper()}", "domain") for ns in reg.name_servers)
+        rows.append(Row(f"Domain Status: {reg.statuses[0]}", "domain"))
+        return build_record(reg, rows, family=self.name)

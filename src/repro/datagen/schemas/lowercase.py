@@ -1,0 +1,104 @@
+"""Lowercase ``key: value`` schema families (1&1 and joker-style registrars)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.datagen.registration import Registration
+from repro.datagen.schemas.base import Row, SchemaFamily, blank, build_record, fmt_date
+from repro.whois.records import LabeledRecord
+
+
+class OneandoneFamily(SchemaFamily):
+    """1&1: RIPE-flavoured lowercase keys with an ``owner`` contact block."""
+
+    name = "oneandone"
+
+    def render(
+        self, registration: Registration, rng: random.Random, *, version: int = 1
+    ) -> LabeledRecord:
+        self._check_version(version)
+        reg = registration
+        contact = reg.registrant
+
+        def kv(key: str, value: str, block: str, sub: str | None = None) -> Row:
+            return Row(f"{key}:".ljust(14) + value, block, sub)
+
+        rows: list[Row] = [
+            Row("%% 1&1 Internet AG whois service", "null"),
+            Row("%% for more information use http://registrar.1und1.info",
+                "null"),
+            blank(),
+            kv("domain", reg.domain, "domain"),
+            kv("created", fmt_date(reg.created, "iso"), "date"),
+            kv("last-changed", fmt_date(reg.updated, "iso"), "date"),
+            kv("registrar", reg.registrar_name, "registrar"),
+            kv("registrar-url", reg.registrar_url, "registrar"),
+        ]
+        rows.extend(kv("nserver", ns, "domain") for ns in reg.name_servers)
+        rows.append(kv("status", reg.statuses[0], "domain"))
+        rows.append(blank())
+        rows.append(kv("owner", contact.name, "registrant", "name"))
+        rows.append(kv("organization", contact.org, "registrant", "org"))
+        rows.append(kv("address", contact.street, "registrant", "street"))
+        rows.append(kv("city", contact.city, "registrant", "city"))
+        rows.append(kv("pcode", contact.postcode, "registrant", "postcode"))
+        if contact.country_display:
+            rows.append(kv("country", contact.country_code, "registrant", "country"))
+        rows.append(kv("phone", contact.phone, "registrant", "phone"))
+        rows.append(kv("email", contact.email, "registrant", "email"))
+        rows.append(blank())
+        rows.append(kv("admin-c", reg.admin.email, "other"))
+        rows.append(kv("tech-c", reg.tech.email, "other"))
+        return build_record(reg, rows, family=self.name)
+
+
+class GenericBFamily(SchemaFamily):
+    """Joker-style minimal lowercase schema, shared by several registrars.
+
+    Key spellings vary per registrar (``owner``/``holder``, ``expires``/
+    ``paid-till``...), seeded deterministically by the registrar name.
+    """
+
+    name = "generic_b"
+
+    def render(
+        self, registration: Registration, rng: random.Random, *, version: int = 1
+    ) -> LabeledRecord:
+        self._check_version(version)
+        reg = registration
+        contact = reg.registrant
+        variant = random.Random(f"template-variant-b:{reg.registrar_name}")
+        owner_key = variant.choice(("owner", "holder", "person"))
+        created_key = variant.choice(("created", "registered", "creation-date"))
+        expires_key = variant.choice(("expires", "paid-till", "valid-until"))
+        email_key = variant.choice(("e-mail", "email", "mail"))
+        ns_key = variant.choice(("nserver", "dns", "nameserver"))
+        rows: list[Row] = [
+            Row(f"domain: {reg.domain}", "domain"),
+            Row(f"status: {reg.statuses[0].lower()}", "domain"),
+            Row(f"{owner_key}: {contact.name}", "registrant", "name"),
+            Row(f"organization: {contact.org}", "registrant", "org"),
+            Row(f"address: {contact.street}", "registrant", "street"),
+            Row(f"city: {contact.city}", "registrant", "city"),
+            Row(f"state: {contact.state}", "registrant", "state"),
+            Row(f"postal-code: {contact.postcode}", "registrant", "postcode"),
+        ]
+        if contact.country_display:
+            rows.append(Row(f"country: {contact.country_code}",
+                            "registrant", "country"))
+        rows.append(Row(f"phone: {contact.phone}", "registrant", "phone"))
+        rows.append(Row(f"{email_key}: {contact.email}", "registrant", "email"))
+        rows.append(Row(f"admin-c: {reg.admin.handle}", "other"))
+        rows.append(Row(f"tech-c: {reg.tech.handle}", "other"))
+        rows.extend(Row(f"{ns_key}: {ns}", "domain") for ns in reg.name_servers)
+        rows.append(Row(f"{created_key}: {fmt_date(reg.created, 'iso')}", "date"))
+        rows.append(Row(f"modified: {fmt_date(reg.updated, 'iso')}", "date"))
+        rows.append(Row(f"{expires_key}: {fmt_date(reg.expires, 'iso')}", "date"))
+        rows.append(Row(f"source: {reg.registrar_name}", "registrar"))
+        rows.append(blank())
+        rows.append(
+            Row("% The whois service is provided for information purposes only.",
+                "null")
+        )
+        return build_record(reg, rows, family=self.name)

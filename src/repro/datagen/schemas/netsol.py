@@ -1,0 +1,155 @@
+"""Indented-block schema families: Network Solutions and Tucows/OpenSRS."""
+
+from __future__ import annotations
+
+import random
+
+from repro.datagen.entities import Contact
+from repro.datagen.registration import Registration
+from repro.datagen.schemas.base import Row, SchemaFamily, blank, build_record, fmt_date
+from repro.whois.records import LabeledRecord
+
+
+class NetsolFamily(SchemaFamily):
+    """Network Solutions: bare ``Registrant:`` header, indented address block."""
+
+    name = "netsol"
+
+    def render(
+        self, registration: Registration, rng: random.Random, *, version: int = 1
+    ) -> LabeledRecord:
+        self._check_version(version)
+        reg = registration
+        contact = reg.registrant
+        rows: list[Row] = [
+            Row(f"Registrant:", "registrant", "other"),
+            Row(f"   {contact.org}", "registrant", "org"),
+            Row(f"   {contact.name}", "registrant", "name"),
+            Row(f"   {contact.street}", "registrant", "street"),
+            Row(f"   {contact.city}, {contact.state} {contact.postcode}",
+                "registrant", "city"),
+        ]
+        if contact.country_display:
+            rows.append(Row(f"   {contact.country_display}", "registrant", "country"))
+        rows.append(blank())
+        rows.append(Row(f"   Domain Name: {reg.domain.upper()}", "domain"))
+        rows.append(blank())
+        rows.append(Row(f"   Registrar: {reg.registrar_name}", "registrar"))
+        rows.append(Row(f"   Registrar URL: {reg.registrar_url}", "registrar"))
+        rows.append(blank())
+        admin = reg.admin
+        rows.append(
+            Row("   Administrative Contact, Technical Contact:", "other")
+        )
+        last_first = ", ".join(reversed(admin.name.rsplit(" ", 1)))
+        rows.append(Row(f"      {last_first}  {admin.email}", "other"))
+        rows.append(Row(f"      {admin.street}", "other"))
+        rows.append(
+            Row(f"      {admin.city}, {admin.state} {admin.postcode}", "other")
+        )
+        rows.append(Row(f"      {admin.phone}", "other"))
+        rows.append(blank())
+        rows.append(
+            Row(f"   Record expires on {fmt_date(reg.expires, 'dmy_abbr')}.", "date")
+        )
+        rows.append(
+            Row(f"   Record created on {fmt_date(reg.created, 'dmy_abbr')}.", "date")
+        )
+        rows.append(
+            Row(
+                f"   Database last updated on {fmt_date(reg.updated, 'dmy_abbr')}.",
+                "date",
+            )
+        )
+        rows.append(blank())
+        rows.append(Row("   Domain servers in listed order:", "domain"))
+        rows.append(blank())
+        for ns in reg.name_servers:
+            rows.append(Row(f"      {ns.upper()}", "domain"))
+        rows.append(blank())
+        rows.append(
+            Row(
+                "NOTICE AND TERMS OF USE: You are not authorized to access or "
+                "query our WHOIS",
+                "null",
+            )
+        )
+        rows.append(
+            Row(
+                "database through the use of high-volume, automated, "
+                "electronic processes.",
+                "null",
+            )
+        )
+        return build_record(reg, rows, family=self.name)
+
+
+class TucowsFamily(SchemaFamily):
+    """Tucows/OpenSRS: compact indented blocks with one-space indents."""
+
+    name = "tucows"
+
+    def _contact(self, header: str, contact: Contact, block: str,
+                 *, sub_labels: bool) -> list[Row]:
+        def sub(name: str) -> str | None:
+            return name if sub_labels else None
+
+        rows = [Row(f"{header}:", block, sub("other"))]
+        rows.append(Row(f" {contact.name}", block, sub("name")))
+        rows.append(Row(f" {contact.org}", block, sub("org")))
+        rows.append(Row(f" {contact.street}", block, sub("street")))
+        rows.append(
+            Row(f" {contact.city}, {contact.state} {contact.postcode}",
+                block, sub("city"))
+        )
+        if contact.country_display:
+            rows.append(Row(f" {contact.country_display}", block, sub("country")))
+        rows.append(Row(f" Phone: {contact.phone}", block, sub("phone")))
+        rows.append(Row(f" Email: {contact.email}", block, sub("email")))
+        return rows
+
+    def render(
+        self, registration: Registration, rng: random.Random, *, version: int = 1
+    ) -> LabeledRecord:
+        self._check_version(version)
+        reg = registration
+        rows: list[Row] = []
+        rows.extend(
+            self._contact("Registrant", reg.registrant, "registrant",
+                          sub_labels=True)
+        )
+        rows.append(blank())
+        rows.append(Row(f"Domain name: {reg.domain}", "domain"))
+        rows.append(blank())
+        rows.extend(
+            self._contact("Administrative Contact", reg.admin, "other",
+                          sub_labels=False)
+        )
+        rows.append(blank())
+        rows.extend(
+            self._contact("Technical Contact", reg.tech, "other",
+                          sub_labels=False)
+        )
+        rows.append(blank())
+        rows.append(Row(f"Registration Service Provider:", "registrar"))
+        rows.append(Row(f" {reg.registrar_name}, {reg.registrar_url}", "registrar"))
+        rows.append(blank())
+        rows.append(Row(f"Registrar of Record: {reg.registrar_name}", "registrar"))
+        rows.append(
+            Row(f"Record last updated on {fmt_date(reg.updated, 'dmy_abbr')}.",
+                "date")
+        )
+        rows.append(
+            Row(f"Record expires on {fmt_date(reg.expires, 'dmy_abbr')}.", "date")
+        )
+        rows.append(
+            Row(f"Record created on {fmt_date(reg.created, 'dmy_abbr')}.", "date")
+        )
+        rows.append(blank())
+        rows.append(Row("Domain servers in listed order:", "domain"))
+        rows.extend(Row(f" {ns}", "domain") for ns in reg.name_servers)
+        rows.append(blank())
+        rows.append(
+            Row(f"Domain status: {reg.statuses[0]}", "domain")
+        )
+        return build_record(reg, rows, family=self.name)

@@ -1,0 +1,68 @@
+"""Registry mapping family names to renderer instances."""
+
+from __future__ import annotations
+
+from repro.datagen.schemas.asia_styles import GmoFamily, HichinaFamily, XinnetFamily
+from repro.datagen.schemas.base import SchemaFamily
+from repro.datagen.schemas.enom import EnomFamily
+from repro.datagen.schemas.european import GandiFamily, OvhFamily, RrpproxyFamily
+from repro.datagen.schemas.generic import (
+    DreamhostFamily,
+    GenericAFamily,
+    GenericCFamily,
+    OddFamily,
+)
+from repro.datagen.schemas.icann import (
+    BizcnFamily,
+    FastdomainFamily,
+    GodaddyFamily,
+    NamecomFamily,
+)
+from repro.datagen.schemas.legacy import (
+    DotleaderFamily,
+    MelbourneFamily,
+    MonikerFamily,
+)
+from repro.datagen.schemas.lowercase import GenericBFamily, OneandoneFamily
+from repro.datagen.schemas.netsol import NetsolFamily, TucowsFamily
+
+_INSTANCES: tuple[SchemaFamily, ...] = (
+    GodaddyFamily(),
+    FastdomainFamily(),
+    NamecomFamily(),
+    BizcnFamily(),
+    EnomFamily(),
+    NetsolFamily(),
+    TucowsFamily(),
+    HichinaFamily(),
+    XinnetFamily(),
+    GmoFamily(),
+    DotleaderFamily(),
+    MelbourneFamily(),
+    MonikerFamily(),
+    OneandoneFamily(),
+    GenericAFamily(),
+    GenericBFamily(),
+    GenericCFamily(),
+    DreamhostFamily(),
+    OddFamily(),
+    GandiFamily(),
+    OvhFamily(),
+    RrpproxyFamily(),
+)
+
+FAMILIES: dict[str, SchemaFamily] = {family.name: family for family in _INSTANCES}
+
+#: registrar schema keys that are aliases of another family's renderer
+_ALIASES = {
+    "namecheap": "enom",
+    "pdr": "generic_a",
+}
+
+
+def family_by_name(name: str) -> SchemaFamily:
+    key = _ALIASES.get(name, name)
+    try:
+        return FAMILIES[key]
+    except KeyError as exc:
+        raise KeyError(f"unknown schema family {name!r}") from exc

@@ -1,0 +1,71 @@
+"""Verisign-style thin registry records for com (Section 2.2).
+
+The thin record carries only the registrar identity, dates, status, and
+name servers; crucially it names the registrar's WHOIS server, which the
+crawler must extract to fetch the thick record (Section 4.1).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.datagen.registration import Registration
+from repro.datagen.schemas.base import fmt_date
+
+_HEADER = (
+    "Whois Server Version 2.0",
+    "",
+    "Domain names in the .com and .net domains can now be registered",
+    "with many different competing registrars. Go to http://www.internic.net",
+    "for detailed information.",
+    "",
+)
+
+_FOOTER = (
+    "",
+    ">>> Last update of whois database: see above <<<",
+    "",
+    "NOTICE: The expiration date displayed in this record is the date the",
+    "registrar's sponsorship of the domain name registration in the registry is",
+    "currently set to expire.",
+    "",
+    "The Registry database contains ONLY .COM, .NET, .EDU domains and",
+    "Registrars.",
+)
+
+
+def render_thin(registration: Registration) -> str:
+    """The registry's (thin) response for one registered com domain."""
+    reg = registration
+    lines = list(_HEADER)
+    lines.append(f"   Domain Name: {reg.domain.upper()}")
+    lines.append(f"   Registrar: {reg.registrar_name.upper()}")
+    lines.append(f"   Sponsoring Registrar IANA ID: {reg.registrar_iana_id}")
+    lines.append(f"   Whois Server: {reg.registrar_whois_server}")
+    lines.append(f"   Referral URL: {reg.registrar_url}")
+    for ns in reg.name_servers:
+        lines.append(f"   Name Server: {ns.upper()}")
+    for status in reg.statuses:
+        lines.append(f"   Status: {status}")
+    lines.append(f"   Updated Date: {fmt_date(reg.updated, 'dmy_abbr').lower()}")
+    lines.append(f"   Creation Date: {fmt_date(reg.created, 'dmy_abbr').lower()}")
+    lines.append(f"   Expiration Date: {fmt_date(reg.expires, 'dmy_abbr').lower()}")
+    lines.extend(_FOOTER)
+    return "\n".join(lines)
+
+
+NO_MATCH = "No match for domain."
+
+_WHOIS_SERVER = re.compile(r"Whois Server:\s*(\S+)", re.IGNORECASE)
+_REGISTRAR = re.compile(r"^\s*Registrar:\s*(.+?)\s*$", re.IGNORECASE | re.MULTILINE)
+
+
+def extract_referral(thin_text: str) -> str | None:
+    """The registrar WHOIS server named by a thin record, if any."""
+    match = _WHOIS_SERVER.search(thin_text)
+    return match.group(1) if match else None
+
+
+def extract_registrar(thin_text: str) -> str | None:
+    match = _REGISTRAR.search(thin_text)
+    return match.group(1) if match else None

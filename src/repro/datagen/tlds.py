@@ -1,0 +1,519 @@
+"""New-gTLD thick-record templates for the Table 2 generalization study.
+
+Each of the twelve TLDs the paper samples (aero, asia, biz, coop, info,
+mobi, name, org, pro, travel, us, xxx) is operated by a single thick
+registry with one consistent template, so "it is enough to sample one WHOIS
+record from each TLD".  The templates below range from near-ICANN formats
+(info, org -- both parsers handle them) through moderately novel vocabulary
+(asia's CED fields, us address lines, travel's tab separators) to the
+genuinely weird dotCoop layout, mirroring the difficulty gradient of the
+paper's error counts.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+from repro.datagen.entities import Contact
+from repro.datagen.registration import Registration
+from repro.datagen.schemas.base import Row, blank, build_record, fmt_date
+from repro.whois.records import LabeledRecord
+
+#: the example domain the paper lists for each TLD
+EXAMPLE_DOMAINS: dict[str, str] = {
+    "aero": "bluemed.aero",
+    "asia": "islameyat.asia",
+    "biz": "aktivjob.biz",
+    "coop": "emheartcu.coop",
+    "info": "travelmarche.info",
+    "mobi": "amxich.mobi",
+    "name": "emrich.name",
+    "org": "fekrtna.org",
+    "pro": "olbrich.pro",
+    "travel": "tabacon.travel",
+    "us": "vc4.us",
+    "xxx": "celly.xxx",
+}
+
+#: registry operator shown in each TLD's records
+REGISTRY_OPERATORS: dict[str, str] = {
+    "aero": "SITA SC (Afilias platform)",
+    "asia": "DotAsia Organisation",
+    "biz": "Neustar, Inc.",
+    "coop": "DotCooperation LLC",
+    "info": "Afilias Limited",
+    "mobi": "Afilias Technologies (dotMobi)",
+    "name": "Verisign Information Services",
+    "org": "Public Interest Registry",
+    "pro": "RegistryPro Ltd.",
+    "travel": "Tralliance Registry Management",
+    "us": "Neustar, Inc.",
+    "xxx": "ICM Registry LLC",
+}
+
+def _stable_id(domain: str) -> int:
+    """Registry object id derived from the domain, stable across processes
+    (``hash()`` varies with PYTHONHASHSEED)."""
+    return zlib.crc32(domain.encode()) % 10**8
+
+
+_LEGAL = (
+    "Access to the whois service is rate limited. Query results are provided",
+    "for informational purposes only and may be used solely to obtain",
+    "information about a domain name registration record. By submitting a",
+    "query you agree not to use the data to allow or enable high volume,",
+    "automated processes, or to support unsolicited commercial advertising.",
+    "The registry reserves the right to modify these terms at any time.",
+)
+
+
+def _afilias_contact(
+    prefix: str,
+    contact: Contact,
+    block: str,
+    *,
+    sub_labels: bool,
+    street_title: str = "Street1",
+) -> list[Row]:
+    """Afilias registry contact stanza (``Registrant Street1:`` etc.)."""
+
+    def sub(name: str) -> str | None:
+        return name if sub_labels else None
+
+    rows = [
+        Row(f"{prefix} ID:{contact.handle}", block, sub("id")),
+        Row(f"{prefix} Name:{contact.name}", block, sub("name")),
+        Row(f"{prefix} Organization:{contact.org}", block, sub("org")),
+        Row(f"{prefix} {street_title}:{contact.street}", block, sub("street")),
+        Row(f"{prefix} City:{contact.city}", block, sub("city")),
+        Row(f"{prefix} State/Province:{contact.state}", block, sub("state")),
+        Row(f"{prefix} Postal Code:{contact.postcode}", block, sub("postcode")),
+        Row(f"{prefix} Country:{contact.country_code or 'US'}", block, sub("country")),
+        Row(f"{prefix} Phone:{contact.phone}", block, sub("phone")),
+        Row(f"{prefix} FAX:{contact.fax or contact.phone}", block, sub("fax")),
+        Row(f"{prefix} Email:{contact.email}", block, sub("email")),
+    ]
+    return rows
+
+
+def _legal_rows() -> list[Row]:
+    return [Row(text, "null") for text in _LEGAL]
+
+
+def _afilias_style(
+    reg: Registration, *, tld: str, extra_domain_rows: list[Row] | None = None,
+    street_title: str = "Street1",
+) -> LabeledRecord:
+    rows: list[Row] = [
+        Row(f"Domain ID:D{_stable_id(reg.domain)}-LR{tld.upper()}", "domain"),
+        Row(f"Domain Name:{reg.domain.upper()}", "domain"),
+        Row(f"Created On:{fmt_date(reg.created, 'dmy_abbr')}", "date"),
+        Row(f"Last Updated On:{fmt_date(reg.updated, 'dmy_abbr')}", "date"),
+        Row(f"Expiration Date:{fmt_date(reg.expires, 'dmy_abbr')}", "date"),
+        Row(f"Sponsoring Registrar:{REGISTRY_OPERATORS[tld]}", "registrar"),
+    ]
+    # Registry-specific stanzas sit between the registrar and status lines,
+    # where their novel titles give context-inheriting rules no help.
+    if extra_domain_rows:
+        rows.extend(extra_domain_rows)
+    rows.extend(Row(f"Status:{s.upper()}", "domain") for s in reg.statuses)
+    rows.extend(
+        _afilias_contact("Registrant", reg.registrant, "registrant",
+                         sub_labels=True, street_title=street_title)
+    )
+    rows.extend(
+        _afilias_contact("Admin", reg.admin, "other", sub_labels=False,
+                         street_title=street_title)
+    )
+    rows.extend(
+        _afilias_contact("Tech", reg.tech, "other", sub_labels=False,
+                         street_title=street_title)
+    )
+    if reg.billing is not None:
+        rows.extend(
+            _afilias_contact("Billing", reg.billing, "other", sub_labels=False,
+                             street_title=street_title)
+        )
+    rows.extend(
+        Row(f"Name Server:{ns.upper()}", "domain") for ns in reg.name_servers
+    )
+    rows.append(Row(f"DNSSEC:{reg.dnssec}", "domain"))
+    rows.append(blank())
+    rows.extend(_legal_rows())
+    return build_record(reg, rows, family=f"tld_{tld}", tld=tld)
+
+
+# ----------------------------------------------------------------------
+# Per-TLD renderers
+# ----------------------------------------------------------------------
+
+
+def render_aero(reg: Registration, rng: random.Random) -> LabeledRecord:
+    """SITA aero: Afilias layout plus aviation-community lines whose titles
+    (Eligibility, Validity) fall outside the com vocabulary -- the source
+    of the few errors both parsers make here (4/99 vs 2/99 in Table 2)."""
+    extra = [
+        Row("Aviation Community Eligibility Verified", "domain"),
+        Row(f"Eligibility Validity Horizon {fmt_date(reg.expires, 'iso')}",
+            "date"),
+    ]
+    return _afilias_style(reg, tld="aero", extra_domain_rows=extra)
+
+
+def render_asia(reg: Registration, rng: random.Random) -> LabeledRecord:
+    """DotAsia: a ``Domain Dates`` stanza with unusual verbs (Commenced,
+    Lapses) plus the Charter Eligibility Declaration (CED) block whose
+    vocabulary exists nowhere in com."""
+    contact = reg.registrant
+    rows: list[Row] = [
+        Row(f"Domain ID:D{_stable_id(reg.domain)}-ASIA", "domain"),
+        Row(f"Domain Name:{reg.domain.upper()}", "domain"),
+        Row("Domain Dates:", "date"),
+        Row(f"   Commenced On {fmt_date(reg.created, 'dmy_abbr')}", "date"),
+        Row(f"   Amended On {fmt_date(reg.updated, 'dmy_abbr')}", "date"),
+        Row(f"   Lapses On {fmt_date(reg.expires, 'dmy_abbr')}", "date"),
+        Row(f"Sponsoring Registrar:{REGISTRY_OPERATORS['asia']}", "registrar"),
+    ]
+    rows.extend(Row(f"Domain Status:{s.upper()}", "domain") for s in reg.statuses)
+    rows.extend(
+        _afilias_contact("Registrant", contact, "registrant", sub_labels=True)
+    )
+    # The CED block is unique to .asia; its vocabulary exists nowhere in com.
+    rows.append(Row(f"Registrant CED ID:{contact.handle}", "registrant", "id"))
+    rows.append(
+        Row(f"Registrant CED CC Locality:{contact.country_code or 'CN'}",
+            "registrant", "country")
+    )
+    rows.append(
+        Row("Registrant CED Type:naturalPerson", "registrant", "other")
+    )
+    rows.append(
+        Row("Registrant CED Form of Legal Entity:Other", "registrant", "other")
+    )
+    rows.extend(_afilias_contact("Admin", reg.admin, "other", sub_labels=False))
+    rows.extend(_afilias_contact("Tech", reg.tech, "other", sub_labels=False))
+    rows.extend(
+        Row(f"Nameservers:{ns.upper()}", "domain") for ns in reg.name_servers
+    )
+    rows.append(blank())
+    rows.extend(_legal_rows())
+    return build_record(reg, rows, family="tld_asia", tld="asia")
+
+
+def render_biz(reg: Registration, rng: random.Random) -> LabeledRecord:
+    """Neustar biz: the us column layout (no separators) with numbered
+    address lines -- 36/82 rule-based errors in Table 2."""
+    contact = reg.registrant
+
+    def kv(title: str, value: str, block: str, sub: str | None = None) -> Row:
+        return Row(f"{title:<45}{value}", block, sub)
+
+    rows: list[Row] = [
+        kv("Domain Name", reg.domain.upper(), "domain"),
+        kv("Domain ID", f"D{rng.randint(10**6, 10**7)}-BIZ", "domain"),
+        kv("Sponsoring Registrar", REGISTRY_OPERATORS["biz"], "registrar"),
+        kv("Domain Status", reg.statuses[0], "domain"),
+        kv("Registrant ID", contact.handle, "registrant", "id"),
+        kv("Registrant Name", contact.name, "registrant", "name"),
+        kv("Registrant Organization", contact.org, "registrant", "org"),
+        kv("Registrant Address1", contact.street, "registrant", "street"),
+        kv("Registrant City", contact.city, "registrant", "city"),
+        kv("Registrant State/Province", contact.state, "registrant", "state"),
+        kv("Registrant Postal Code", contact.postcode, "registrant",
+           "postcode"),
+        kv("Registrant Country", contact.country_display or "United States",
+           "registrant", "country"),
+        kv("Registrant Country Code", contact.country_code or "US",
+           "registrant", "country"),
+        kv("Registrant Phone Number", contact.phone, "registrant", "phone"),
+        kv("Registrant Email", contact.email, "registrant", "email"),
+    ]
+    for role, c in (("Administrative Contact", reg.admin),
+                    ("Technical Contact", reg.tech)):
+        rows.append(kv(f"{role} ID", c.handle, "other"))
+        rows.append(kv(f"{role} Name", c.name, "other"))
+        rows.append(kv(f"{role} Email", c.email, "other"))
+        rows.append(kv(f"{role} Phone Number", c.phone, "other"))
+    rows.extend(
+        kv("Name Server", ns.upper(), "domain") for ns in reg.name_servers
+    )
+    rows.append(kv("Domain Registration Date",
+                   fmt_date(reg.created, "dmy_abbr"), "date"))
+    rows.append(kv("Domain Expiration Date",
+                   fmt_date(reg.expires, "dmy_abbr"), "date"))
+    rows.append(kv("Domain Last Updated Date",
+                   fmt_date(reg.updated, "dmy_abbr"), "date"))
+    rows.append(blank())
+    rows.extend(_legal_rows())
+    return build_record(reg, rows, family="tld_biz", tld="biz")
+
+
+def render_coop(reg: Registration, rng: random.Random) -> LabeledRecord:
+    """dotCoop: contact *type* appears as a value, not a title -- the layout
+    that defeats title-keyed rules (the paper's rule-based parser mislabels
+    91 of 127 lines here)."""
+    rows: list[Row] = [
+        Row("%% dotCoop WHOIS server", "null"),
+        Row("%% The .coop registry is operated by DotCooperation LLC", "null"),
+        blank(),
+        Row(f"Domain: {reg.domain}", "domain"),
+        Row(f"Verification Status: cooperative verified", "domain"),
+        Row(f"Registered: {fmt_date(reg.created, 'iso')}", "date"),
+        Row(f"Renewal: {fmt_date(reg.expires, 'iso')}", "date"),
+        Row(f"Maintained By: {REGISTRY_OPERATORS['coop']}", "registrar"),
+        blank(),
+    ]
+
+    def contact_stanza(kind: str, contact: Contact, block: str,
+                       sub_labels: bool) -> list[Row]:
+        def sub(name: str) -> str | None:
+            return name if sub_labels else None
+
+        stanza = [
+            Row("Contact", block, sub("other")),
+            Row(f"   Type           {kind}", block, sub("other")),
+            Row(f"   Handle         {contact.handle}", block, sub("id")),
+            Row(f"   Individual     {contact.name}", block, sub("name")),
+            Row(f"   Cooperative    {contact.org}", block, sub("org")),
+            Row(f"   Location       {contact.street}", block, sub("street")),
+            Row(f"                  {contact.city} {contact.state}", block,
+                sub("city")),
+            Row(f"                  {contact.postcode}", block, sub("postcode")),
+            Row(f"                  {contact.country_display or 'United States'}",
+                block, sub("country")),
+            Row(f"   Voice          {contact.phone}", block, sub("phone")),
+            Row(f"   Mail           {contact.email}", block, sub("email")),
+        ]
+        stanza.append(blank())
+        return stanza
+
+    rows.extend(contact_stanza("registrant", reg.registrant, "registrant", True))
+    rows.extend(contact_stanza("admin", reg.admin, "other", False))
+    rows.extend(contact_stanza("tech", reg.tech, "other", False))
+    if reg.billing is not None:
+        rows.extend(contact_stanza("billing", reg.billing, "other", False))
+    rows.append(Row("Hosts", "domain"))
+    rows.extend(Row(f"   {ns}", "domain") for ns in reg.name_servers)
+    rows.append(blank())
+    rows.extend(_legal_rows())
+    return build_record(reg, rows, family="tld_coop", tld="coop")
+
+
+def render_info(reg: Registration, rng: random.Random) -> LabeledRecord:
+    """Afilias info: essentially the ICANN standard -- both parser types
+    handle it (0 errors in Table 2)."""
+    contact = reg.registrant
+    rows: list[Row] = [
+        Row(f"Domain Name: {reg.domain.upper()}", "domain"),
+        Row(f"Registry Domain ID: D{rng.randint(10**7, 10**8)}-LRMS", "domain"),
+        Row(f"Registrar: {REGISTRY_OPERATORS['info']}", "registrar"),
+        Row(f"Registrar IANA ID: 1", "registrar"),
+        Row(f"Updated Date: {fmt_date(reg.updated, 'iso_time')}", "date"),
+        Row(f"Creation Date: {fmt_date(reg.created, 'iso_time')}", "date"),
+        Row(f"Registry Expiry Date: {fmt_date(reg.expires, 'iso_time')}", "date"),
+        Row(f"Domain Status: {reg.statuses[0]}", "domain"),
+        Row(f"Registrant Name: {contact.name}", "registrant", "name"),
+        Row(f"Registrant Organization: {contact.org}", "registrant", "org"),
+        Row(f"Registrant Street: {contact.street}", "registrant", "street"),
+        Row(f"Registrant City: {contact.city}", "registrant", "city"),
+        Row(f"Registrant State/Province: {contact.state}", "registrant", "state"),
+        Row(f"Registrant Postal Code: {contact.postcode}", "registrant",
+            "postcode"),
+        Row(f"Registrant Country: {contact.country_display or 'United States'}",
+            "registrant", "country"),
+        Row(f"Registrant Phone: {contact.phone}", "registrant", "phone"),
+        Row(f"Registrant Email: {contact.email}", "registrant", "email"),
+        Row(f"Admin Name: {reg.admin.name}", "other"),
+        Row(f"Admin Email: {reg.admin.email}", "other"),
+        Row(f"Tech Name: {reg.tech.name}", "other"),
+        Row(f"Tech Email: {reg.tech.email}", "other"),
+    ]
+    rows.extend(
+        Row(f"Name Server: {ns.upper()}", "domain") for ns in reg.name_servers
+    )
+    rows.append(Row(f"DNSSEC: {reg.dnssec}", "domain"))
+    rows.append(blank())
+    rows.extend(_legal_rows())
+    return build_record(reg, rows, family="tld_info", tld="info")
+
+
+def render_mobi(reg: Registration, rng: random.Random) -> LabeledRecord:
+    extra = [Row("Mobile Compliance:checked", "domain")]
+    record = _afilias_style(reg, tld="mobi", extra_domain_rows=extra)
+    return record
+
+
+def render_name(reg: Registration, rng: random.Random) -> LabeledRecord:
+    """Verisign name: the shortest of the new TLD records (28 lines)."""
+    contact = reg.registrant
+    rows: list[Row] = [
+        Row(f"Domain Name: {reg.domain}", "domain"),
+        Row(f"Registry Domain ID: {rng.randint(10**6, 10**7)}", "domain"),
+        Row(f"Sponsoring Registrar: {REGISTRY_OPERATORS['name']}", "registrar"),
+        Row(f"Domain Status: {reg.statuses[0]}", "domain"),
+        Row(f"Registrant Name: {contact.name}", "registrant", "name"),
+        Row(f"Registrant Street: {contact.street}", "registrant", "street"),
+        Row(f"Registrant City: {contact.city}", "registrant", "city"),
+        Row(f"Registrant Postal Code: {contact.postcode}", "registrant",
+            "postcode"),
+        Row(f"Registrant Country: {contact.country_code or 'US'}",
+            "registrant", "country"),
+        Row(f"Registrant Email: {contact.email}", "registrant", "email"),
+        Row(f"Name Server: {reg.name_servers[0]}", "domain"),
+        Row(f"Name Server: {reg.name_servers[-1]}", "domain"),
+        Row(f"Renewed On: {fmt_date(reg.updated, 'iso')}", "date"),
+        Row(f"Created On: {fmt_date(reg.created, 'iso')}", "date"),
+        Row(f"Expires On: {fmt_date(reg.expires, 'iso')}", "date"),
+        blank(),
+        Row("Queries are rate limited; see http://www.verisign.com/", "null"),
+    ]
+    return build_record(reg, rows, family="tld_name", tld="name")
+
+
+def render_org(reg: Registration, rng: random.Random) -> LabeledRecord:
+    """PIR org thick record: the info layout under the PIR banner
+    (ICANN standard; 0 errors for both parsers in Table 2)."""
+    record = render_info(reg, rng)
+    raw = [ln.replace(REGISTRY_OPERATORS["info"], REGISTRY_OPERATORS["org"])
+           for ln in record.raw_lines]
+    lines = [
+        type(line)(
+            text=line.text.replace(REGISTRY_OPERATORS["info"],
+                                   REGISTRY_OPERATORS["org"]),
+            block=line.block,
+            sub=line.sub,
+        )
+        for line in record.lines
+    ]
+    return LabeledRecord(
+        domain=reg.domain, raw_lines=raw, lines=lines, tld="org",
+        registrar=REGISTRY_OPERATORS["org"], schema_family="tld_org",
+    )
+
+
+def render_pro(reg: Registration, rng: random.Random) -> LabeledRecord:
+    """RegistryPro: Afilias layout plus profession credential lines."""
+    extra = [
+        Row("Profession:Attorney", "domain"),
+        Row("Credential Authority:State Bar", "domain"),
+    ]
+    return _afilias_style(reg, tld="pro", extra_domain_rows=extra)
+
+
+def render_travel(reg: Registration, rng: random.Random) -> LabeledRecord:
+    """Tralliance travel: uppercase keys with ``=`` separators.
+
+    ``=`` is not a separator com rule parsers know, so every line looks like
+    bare prose to them -- the mechanism behind the 34/80 rule-based errors
+    in Table 2.
+    """
+    contact = reg.registrant
+
+    def kv(title: str, value: str, block: str, sub: str | None = None) -> Row:
+        return Row(f"{title} = {value}", block, sub)
+
+    rows: list[Row] = [
+        kv("DOMAIN", reg.domain.upper(), "domain"),
+        kv("REGISTRY", REGISTRY_OPERATORS["travel"], "registrar"),
+        kv("CREATED", fmt_date(reg.created, "iso"), "date"),
+        kv("MODIFIED", fmt_date(reg.updated, "iso"), "date"),
+        kv("EXPIRES", fmt_date(reg.expires, "iso"), "date"),
+        kv("STATUS", reg.statuses[0].upper(), "domain"),
+        blank(),
+        kv("REGISTRANT NAME", contact.name, "registrant", "name"),
+        kv("REGISTRANT ORGANIZATION", contact.org, "registrant", "org"),
+        kv("REGISTRANT ADDRESS", contact.street, "registrant", "street"),
+        kv("REGISTRANT CITY", contact.city, "registrant", "city"),
+        kv("REGISTRANT STATE", contact.state, "registrant", "state"),
+        kv("REGISTRANT POSTCODE", contact.postcode, "registrant", "postcode"),
+        kv("REGISTRANT COUNTRY", contact.country_display or "United States",
+           "registrant", "country"),
+        kv("REGISTRANT PHONE", contact.phone, "registrant", "phone"),
+        kv("REGISTRANT EMAIL", contact.email, "registrant", "email"),
+        blank(),
+        kv("ADMIN NAME", reg.admin.name, "other"),
+        kv("ADMIN EMAIL", reg.admin.email, "other"),
+        kv("TECH NAME", reg.tech.name, "other"),
+        kv("TECH EMAIL", reg.tech.email, "other"),
+        blank(),
+    ]
+    rows.extend(kv("NAMESERVER", ns.upper(), "domain") for ns in reg.name_servers)
+    rows.append(blank())
+    rows.extend(_legal_rows())
+    return build_record(reg, rows, family="tld_travel", tld="travel")
+
+
+def render_us(reg: Registration, rng: random.Random) -> LabeledRecord:
+    """Neustar us: fixed-width columns with NO colon separator.
+
+    Titles and values are separated by space padding alone, which defeats
+    separator-keyed rules entirely (Table 2: 38/88 rule-based errors).
+    """
+    contact = reg.registrant
+
+    def kv(title: str, value: str, block: str, sub: str | None = None) -> Row:
+        return Row(f"{title:<42}{value}", block, sub)
+
+    rows: list[Row] = [
+        kv("Domain Name", reg.domain.upper(), "domain"),
+        kv("Domain ID", f"D{rng.randint(10**7, 10**8)}-US", "domain"),
+        kv("Sponsoring Registrar", REGISTRY_OPERATORS["us"], "registrar"),
+        kv("Registrant ID", contact.handle, "registrant", "id"),
+        kv("Registrant Name", contact.name, "registrant", "name"),
+        kv("Registrant Organization", contact.org, "registrant", "org"),
+        kv("Registrant Address1", contact.street, "registrant", "street"),
+        kv("Registrant Address2", f"Suite {rng.randint(1, 400)}",
+           "registrant", "street"),
+        kv("Registrant City", contact.city, "registrant", "city"),
+        kv("Registrant State/Province", contact.state, "registrant", "state"),
+        kv("Registrant Postal Code", contact.postcode, "registrant",
+           "postcode"),
+        kv("Registrant Country", contact.country_display or "United States",
+           "registrant", "country"),
+        kv("Registrant Country Code", contact.country_code or "US",
+           "registrant", "country"),
+        kv("Registrant Phone Number", contact.phone, "registrant", "phone"),
+        kv("Registrant Email", contact.email, "registrant", "email"),
+        kv("Registrant Application Purpose", "P1", "registrant", "other"),
+        kv("Registrant Nexus Category", "C11", "registrant", "other"),
+    ]
+    for role, c in (("Administrative Contact", reg.admin),
+                    ("Technical Contact", reg.tech),
+                    ("Billing Contact", reg.billing or reg.admin)):
+        rows.append(kv(f"{role} ID", c.handle, "other"))
+        rows.append(kv(f"{role} Name", c.name, "other"))
+        rows.append(kv(f"{role} Email", c.email, "other"))
+        rows.append(kv(f"{role} Phone Number", c.phone, "other"))
+    rows.extend(
+        kv("Name Server", ns.upper(), "domain") for ns in reg.name_servers
+    )
+    rows.append(kv("Domain Registration Date",
+                   fmt_date(reg.created, "dmy_abbr"), "date"))
+    rows.append(kv("Domain Expiration Date",
+                   fmt_date(reg.expires, "dmy_abbr"), "date"))
+    rows.append(blank())
+    rows.extend(_legal_rows())
+    return build_record(reg, rows, family="tld_us", tld="us")
+
+
+def render_xxx(reg: Registration, rng: random.Random) -> LabeledRecord:
+    extra = [Row("Membership Status:approved member of the Sponsored Community",
+                 "domain")]
+    return _afilias_style(reg, tld="xxx", extra_domain_rows=extra)
+
+
+NEW_TLDS = {
+    "aero": render_aero,
+    "asia": render_asia,
+    "biz": render_biz,
+    "coop": render_coop,
+    "info": render_info,
+    "mobi": render_mobi,
+    "name": render_name,
+    "org": render_org,
+    "pro": render_pro,
+    "travel": render_travel,
+    "us": render_us,
+    "xxx": render_xxx,
+}

@@ -1,0 +1,53 @@
+"""A synthetic com zone file (the crawl's seed list, Section 4.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class ZoneFile:
+    """The list of registered domains in one TLD at snapshot time.
+
+    The paper seeds its crawl from the February 2015 com zone file; some of
+    those domains expire before being crawled, which is one reason the crawl
+    covers "a bit over 90%" of the TLD.  ``expired`` marks the domains that
+    will return "no match" by crawl time.
+    """
+
+    tld: str
+    domains: list[str]
+    expired: set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if len(set(self.domains)) != len(self.domains):
+            raise ValueError("zone file contains duplicate domains")
+        unknown = self.expired - set(self.domains)
+        if unknown:
+            raise ValueError(f"expired domains not in zone: {sorted(unknown)[:5]}")
+
+    def __len__(self) -> int:
+        return len(self.domains)
+
+    def __iter__(self):
+        return iter(self.domains)
+
+    def active_domains(self) -> list[str]:
+        return [d for d in self.domains if d not in self.expired]
+
+    def save(self, path: str | Path) -> None:
+        """Write in the classic zone-file NS-record style."""
+        lines = [f"{domain.removesuffix('.' + self.tld)} NS ns1.{domain}"
+                 for domain in self.domains]
+        Path(path).write_text("\n".join(lines) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path, tld: str = "com") -> "ZoneFile":
+        domains = []
+        for line in Path(path).read_text().splitlines():
+            if not line.strip():
+                continue
+            label = line.split()[0]
+            domains.append(f"{label}.{tld}")
+        return cls(tld=tld, domains=domains)

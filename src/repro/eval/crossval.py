@@ -1,0 +1,102 @@
+"""Five-fold cross-validation with nested training-size subsampling.
+
+Section 5.1: the 86K labeled records are split into five folds; within
+each fold, smaller training sets of 20/100/1000/10000 records are
+subsampled; parsers built on each training set are evaluated on the other
+folds, giving five estimates (mean and standard deviation) per size.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.eval.metrics import BlockLabeler, evaluate_parser
+from repro.whois.records import LabeledRecord
+
+ParserFactory = Callable[[Sequence[LabeledRecord]], BlockLabeler]
+
+
+def kfold(
+    records: Sequence[LabeledRecord], k: int, *, seed: int = 0
+) -> list[list[LabeledRecord]]:
+    """Shuffle and split records into ``k`` roughly equal folds."""
+    if k < 2:
+        raise ValueError("need at least 2 folds")
+    if len(records) < k:
+        raise ValueError(f"cannot split {len(records)} records into {k} folds")
+    shuffled = list(records)
+    random.Random(seed).shuffle(shuffled)
+    folds: list[list[LabeledRecord]] = [[] for _ in range(k)]
+    for i, record in enumerate(shuffled):
+        folds[i % k].append(record)
+    return folds
+
+
+@dataclass(frozen=True)
+class LearningCurvePoint:
+    """One point of the Figure 2/3 curves: a parser at one training size."""
+
+    parser_name: str
+    train_size: int
+    line_error_mean: float
+    line_error_std: float
+    document_error_mean: float
+    document_error_std: float
+    n_folds: int
+
+
+def _mean_std(values: list[float]) -> tuple[float, float]:
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return mean, math.sqrt(variance)
+
+
+def learning_curve(
+    records: Sequence[LabeledRecord],
+    factories: dict[str, ParserFactory],
+    *,
+    train_sizes: Sequence[int],
+    n_folds: int = 5,
+    seed: int = 0,
+) -> list[LearningCurvePoint]:
+    """Run the Section 5.1 protocol for each parser factory.
+
+    For each fold, training subsets of each size are drawn from the fold
+    and the parser is evaluated on the union of the other folds.
+    """
+    folds = kfold(records, n_folds, seed=seed)
+    points: list[LearningCurvePoint] = []
+    for size in train_sizes:
+        per_parser: dict[str, tuple[list[float], list[float]]] = {
+            name: ([], []) for name in factories
+        }
+        for i, fold in enumerate(folds):
+            if size > len(fold):
+                raise ValueError(
+                    f"train size {size} exceeds fold size {len(fold)}"
+                )
+            train = fold[:size]
+            test = [r for j, f in enumerate(folds) if j != i for r in f]
+            for name, factory in factories.items():
+                parser = factory(train)
+                evaluation = evaluate_parser(parser, test)
+                per_parser[name][0].append(evaluation.line_error_rate)
+                per_parser[name][1].append(evaluation.document_error_rate)
+        for name, (line_errors, doc_errors) in per_parser.items():
+            line_mean, line_std = _mean_std(line_errors)
+            doc_mean, doc_std = _mean_std(doc_errors)
+            points.append(
+                LearningCurvePoint(
+                    parser_name=name,
+                    train_size=size,
+                    line_error_mean=line_mean,
+                    line_error_std=line_std,
+                    document_error_mean=doc_mean,
+                    document_error_std=doc_std,
+                    n_folds=n_folds,
+                )
+            )
+    return points

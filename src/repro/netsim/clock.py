@@ -1,0 +1,28 @@
+"""A simulated clock.
+
+Rate limits, penalty windows, and crawl pacing all run against this clock
+so the multi-month crawl of Section 4.1 replays in milliseconds of real
+time while keeping the *dynamics* (windows, penalties, backoff) intact.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonic virtual time in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("time cannot run backwards")
+        self._now += seconds
+        return self._now
+
+    def sleep_until(self, deadline: float) -> None:
+        if deadline > self._now:
+            self._now = deadline

@@ -1,0 +1,88 @@
+"""The simulated internet: WHOIS servers addressable by hostname."""
+
+from __future__ import annotations
+
+from repro.datagen.corpus import CorpusGenerator
+from repro.datagen.registrars import REGISTRARS, RateLimitSpec
+from repro.datagen.registration import Registration
+from repro.datagen.zone import ZoneFile
+from repro.netsim.clock import SimClock
+from repro.netsim.servers import (
+    QueryOutcome,
+    RegistrarServer,
+    RegistryServer,
+    Response,
+    WhoisServer,
+)
+from repro.whois.records import LabeledRecord
+
+_PROFILE_BY_SERVER = {p.whois_server: p for p in REGISTRARS}
+_TAIL_SPEC = RateLimitSpec(limit=30, window=10.0, penalty=30.0)
+
+
+class SimulatedInternet:
+    """Hostname -> server routing, with simulated latency."""
+
+    def __init__(self, clock: SimClock, *, latency: float = 0.05) -> None:
+        self.clock = clock
+        self.latency = latency
+        self.servers: dict[str, WhoisServer] = {}
+
+    def add_server(self, server: WhoisServer) -> None:
+        if server.hostname in self.servers:
+            raise ValueError(f"duplicate hostname {server.hostname}")
+        self.servers[server.hostname] = server
+
+    def query(self, source_ip: str, hostname: str, query: str) -> Response:
+        """Send one WHOIS query; advances the clock by the round-trip time."""
+        self.clock.advance(self.latency)
+        server = self.servers.get(hostname)
+        if server is None:
+            return Response(QueryOutcome.DROPPED)
+        return server.query(source_ip, query)
+
+
+def build_com_internet(
+    generator: CorpusGenerator,
+    zone: ZoneFile,
+    registrations: dict[str, Registration],
+    *,
+    clock: SimClock | None = None,
+    unreliable_tail_rate: float = 0.10,
+) -> tuple[SimulatedInternet, SimClock, dict[str, LabeledRecord]]:
+    """Assemble registry + registrar servers for a synthetic com zone.
+
+    Returns the internet, its clock, and the ground-truth labeled records
+    backing each registrar's thick responses (used to validate what the
+    crawler retrieves).  A fraction ``unreliable_tail_rate`` of the tail
+    registrars drops most queries; together with pathologically strict
+    limiters (Network Solutions, footnote 11) this produces the ~7.5%
+    query-failure rate of Section 4.1.
+    """
+    clock = clock or SimClock()
+    internet = SimulatedInternet(clock)
+    internet.add_server(RegistryServer(clock, registrations,
+                                       expired=zone.expired))
+
+    ground_truth: dict[str, LabeledRecord] = {}
+    by_server: dict[str, dict[str, str]] = {}
+    for domain, registration in registrations.items():
+        if domain in zone.expired:
+            continue
+        record = generator.render(registration)
+        ground_truth[domain] = record
+        host = registration.registrar_whois_server
+        by_server.setdefault(host, {})[domain] = record.text
+
+    for host, records in sorted(by_server.items()):
+        profile = _PROFILE_BY_SERVER.get(host)
+        if profile is not None:
+            spec, drop = profile.rate_limit, 0.0
+        else:
+            spec = _TAIL_SPEC
+            drop = 0.85 if generator.rng.random() < unreliable_tail_rate else 0.0
+        internet.add_server(
+            RegistrarServer(host, clock, records, rate_limit=spec,
+                            drop_rate=drop)
+        )
+    return internet, clock, ground_truth

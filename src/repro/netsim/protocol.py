@@ -1,0 +1,46 @@
+"""RFC 3912 WHOIS framing.
+
+The WHOIS protocol (TCP port 43) is trivially simple -- "standard only in
+its transport mechanism": the client sends one line terminated by CRLF, the
+server streams back free-form text and closes the connection.  These
+helpers are shared by the in-process simulation and the real asyncio
+transport in :mod:`repro.netsim.tcp`.
+"""
+
+from __future__ import annotations
+
+#: defensive cap; real servers drop absurdly long query lines
+MAX_QUERY_LENGTH = 512
+
+CRLF = b"\r\n"
+
+
+class ProtocolError(ValueError):
+    """Malformed WHOIS request."""
+
+
+def frame_query(query: str) -> bytes:
+    """Encode one query line for the wire."""
+    if "\n" in query or "\r" in query:
+        raise ProtocolError("query must be a single line")
+    data = query.encode("utf-8", errors="strict")
+    if len(data) > MAX_QUERY_LENGTH:
+        raise ProtocolError(f"query exceeds {MAX_QUERY_LENGTH} bytes")
+    return data + CRLF
+
+def parse_query(data: bytes) -> str:
+    """Decode a received query line (tolerant of bare LF)."""
+    if len(data) > MAX_QUERY_LENGTH + len(CRLF):
+        raise ProtocolError("query too long")
+    text = data.decode("utf-8", errors="replace").rstrip("\r\n")
+    if "\n" in text or "\r" in text:
+        raise ProtocolError("embedded newline in query")
+    return text.strip()
+
+
+def frame_response(text: str) -> bytes:
+    """Encode a response body; WHOIS responses end when the peer closes."""
+    normalized = text.replace("\r\n", "\n").replace("\n", "\r\n")
+    if not normalized.endswith("\r\n"):
+        normalized += "\r\n"
+    return normalized.encode("utf-8", errors="replace")

@@ -1,0 +1,74 @@
+"""Per-source-IP rate limiting with penalty periods (Section 4.1).
+
+"Typically, once a given source IP has issued more queries to a given
+WHOIS server in a period than its limit, the server will stop responding,
+return an empty record or return an error.  Queries can then resume after
+a penalty period is over."  The thresholds are unpublished, which is why
+the crawler has to infer them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.netsim.clock import SimClock
+
+
+@dataclass
+class _SourceState:
+    recent: deque = field(default_factory=deque)  # timestamps in window
+    penalty_until: float = 0.0
+    trip_count: int = 0
+
+
+class RateLimiter:
+    """Sliding-window limiter: ``limit`` queries per ``window`` seconds.
+
+    Tripping the limit silences the source for ``penalty`` seconds; queries
+    during the penalty both fail *and* restart the penalty (aggressive
+    servers punish impatient crawlers).
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        *,
+        limit: int,
+        window: float,
+        penalty: float,
+        punish_during_penalty: bool = True,
+    ) -> None:
+        if limit < 1 or window <= 0 or penalty < 0:
+            raise ValueError("invalid rate limit parameters")
+        self.clock = clock
+        self.limit = limit
+        self.window = window
+        self.penalty = penalty
+        self.punish_during_penalty = punish_during_penalty
+        self._sources: dict[str, _SourceState] = {}
+
+    def allow(self, source_ip: str) -> bool:
+        """Record one query attempt; True if the server will answer it."""
+        now = self.clock.now()
+        state = self._sources.setdefault(source_ip, _SourceState())
+        if now < state.penalty_until:
+            if self.punish_during_penalty:
+                state.penalty_until = now + self.penalty
+            return False
+        while state.recent and state.recent[0] <= now - self.window:
+            state.recent.popleft()
+        if len(state.recent) >= self.limit:
+            state.penalty_until = now + self.penalty
+            state.trip_count += 1
+            return False
+        state.recent.append(now)
+        return True
+
+    def is_penalized(self, source_ip: str) -> bool:
+        state = self._sources.get(source_ip)
+        return state is not None and self.clock.now() < state.penalty_until
+
+    def trips(self, source_ip: str) -> int:
+        state = self._sources.get(source_ip)
+        return state.trip_count if state else 0

@@ -1,0 +1,98 @@
+"""A real TCP WHOIS server/client pair (asyncio, localhost).
+
+The in-process simulation covers crawl dynamics; this module provides the
+actual wire protocol -- one query line in, free-form text out, connection
+close as the terminator (RFC 3912) -- for end-to-end integration tests and
+the quickstart example.  Binds 127.0.0.1 only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable
+
+from repro.netsim.protocol import (
+    MAX_QUERY_LENGTH,
+    ProtocolError,
+    frame_query,
+    frame_response,
+    parse_query,
+)
+
+LookupFn = Callable[[str], "str | None"]
+
+
+class AsyncWhoisServer:
+    """Serve WHOIS lookups over TCP from a lookup function."""
+
+    def __init__(self, lookup: LookupFn, *, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self._lookup = lookup
+        self._host = host
+        self._requested_port = port
+        self._server: asyncio.AbstractServer | None = None
+        self.port: int | None = None
+        self.queries_served = 0
+
+    async def start(self) -> "AsyncWhoisServer":
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._requested_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "AsyncWhoisServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                raw = await asyncio.wait_for(
+                    reader.readline(), timeout=10.0
+                )
+                query = parse_query(raw)
+            except (ProtocolError, asyncio.TimeoutError):
+                writer.write(frame_response("% Malformed request"))
+                return
+            self.queries_served += 1
+            text = self._lookup(query.lower())
+            if text is None:
+                writer.write(frame_response("No match for domain."))
+            else:
+                writer.write(frame_response(text))
+            await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+
+async def whois_query(
+    host: str, port: int, query: str, *, timeout: float = 10.0
+) -> str:
+    """One WHOIS lookup over TCP; returns the full response text."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(frame_query(query))
+        await writer.drain()
+        data = await asyncio.wait_for(reader.read(), timeout=timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+    return data.decode("utf-8", errors="replace").replace("\r\n", "\n").rstrip("\n")

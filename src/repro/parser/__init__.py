@@ -1,0 +1,36 @@
+"""WHOIS parsers: the paper's statistical parser and the baselines it beats.
+
+- :class:`WhoisParser` -- the two-level CRF parser (Section 3), the paper's
+  contribution.
+- :class:`RuleBasedParser` -- the hand-crafted rule base used for ground
+  truth, with the "roll-back" needed by the Figure 2/3 comparison
+  (Sections 4.2, 5.1).
+- :class:`TemplateParser` -- a deft-whois-style per-registrar template
+  parser with a crisp failure signal (Section 2.3).
+- :class:`SimpleRegexParser` -- a pythonwhois-style generic rule parser
+  (Section 2.3).
+"""
+
+from repro.parser.active import (
+    active_learning_round,
+    rank_by_uncertainty,
+    select_for_labeling,
+)
+from repro.parser.fields import ParsedRecord, parse_whois_date
+from repro.parser.rules import RuleBasedParser
+from repro.parser.simple import SimpleRegexParser
+from repro.parser.statistical import WhoisParser
+from repro.parser.templates import TemplateMissingError, TemplateParser
+
+__all__ = [
+    "ParsedRecord",
+    "RuleBasedParser",
+    "SimpleRegexParser",
+    "TemplateMissingError",
+    "TemplateParser",
+    "WhoisParser",
+    "active_learning_round",
+    "parse_whois_date",
+    "rank_by_uncertainty",
+    "select_for_labeling",
+]

@@ -1,0 +1,583 @@
+"""The hand-crafted rule-based parser with roll-back (Sections 4.2, 5.1).
+
+The paper's authors manually built a rule-based parser, iterating "until
+[it] was able to completely label the entries in our test corpus", then
+compared it against the CRF by *rolling it back*: retaining only the rules
+necessary to label a given training subset.  This module reproduces that
+parser for the synthetic corpus:
+
+- a prioritized table of block rules keyed on field titles, value words,
+  line shapes, and layout markers;
+- contextual "header" rules (a bare ``Registrant:`` opens a block that
+  following indented lines inherit), the paper's "field title appears alone
+  with the following block representing the associated value";
+- structural always-on behaviour (symbol lines are boilerplate, unmatched
+  lines inherit the previous label) that "cannot be rolled back";
+- a second rule table for registrant sub-fields.
+
+``fit(records)`` performs the roll-back: it runs the full engine over the
+training records and keeps only the rules that fired.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.parser.fields import ParsedRecord, assemble_record
+from repro.whois.records import LabeledRecord, WhoisRecord, is_labelable
+from repro.whois.text import (
+    detect_symbol_start,
+    indentation,
+    split_title_value,
+    tokenize,
+    word_classes,
+)
+
+
+@dataclass(frozen=True)
+class LineContext:
+    """Pre-analyzed view of one labelable line."""
+
+    text: str
+    title: str  # normalized (lowercase, collapsed spaces); "" if no separator
+    title_words: frozenset[str]
+    value: str
+    value_words: frozenset[str]
+    has_separator: bool
+    indent: int
+    symbol: bool
+    classes: frozenset[str]
+
+
+def analyze_line(line: str) -> LineContext:
+    split = split_title_value(line)
+    if split is not None:
+        title_raw, value, _kind = split
+        title = " ".join(tokenize(title_raw))
+        value = value.strip()
+        has_sep = True
+    else:
+        title, value, has_sep = "", line.strip(), False
+    return LineContext(
+        text=line,
+        title=title,
+        title_words=frozenset(tokenize(title)),
+        value=value,
+        value_words=frozenset(tokenize(value)),
+        has_separator=has_sep,
+        indent=indentation(line),
+        symbol=detect_symbol_start(line),
+        classes=frozenset(word_classes(value or line)),
+    )
+
+
+#: a predicate returns False (no match), True (match), or the set of
+#: keywords that matched (for per-keyword roll-back granularity)
+Predicate = Callable[[LineContext], "bool | frozenset[str]"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One parsing rule: a predicate plus the label it assigns.
+
+    Keyword rules (built with :func:`title_has_any` /
+    :func:`bare_value_has`) roll back *per keyword*: the real parser's rule
+    base grew one handcrafted pattern at a time, so exposure to
+    ``Registrant Name:`` must not grant knowledge of ``owner:`` records.
+    """
+
+    rule_id: str
+    label: str
+    predicate: Predicate
+    #: header rules open a context that following lines may inherit
+    opens_context: bool = False
+    #: structural rules survive roll-back (the paper notes some rules
+    #: "cannot be rolled back")
+    structural: bool = False
+
+    def fired_ids(self, result: "bool | frozenset[str]") -> list[str]:
+        """The fine-grained ids a (truthy) match exercises."""
+        if isinstance(result, frozenset):
+            return [f"{self.rule_id}:{word}" for word in sorted(result)]
+        return [self.rule_id]
+
+    def usable(
+        self, result: "bool | frozenset[str]", enabled: set[str] | None
+    ) -> bool:
+        """Whether a rolled-back parser may apply this (truthy) match."""
+        if enabled is None or self.structural:
+            return True
+        return any(fid in enabled for fid in self.fired_ids(result))
+
+
+# ----------------------------------------------------------------------
+# Predicate factories
+# ----------------------------------------------------------------------
+
+
+def title_has(*words: str) -> Predicate:
+    required = frozenset(words)
+    return lambda ctx: required <= ctx.title_words
+
+
+def title_has_any(*words: str) -> Predicate:
+    options = frozenset(words)
+
+    def predicate(ctx: LineContext) -> bool | frozenset[str]:
+        matched = options & ctx.title_words
+        return frozenset(matched) if matched else False
+
+    return predicate
+
+
+def title_is(phrase: str) -> Predicate:
+    return lambda ctx: ctx.title == phrase
+
+
+def title_startswith(prefix: str) -> Predicate:
+    return lambda ctx: ctx.title.startswith(prefix)
+
+
+def bare_value_has(*words: str, max_words: int = 3) -> Predicate:
+    """Keywords on a short separator-less line (block headers like
+    ``[Registrant]`` or ``REGISTRANT CONTACT``).
+
+    Restricted to short lines: header detection must not swallow
+    fixed-width data lines such as ``Registrant Name    John Smith``.
+    """
+    options = frozenset(words)
+
+    def predicate(ctx: LineContext) -> bool | frozenset[str]:
+        if ctx.has_separator or len(ctx.value_words) > max_words:
+            return False
+        matched = options & ctx.value_words
+        return frozenset(matched) if matched else False
+
+    return predicate
+
+
+def value_matches(pattern: str) -> Predicate:
+    compiled = re.compile(pattern, re.IGNORECASE)
+    return lambda ctx: bool(compiled.search(ctx.value))
+
+
+def line_matches(pattern: str) -> Predicate:
+    compiled = re.compile(pattern, re.IGNORECASE)
+    return lambda ctx: bool(compiled.search(ctx.text))
+
+
+def all_of(*predicates: Predicate) -> Predicate:
+    return lambda ctx: all(p(ctx) for p in predicates)
+
+
+def has_class(name: str) -> Predicate:
+    return lambda ctx: name in ctx.classes
+
+
+def is_symbol(ctx: LineContext) -> bool:
+    return ctx.symbol
+
+
+# ----------------------------------------------------------------------
+# First-level (block) rule table.  Order = priority.
+# ----------------------------------------------------------------------
+
+_DATE_TITLE_WORDS = (
+    "created", "creation", "create", "updated", "update", "expires",
+    "expiry", "expiration", "renewal", "modified", "registered", "date",
+    "till", "until", "paid", "valid",
+)
+
+BLOCK_RULES: tuple[Rule, ...] = (
+    # --- boilerplate first: symbol lines are never field data.  Only lines
+    #     whose symbol starts in column 0 count: indented "+1.555..." phone
+    #     lines inside contact blocks are data, not banners.
+    Rule("null.symbol", "null",
+         all_of(is_symbol, lambda ctx: ctx.indent == 0),
+         structural=True),
+    Rule("null.icann", "null", title_has("icann")),
+    Rule("null.notice", "null", title_has_any("notice")),
+    Rule(
+        "null.legalese",
+        "null",
+        all_of(
+            lambda ctx: not ctx.has_separator,
+            lambda ctx: ctx.indent == 0,
+            lambda ctx: len(ctx.value_words & {
+                "information", "purposes", "provided", "database", "whois",
+                "guarantee", "accuracy", "notice", "terms", "authorized",
+                "automated", "processes", "query", "queries", "reserves",
+                "advertising", "visit", "please", "register", "happy",
+                "rate", "limited", "solely", "unsolicited", "assist",
+                "obtaining", "related", "registration", "find", "data",
+            }) >= 2,
+        ),
+    ),
+    # --- bare name-server lines before anything keyed on words (their
+    #     hostnames often contain words like "registrar")
+    Rule("domain.ns_shape", "domain",
+         all_of(lambda ctx: not ctx.has_separator,
+                line_matches(r"^\s*(ns|dns)\d+\.\S+\.[a-z]{2,6}\s*$"))),
+    # --- other contacts before anything else ("admin name" must not hit
+    #     the registrant "name" rules)
+    Rule(
+        "other.contacts",
+        "other",
+        title_has_any("admin", "administrative", "tech", "technical",
+                      "billing"),
+        opens_context=True,
+    ),
+    Rule(
+        "other.contact_header",
+        "other",
+        bare_value_has("administrative", "technical", "billing"),
+        opens_context=True,
+    ),
+    Rule("other.contact_info", "other", title_is("contact information"),
+         opens_context=True),
+    Rule("other.admin_c", "other",  # admin-c / tech-c / billing-c handles
+         lambda ctx: ctx.title in ("admin c", "tech c", "billing c")),
+    Rule("other.gmo_contact", "other",
+         line_matches(r"^(Admin|Tech) contact:")),
+    # --- dates (before domain/registrar: "Domain Expiration Date",
+    #     "Registrar Registration Expiration Date")
+    Rule("date.title", "date", title_has_any(*_DATE_TITLE_WORDS)),
+    Rule("date.changed", "date", title_has_any("changed")),
+    Rule(
+        "date.record_phrase",
+        "date",
+        line_matches(r"^\s*(record|database last|domain) "
+                     r"(created|expires|updated|last updated)( on)?\b"),
+    ),
+    Rule("date.renewal_due", "date", line_matches(r"^\s*renewal due\b")),
+    Rule("date.rrp", "date",
+         title_has_any("createddate", "updateddate",
+                       "registrationexpirationdate")),
+    Rule("date.header", "date", bare_value_has("dates"), opens_context=True),
+    Rule("date.bracket", "date",
+         line_matches(r"^\[(created|expires|last updated) on?\]|^\[last updated\]")),
+    # --- registrar
+    Rule(
+        "registrar.title", "registrar",
+        title_has_any("registrar", "reseller"),
+    ),
+    Rule(
+        "registrar.provided_by", "registrar",
+        title_startswith("registration service provided"),
+    ),
+    Rule(
+        "registrar.provider", "registrar",
+        title_is("registration service provider"),
+        opens_context=True,
+    ),
+    Rule("registrar.whois_server", "registrar", title_is("whois server")),
+    Rule("registrar.referral", "registrar", title_is("referral url")),
+    Rule("registrar.visit", "registrar", title_is("visit")),
+    Rule(
+        "registrar.contact_email", "registrar",
+        all_of(title_is("contact"), has_class("CLS:email")),
+    ),
+    Rule("registrar.source", "registrar", title_is("source")),
+    Rule("registrar.header", "registrar", bare_value_has("registrar"),
+         opens_context=True),
+    Rule("registrar.registered_through", "registrar",
+         line_matches(r"is registered through")),
+    # --- registrant
+    Rule(
+        "registrant.title", "registrant",
+        title_has_any("registrant", "owner", "holder", "person"),
+        opens_context=True,
+    ),
+    Rule(
+        "registrant.organisation", "registrant",
+        title_has_any("organisation"),
+    ),
+    Rule(
+        "registrant.org_header", "registrant",
+        title_is("organization"),
+        opens_context=True,
+    ),
+    Rule(
+        "registrant.header", "registrant",
+        bare_value_has("registrant", "owner", "holder"),
+        opens_context=True,
+    ),
+    Rule(
+        "registrant.holder_phrase", "registrant",
+        line_matches(r"^holder of (the )?domain"),
+        opens_context=True,
+    ),
+    Rule("registrant.rrp", "registrant", title_has_any("ownercontact")),
+    Rule("other.rrp", "other",
+         title_has_any("admincontact", "techcontact", "billingcontact")),
+    # --- domain
+    Rule("domain.title", "domain",
+         title_has_any("domain", "dnssec", "punycode", "dns")),
+    Rule("domain.status", "domain", title_has_any("status", "flags")),
+    Rule("domain.ns_title", "domain",
+         title_has_any("nserver", "nameserver", "nameservers", "host")),
+    Rule("domain.ns_numbered", "domain",
+         line_matches(r"^\s*(property\[)?(ns|nameserver)\d+\]?:")),
+    Rule("domain.ns_words", "domain", title_has("name", "server")),
+    Rule("domain.ns_header", "domain",
+         all_of(lambda ctx: ctx.title in ("name servers", "hosts"),
+                lambda ctx: not ctx.value),
+         opens_context=True),
+    Rule("domain.servers_header", "domain",
+         line_matches(r"domain servers in listed order"),
+         opens_context=True),
+    Rule("domain.header", "domain",
+         bare_value_has("domain", "dns", "server", "nameserver", "status"),
+         opens_context=True),
+)
+
+#: ids of structural fallbacks that exist even in a fully rolled-back parser
+INHERIT_RULE_ID = "structural.inherit"
+DEFAULT_RULE_ID = "structural.default"
+
+
+# ----------------------------------------------------------------------
+# Second-level (registrant sub-field) rules
+# ----------------------------------------------------------------------
+
+_COUNTRY_WORDS = frozenset(
+    word
+    for name in (
+        "united states", "china", "united kingdom", "germany", "france",
+        "canada", "spain", "australia", "japan", "india", "turkey",
+        "vietnam", "russia", "hong kong", "netherlands", "italy", "brazil",
+        "korea", "sweden", "poland", "mexico", "switzerland", "denmark",
+        "norway", "israel", "usa", "uk", "deutschland", "espana",
+    )
+    for word in name.split()
+)
+
+SUB_RULES: tuple[Rule, ...] = (
+    Rule("sub.id", "id", title_has_any("id", "handle")),
+    Rule("sub.fax", "fax", title_has_any("fax")),
+    Rule("sub.email", "email", title_has_any("email", "mail")),
+    Rule("sub.phone", "phone",
+         title_has_any("phone", "tel", "voice", "telephone")),
+    Rule("sub.postcode", "postcode",
+         title_has_any("postal", "zip", "pcode", "zipcode", "postcode")),
+    Rule("sub.country", "country", title_has_any("country")),
+    Rule("sub.state", "state", title_has_any("state", "province")),
+    Rule("sub.city", "city", title_has_any("city")),
+    Rule("sub.street", "street",
+         title_has_any("street", "address", "address1", "address2",
+                       "location")),
+    Rule("sub.org", "org",
+         title_has_any("organization", "organisation", "org",
+                       "cooperative")),
+    Rule("sub.name", "name", title_has_any("name", "individual")),
+    Rule("sub.header", "other",
+         all_of(lambda ctx: ctx.has_separator, lambda ctx: not ctx.value)),
+    # shape rules for bare block-style lines
+    Rule("sub.bare_email", "email",
+         all_of(lambda ctx: not ctx.title, has_class("CLS:email"))),
+    Rule("sub.bare_phone", "phone",
+         all_of(lambda ctx: not ctx.title, has_class("CLS:phone"),
+                lambda ctx: "CLS:fivedigit" not in ctx.classes)),
+    Rule("sub.bare_city_state_zip", "city",
+         all_of(lambda ctx: not ctx.title,
+                line_matches(r"[A-Za-z]+.*,\s*[A-Z]{2,}.*\b\S{4,8}$"))),
+    Rule("sub.bare_country", "country",
+         all_of(lambda ctx: not ctx.has_separator,
+                lambda ctx: bool(ctx.value_words)
+                and ctx.value_words <= _COUNTRY_WORDS)),
+    Rule("sub.bare_country_code", "country",
+         all_of(lambda ctx: not ctx.has_separator,
+                line_matches(r"^\s*[A-Z]{2}\s*$"))),
+    Rule("sub.bare_street", "street",
+         all_of(lambda ctx: not ctx.title,
+                line_matches(r"^\s*\d+\s+[A-Za-z]"))),
+    Rule("sub.bare_postcode", "postcode",
+         all_of(lambda ctx: not ctx.title, has_class("CLS:fivedigit"))),
+    Rule("sub.bare_org", "org",
+         all_of(lambda ctx: not ctx.title,
+                value_matches(r"\b(llc|inc|ltd|gmbh|corp|co|pty|kk|bv|sa)\b"
+                              r"\.?$"))),
+    Rule("sub.bare_name", "name",
+         all_of(lambda ctx: not ctx.title,
+                line_matches(r"^\s*[A-Za-z][A-Za-z.'-]*"
+                             r"(\s+[A-Za-z][A-Za-z.'-]*){1,3}\s*(\(.*\))?$"))),
+)
+
+SUB_DEFAULT = "other"
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Assignment:
+    label: str
+    rule_id: str
+
+
+class _RuleEngine:
+    """Applies a rule table with header contexts and inheritance."""
+
+    def __init__(self, rules: Iterable[Rule], enabled: set[str] | None) -> None:
+        self.rules = list(rules)
+        self.enabled = enabled
+
+    @property
+    def n_rules(self) -> int:
+        if self.enabled is None:
+            return len(self.rules)
+        return sum(1 for r in self.rules if r.structural) + len(self.enabled)
+
+    def label_lines(
+        self, lines: list[str], fired: set[str] | None = None
+    ) -> list[_Assignment]:
+        """Label lines; optionally record every fine-grained rule id fired."""
+        assignments: list[_Assignment] = []
+        context_label: str | None = None
+        context_indent = 0
+        previous: _Assignment | None = None
+        for line in lines:
+            ctx = analyze_line(line)
+            matched: Rule | None = None
+            result: bool | frozenset = False
+            for rule in self.rules:
+                candidate = rule.predicate(ctx)
+                if candidate and rule.usable(candidate, self.enabled):
+                    matched, result = rule, candidate
+                    break
+            if matched is not None:
+                assignment = _Assignment(matched.label, matched.rule_id)
+                if fired is not None:
+                    fired.update(matched.fired_ids(result))
+                if matched.opens_context:
+                    context_label = matched.label
+                    context_indent = ctx.indent
+                elif ctx.indent <= context_indent:
+                    context_label = None
+            elif context_label is not None and ctx.indent > context_indent:
+                assignment = _Assignment(context_label, INHERIT_RULE_ID)
+            elif previous is not None:
+                assignment = _Assignment(previous.label, INHERIT_RULE_ID)
+            else:
+                assignment = _Assignment("null", DEFAULT_RULE_ID)
+            assignments.append(assignment)
+            previous = assignment
+        return assignments
+
+
+class RuleBasedParser:
+    """The paper's rule-based comparison parser.
+
+    An unfitted parser uses the *full* rule base (the authors' final,
+    fully-iterated parser).  ``fit(records)`` rolls the parser back to the
+    rules exercised by ``records``, exactly the handicapping protocol of
+    Section 5.1.
+    """
+
+    def __init__(self) -> None:
+        self._enabled_blocks: set[str] | None = None
+        self._enabled_subs: set[str] | None = None
+
+    # -- training -------------------------------------------------------
+
+    def fit(self, records: Iterable[LabeledRecord]) -> "RuleBasedParser":
+        """Roll back to the rules needed for ``records``."""
+        full_engine = _RuleEngine(BLOCK_RULES, None)
+        full_sub_engine = _RuleEngine(SUB_RULES, None)
+        fired: set[str] = set()
+        sub_fired: set[str] = set()
+        for record in records:
+            lines = [line.text for line in record.lines]
+            full_engine.label_lines(lines, fired=fired)
+            for segment in self._segments(record):
+                full_sub_engine.label_lines(segment, fired=sub_fired)
+        self._enabled_blocks = fired
+        self._enabled_subs = sub_fired
+        return self
+
+    def add_records(self, records: Iterable[LabeledRecord]) -> "RuleBasedParser":
+        """Enable any additional rules the new records exercise.
+
+        This is the *best case* for rule maintenance -- in reality a human
+        must write new rules by hand; here the full rule base already covers
+        the synthetic corpus, so exposure is all that is modeled.
+        """
+        if self._enabled_blocks is None:
+            return self
+        extra = RuleBasedParser().fit(records)
+        self._enabled_blocks |= extra._enabled_blocks or set()
+        self._enabled_subs |= extra._enabled_subs or set()
+        return self
+
+    @staticmethod
+    def _segments(record: LabeledRecord) -> list[list[str]]:
+        segments, current = [], []
+        for line in record.lines:
+            if line.block == "registrant":
+                current.append(line.text)
+            elif current:
+                segments.append(current)
+                current = []
+        if current:
+            segments.append(current)
+        return segments
+
+    # -- inference ------------------------------------------------------
+
+    @property
+    def n_block_rules(self) -> int:
+        return _RuleEngine(BLOCK_RULES, self._enabled_blocks).n_rules
+
+    @staticmethod
+    def _raw_lines(record: WhoisRecord | LabeledRecord | str) -> list[str]:
+        if isinstance(record, str):
+            return record.splitlines()
+        if isinstance(record, LabeledRecord):
+            return record.raw_lines
+        return record.lines
+
+    def predict_blocks(
+        self, record: WhoisRecord | LabeledRecord | str
+    ) -> list[str]:
+        lines = [ln for ln in self._raw_lines(record) if is_labelable(ln)]
+        engine = _RuleEngine(BLOCK_RULES, self._enabled_blocks)
+        return [a.label for a in engine.label_lines(lines)]
+
+    def predict_registrant_fields(self, lines: list[str]) -> list[str]:
+        engine = _RuleEngine(SUB_RULES, self._enabled_subs)
+        labels = []
+        for assignment in engine.label_lines(lines):
+            if assignment.rule_id in (INHERIT_RULE_ID, DEFAULT_RULE_ID):
+                labels.append(SUB_DEFAULT)
+            else:
+                labels.append(assignment.label)
+        return labels
+
+    def label_lines(
+        self, record: WhoisRecord | LabeledRecord | str
+    ) -> list[tuple[str, str, str | None]]:
+        lines = [ln for ln in self._raw_lines(record) if is_labelable(ln)]
+        blocks = self.predict_blocks(record)
+        subs: list[str | None] = [None] * len(lines)
+        start = None
+        for i, block in enumerate(blocks + ["<end>"]):
+            if block == "registrant" and start is None:
+                start = i
+            elif block != "registrant" and start is not None:
+                segment = lines[start:i]
+                for j, sub in enumerate(self.predict_registrant_fields(segment)):
+                    subs[start + j] = sub
+                start = None
+        return list(zip(lines, blocks, subs))
+
+    def parse(self, record: WhoisRecord | LabeledRecord | str) -> ParsedRecord:
+        labeled = self.label_lines(record)
+        lines = [line for line, _, _ in labeled]
+        blocks = [block for _, block, _ in labeled]
+        subs = [sub or "other" for _, block, sub in labeled
+                if block == "registrant"]
+        return assemble_record(lines, blocks, subs)

@@ -1,0 +1,284 @@
+"""The paper's statistical parser: a two-level CRF pipeline (Section 3).
+
+The first-level :class:`~repro.crf.ChainCRF` labels every line of a thick
+record with one of the six block labels; the second-level CRF relabels the
+lines inside registrant blocks with the twelve sub-field labels.  Both are
+trained from :class:`~repro.whois.records.LabeledRecord` corpora and can be
+enlarged with a handful of new labeled examples (``partial_fit``), which is
+the maintainability workflow of Section 5.3.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence as TypingSequence
+
+import numpy as np
+
+from repro.crf.features import Sequence
+from repro.crf.model import ChainCRF
+from repro.parser.fields import ParsedRecord, assemble_record
+from repro.whois.features import FeaturizerConfig, WhoisFeaturizer
+from repro.whois.labels import BLOCK_LABELS, REGISTRANT_LABELS
+from repro.whois.records import LabeledRecord, WhoisRecord, is_labelable
+
+
+def _registrant_segments(
+    record: LabeledRecord,
+) -> list[tuple[list[str], list[str]]]:
+    """Contiguous registrant-labeled runs as (texts, sub-labels) pairs."""
+    segments: list[tuple[list[str], list[str]]] = []
+    texts: list[str] = []
+    subs: list[str] = []
+    for line in record.lines:
+        if line.block == "registrant":
+            texts.append(line.text)
+            subs.append(line.sub or "other")
+        elif texts:
+            segments.append((texts, subs))
+            texts, subs = [], []
+    if texts:
+        segments.append((texts, subs))
+    return segments
+
+
+class WhoisParser:
+    """Two-level statistical WHOIS parser.
+
+    Parameters mirror the paper's setup: an L2-regularized CRF per level,
+    dictionary trimming via ``min_count``, and the Section 3.3 feature
+    families (configurable through ``featurizer_config`` for ablations).
+
+    Examples
+    --------
+    >>> from repro.datagen import CorpusGenerator
+    >>> corpus = CorpusGenerator(seed=0).labeled_corpus(50)
+    >>> parser = WhoisParser().fit(corpus)
+    >>> parsed = parser.parse(corpus[0].to_record())
+    >>> parsed.domain == corpus[0].domain
+    True
+    """
+
+    def __init__(
+        self,
+        *,
+        featurizer_config: FeaturizerConfig | None = None,
+        l2: float = 1.0,
+        min_count: int = 1,
+        unk_min_count: int | None = None,
+        trainer: str = "lbfgs",
+        max_iterations: int = 120,
+        second_level: bool = True,
+        seed: int = 0,
+    ) -> None:
+        self.featurizer = WhoisFeaturizer(featurizer_config)
+        #: with unk_min_count set, fit() builds a dictionary from the
+        #: training corpus (trimming words rarer than the threshold) and
+        #: marks out-of-vocabulary words with explicit UNK attributes
+        self._unk_min_count = unk_min_count
+        self._crf_kwargs = dict(
+            min_count=min_count,
+            l2=l2,
+            trainer=trainer,
+            max_iterations=max_iterations,
+            seed=seed,
+        )
+        self.block_crf = ChainCRF(BLOCK_LABELS, **self._crf_kwargs)
+        self.registrant_crf = (
+            ChainCRF(REGISTRANT_LABELS, **self._crf_kwargs)
+            if second_level
+            else None
+        )
+        self._trained_on: int = 0
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def _block_dataset(
+        self, records: Iterable[LabeledRecord]
+    ) -> tuple[list[Sequence], list[list[str]]]:
+        sequences, labels = [], []
+        for record in records:
+            sequences.append(self.featurizer.featurize_lines(record.raw_lines))
+            labels.append(record.block_labels)
+        return sequences, labels
+
+    def _registrant_dataset(
+        self, records: Iterable[LabeledRecord]
+    ) -> tuple[list[Sequence], list[list[str]]]:
+        sequences, labels = [], []
+        for record in records:
+            for texts, subs in _registrant_segments(record):
+                sequences.append(
+                    self.featurizer.featurize_registrant_lines(texts)
+                )
+                labels.append(subs)
+        return sequences, labels
+
+    def fit(self, records: TypingSequence[LabeledRecord]) -> "WhoisParser":
+        """Estimate both CRFs from labeled records."""
+        records = list(records)
+        if not records:
+            raise ValueError("cannot train on an empty corpus")
+        if self._unk_min_count is not None:
+            from repro.whois.lexicon import Lexicon
+
+            lexicon = Lexicon()
+            lexicon.add_texts(record.text for record in records)
+            self.featurizer.lexicon = lexicon.freeze(self._unk_min_count)
+        sequences, labels = self._block_dataset(records)
+        self.block_crf.fit(sequences, labels)
+        if self.registrant_crf is not None:
+            reg_seqs, reg_labels = self._registrant_dataset(records)
+            if reg_seqs:
+                self.registrant_crf.fit(reg_seqs, reg_labels)
+        self._trained_on = len(records)
+        return self
+
+    def partial_fit(
+        self,
+        new_records: TypingSequence[LabeledRecord],
+        *,
+        replay: TypingSequence[LabeledRecord] = (),
+    ) -> "WhoisParser":
+        """Enlarge the parser with newly labeled records (Section 5.3).
+
+        ``replay`` is an optional sample of earlier training records mixed
+        in so the enlarged model does not forget the original formats.
+        """
+        new_records = list(new_records)
+        if not new_records:
+            return self
+        sequences, labels = self._block_dataset(new_records)
+        replay_pairs = list(zip(*self._block_dataset(replay))) if replay else None
+        self.block_crf.partial_fit(sequences, labels, replay=replay_pairs)
+        if self.registrant_crf is not None and self.registrant_crf.is_fitted:
+            reg_seqs, reg_labels = self._registrant_dataset(new_records)
+            if reg_seqs:
+                replay_reg = (
+                    list(zip(*self._registrant_dataset(replay))) if replay else None
+                )
+                self.registrant_crf.partial_fit(
+                    reg_seqs, reg_labels, replay=replay_reg
+                )
+        self._trained_on += len(new_records)
+        return self
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _raw_lines(record: WhoisRecord | LabeledRecord | str) -> list[str]:
+        if isinstance(record, str):
+            return record.splitlines()
+        if isinstance(record, LabeledRecord):
+            return record.raw_lines
+        return record.lines
+
+    def predict_blocks(
+        self, record: WhoisRecord | LabeledRecord | str
+    ) -> list[str]:
+        """First-level labels for each labelable line of the record."""
+        raw = self._raw_lines(record)
+        seq = self.featurizer.featurize_lines(raw)
+        return self.block_crf.predict(seq)
+
+    def predict_registrant_fields(self, lines: list[str]) -> list[str]:
+        """Second-level labels for a contiguous registrant block."""
+        if self.registrant_crf is None or not self.registrant_crf.is_fitted:
+            raise RuntimeError("second-level CRF is not available")
+        seq = self.featurizer.featurize_registrant_lines(lines)
+        return self.registrant_crf.predict(seq)
+
+    def label_lines(
+        self, record: WhoisRecord | LabeledRecord | str
+    ) -> list[tuple[str, str, str | None]]:
+        """(line, block, sub) for each labelable line; sub only on registrant."""
+        raw = self._raw_lines(record)
+        lines = [ln for ln in raw if is_labelable(ln)]
+        blocks = self.predict_blocks(record)
+        subs: list[str | None] = [None] * len(lines)
+        if self.registrant_crf is not None and self.registrant_crf.is_fitted:
+            start = None
+            for i, block in enumerate(blocks + ["<end>"]):
+                if block == "registrant" and start is None:
+                    start = i
+                elif block != "registrant" and start is not None:
+                    segment = lines[start:i]
+                    for j, sub in enumerate(
+                        self.predict_registrant_fields(segment)
+                    ):
+                        subs[start + j] = sub
+                    start = None
+        return list(zip(lines, blocks, subs))
+
+    def line_confidences(
+        self, record: WhoisRecord | LabeledRecord | str
+    ) -> list[tuple[str, str, float]]:
+        """(line, predicted block, posterior probability) per line.
+
+        The confidence is the CRF's posterior marginal ``Pr(y_t | x)`` for
+        the Viterbi label -- useful for routing low-confidence records to a
+        human labeler, the workflow Section 5.3 implies.
+        """
+        raw = self._raw_lines(record)
+        lines = [ln for ln in raw if is_labelable(ln)]
+        if not lines:
+            return []
+        seq = self.featurizer.featurize_lines(raw)
+        blocks = self.block_crf.predict(seq)
+        marginals = self.block_crf.predict_marginals(seq)
+        label_ids = self.block_crf.index.label_ids
+        return [
+            (line, block, float(marginals[t, label_ids[block]]))
+            for t, (line, block) in enumerate(zip(lines, blocks))
+        ]
+
+    def parse(self, record: WhoisRecord | LabeledRecord | str) -> ParsedRecord:
+        """Full parse: label lines, then extract structured fields."""
+        labeled = self.label_lines(record)
+        lines = [line for line, _, _ in labeled]
+        blocks = [block for _, block, _ in labeled]
+        subs = [sub for _, block, sub in labeled if block == "registrant"]
+        return assemble_record(lines, blocks, [s or "other" for s in subs])
+
+    # ------------------------------------------------------------------
+    # Introspection / persistence
+    # ------------------------------------------------------------------
+
+    def top_block_features(self, label: str, k: int = 10):
+        """Table 1: heaviest word features for one block label."""
+        return self.block_crf.top_observation_features(label, k)
+
+    def top_transition_features(self, k: int = 20):
+        """Figure 1: heaviest block-boundary transition features."""
+        return self.block_crf.top_transition_features(k)
+
+    def save(self, path: str | Path) -> None:
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        self.block_crf.save(path / "block")
+        meta = {
+            "trained_on": self._trained_on,
+            "has_second_level": self.registrant_crf is not None
+            and self.registrant_crf.is_fitted,
+        }
+        if meta["has_second_level"]:
+            self.registrant_crf.save(path / "registrant")
+        (path / "parser.json").write_text(json.dumps(meta))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "WhoisParser":
+        path = Path(path)
+        meta = json.loads((path / "parser.json").read_text())
+        parser = cls()
+        parser.block_crf = ChainCRF.load(path / "block")
+        if meta["has_second_level"]:
+            parser.registrant_crf = ChainCRF.load(path / "registrant")
+        else:
+            parser.registrant_crf = None
+        parser._trained_on = meta["trained_on"]
+        return parser

@@ -1,0 +1,30 @@
+"""RDAP: the structured replacement for WHOIS (Section 2.2's endgame).
+
+The paper closes its background with the "well-received proposals to
+completely scrap the WHOIS system altogether for a protocol with a
+well-defined structured data schema" — the IETF WEIRDS effort that became
+RDAP (RFC 7483).  This package implements that endgame on top of the
+parser: :mod:`repro.rdap.schema` models RDAP domain objects,
+:mod:`repro.rdap.convert` lifts parsed WHOIS records into them, and
+:mod:`repro.rdap.server` serves RDAP JSON lookups — turning the statistical
+parser into a WHOIS→RDAP gateway.
+"""
+
+from repro.rdap.convert import parsed_to_rdap, registration_to_rdap
+from repro.rdap.schema import (
+    RdapDomain,
+    RdapEntity,
+    RdapEvent,
+    validate_rdap,
+)
+from repro.rdap.server import RdapGateway
+
+__all__ = [
+    "RdapDomain",
+    "RdapEntity",
+    "RdapEvent",
+    "RdapGateway",
+    "parsed_to_rdap",
+    "registration_to_rdap",
+    "validate_rdap",
+]

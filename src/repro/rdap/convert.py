@@ -1,0 +1,104 @@
+"""Lifting WHOIS data into RDAP objects.
+
+Two paths:
+
+- :func:`registration_to_rdap` converts ground-truth registrations (what a
+  thick registry's provisioning database would serve natively);
+- :func:`parsed_to_rdap` converts the statistical parser's output --
+  together with the parser this is a WHOIS→RDAP gateway, the migration
+  path the IETF WEIRDS drafts envisioned.
+"""
+
+from __future__ import annotations
+
+from repro.datagen.registration import Registration
+from repro.parser.fields import ParsedRecord
+from repro.rdap.schema import RdapDomain, RdapEntity, RdapEvent
+
+
+def registration_to_rdap(registration: Registration) -> RdapDomain:
+    contact = registration.registrant
+    entities = [
+        RdapEntity(
+            role="registrant",
+            full_name=contact.name,
+            organization=contact.org,
+            street=contact.street,
+            city=contact.city,
+            region=contact.state,
+            postal_code=contact.postcode,
+            country=contact.country_code if contact.country_code != "??" else None,
+            phone=contact.phone,
+            email=contact.email,
+            handle=contact.handle,
+        ),
+        RdapEntity(
+            role="registrar",
+            full_name=registration.registrar_name,
+            handle=str(registration.registrar_iana_id),
+        ),
+        RdapEntity(role="administrative", full_name=registration.admin.name,
+                   email=registration.admin.email,
+                   handle=registration.admin.handle),
+        RdapEntity(role="technical", full_name=registration.tech.name,
+                   email=registration.tech.email,
+                   handle=registration.tech.handle),
+    ]
+    if registration.billing is not None:
+        entities.append(
+            RdapEntity(role="billing", full_name=registration.billing.name,
+                       email=registration.billing.email,
+                       handle=registration.billing.handle)
+        )
+    return RdapDomain(
+        ldh_name=registration.domain,
+        statuses=list(registration.statuses),
+        events=[
+            RdapEvent("registration", registration.created),
+            RdapEvent("last changed", registration.updated),
+            RdapEvent("expiration", registration.expires),
+        ],
+        nameservers=list(registration.name_servers),
+        entities=entities,
+        secure_dns=registration.dnssec != "unsigned",
+    )
+
+
+def parsed_to_rdap(domain: str, parsed: ParsedRecord) -> RdapDomain:
+    """Convert parser output to RDAP; omits whatever the parse lacks."""
+    registrant = parsed.registrant
+    entities = []
+    if registrant:
+        entities.append(
+            RdapEntity(
+                role="registrant",
+                full_name=registrant.get("name"),
+                organization=registrant.get("org"),
+                street=registrant.get("street"),
+                city=registrant.get("city"),
+                region=registrant.get("state"),
+                postal_code=registrant.get("postcode"),
+                country=registrant.get("country"),
+                phone=registrant.get("phone"),
+                email=registrant.get("email"),
+                handle=registrant.get("id"),
+            )
+        )
+    if parsed.registrar:
+        entities.append(
+            RdapEntity(role="registrar", full_name=parsed.registrar)
+        )
+    events = []
+    if parsed.created:
+        events.append(RdapEvent("registration", parsed.created))
+    if parsed.updated:
+        events.append(RdapEvent("last changed", parsed.updated))
+    if parsed.expires:
+        events.append(RdapEvent("expiration", parsed.expires))
+    return RdapDomain(
+        ldh_name=(parsed.domain or domain).lower(),
+        statuses=list(parsed.statuses),
+        events=events,
+        nameservers=list(parsed.name_servers),
+        entities=entities,
+    )

@@ -1,0 +1,141 @@
+"""A pragmatic subset of the RDAP domain object model (RFC 7483).
+
+RDAP responses are JSON with a fixed schema: a domain object carries
+``ldhName``, ``status``, ``events`` (registration/expiration/last changed),
+``nameservers``, and ``entities`` whose contact details are jCard arrays.
+We model the subset needed to represent everything a thick WHOIS record
+can say, plus a validator that enforces the structural rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+
+RDAP_CONFORMANCE = ["rdap_level_0"]
+
+#: RFC 7483 event actions we emit
+EVENT_ACTIONS = ("registration", "expiration", "last changed")
+
+#: RFC 7483 entity roles we emit
+ENTITY_ROLES = ("registrant", "administrative", "technical", "billing",
+                "registrar")
+
+
+@dataclass(frozen=True)
+class RdapEvent:
+    action: str
+    date: date
+
+    def to_json(self) -> dict:
+        return {"eventAction": self.action,
+                "eventDate": self.date.isoformat()}
+
+
+@dataclass(frozen=True)
+class RdapEntity:
+    """An RDAP entity with a minimal jCard."""
+
+    role: str
+    full_name: str | None = None
+    organization: str | None = None
+    street: str | None = None
+    city: str | None = None
+    region: str | None = None
+    postal_code: str | None = None
+    country: str | None = None
+    phone: str | None = None
+    email: str | None = None
+    handle: str | None = None
+
+    def to_json(self) -> dict:
+        vcard: list[list] = [["version", {}, "text", "4.0"]]
+        if self.full_name:
+            vcard.append(["fn", {}, "text", self.full_name])
+        if self.organization:
+            vcard.append(["org", {}, "text", self.organization])
+        address = [self.street or "", self.city or "", self.region or "",
+                   self.postal_code or "", self.country or ""]
+        if any(address):
+            # jCard adr: [pobox, ext, street, locality, region, code, country]
+            vcard.append(["adr", {}, "text",
+                          ["", "", address[0], address[1], address[2],
+                           address[3], address[4]]])
+        if self.phone:
+            vcard.append(["tel", {"type": "voice"}, "uri",
+                          f"tel:{self.phone}"])
+        if self.email:
+            vcard.append(["email", {}, "text", self.email])
+        payload: dict = {
+            "objectClassName": "entity",
+            "roles": [self.role],
+            "vcardArray": ["vcard", vcard],
+        }
+        if self.handle:
+            payload["handle"] = self.handle
+        return payload
+
+
+@dataclass
+class RdapDomain:
+    ldh_name: str
+    handle: str | None = None
+    statuses: list[str] = field(default_factory=list)
+    events: list[RdapEvent] = field(default_factory=list)
+    nameservers: list[str] = field(default_factory=list)
+    entities: list[RdapEntity] = field(default_factory=list)
+    secure_dns: bool = False
+
+    def to_json(self) -> dict:
+        return {
+            "rdapConformance": list(RDAP_CONFORMANCE),
+            "objectClassName": "domain",
+            "ldhName": self.ldh_name,
+            **({"handle": self.handle} if self.handle else {}),
+            "status": list(self.statuses),
+            "events": [event.to_json() for event in self.events],
+            "nameservers": [
+                {"objectClassName": "nameserver", "ldhName": ns}
+                for ns in self.nameservers
+            ],
+            "entities": [entity.to_json() for entity in self.entities],
+            "secureDNS": {"delegationSigned": self.secure_dns},
+        }
+
+
+class RdapValidationError(ValueError):
+    """The JSON object violates the RDAP structural rules we enforce."""
+
+
+def validate_rdap(payload: dict) -> None:
+    """Structural validation of an RDAP domain response."""
+    if payload.get("objectClassName") != "domain":
+        raise RdapValidationError("objectClassName must be 'domain'")
+    if "rdap_level_0" not in payload.get("rdapConformance", []):
+        raise RdapValidationError("missing rdap_level_0 conformance")
+    name = payload.get("ldhName", "")
+    if not name or any(ord(ch) > 127 for ch in name):
+        raise RdapValidationError("ldhName must be non-empty ASCII")
+    for event in payload.get("events", []):
+        if event.get("eventAction") not in EVENT_ACTIONS:
+            raise RdapValidationError(
+                f"unknown eventAction {event.get('eventAction')!r}"
+            )
+        date.fromisoformat(event.get("eventDate", ""))  # raises if invalid
+    for server in payload.get("nameservers", []):
+        if server.get("objectClassName") != "nameserver":
+            raise RdapValidationError("nameserver objectClassName wrong")
+    for entity in payload.get("entities", []):
+        if entity.get("objectClassName") != "entity":
+            raise RdapValidationError("entity objectClassName wrong")
+        roles = entity.get("roles", [])
+        if not roles or any(role not in ENTITY_ROLES for role in roles):
+            raise RdapValidationError(f"bad entity roles {roles!r}")
+        vcard = entity.get("vcardArray")
+        if (
+            not isinstance(vcard, list)
+            or len(vcard) != 2
+            or vcard[0] != "vcard"
+            or not any(item[0] == "version" for item in vcard[1])
+        ):
+            raise RdapValidationError("malformed vcardArray")

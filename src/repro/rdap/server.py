@@ -1,0 +1,57 @@
+"""An RDAP gateway over legacy WHOIS.
+
+:class:`RdapGateway` holds the trained statistical parser and a source of
+raw thick records (a crawl result set or a live query function); lookups
+return validated RDAP JSON.  This is the concrete payoff of learning to
+parse WHOIS: structured, schema-stable answers over the unstructured
+legacy corpus, without waiting for registries to migrate.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable
+
+from repro.parser.statistical import WhoisParser
+from repro.rdap.convert import parsed_to_rdap
+from repro.rdap.schema import validate_rdap
+
+
+class DomainNotFound(KeyError):
+    """No WHOIS record available for this domain."""
+
+
+class RdapGateway:
+    """domain -> validated RDAP JSON, via the statistical parser."""
+
+    def __init__(
+        self,
+        parser: WhoisParser,
+        fetch_whois: Callable[[str], "str | None"],
+    ) -> None:
+        self.parser = parser
+        self._fetch = fetch_whois
+        self.lookups = 0
+
+    def lookup(self, domain: str) -> dict:
+        """RDAP domain object for ``domain``; raises DomainNotFound."""
+        self.lookups += 1
+        text = self._fetch(domain.lower())
+        if text is None:
+            raise DomainNotFound(domain)
+        parsed = self.parser.parse(text)
+        payload = parsed_to_rdap(domain, parsed).to_json()
+        validate_rdap(payload)
+        return payload
+
+    def lookup_json(self, domain: str) -> str:
+        return json.dumps(self.lookup(domain), indent=2)
+
+    def error_json(self, domain: str, status: int = 404) -> str:
+        """An RFC 7483 error response body."""
+        return json.dumps({
+            "rdapConformance": ["rdap_level_0"],
+            "errorCode": status,
+            "title": "Not Found",
+            "description": [f"no WHOIS record for {domain}"],
+        })

@@ -1,0 +1,44 @@
+"""The Section 6 survey: registrants, registrars, privacy, blacklists."""
+
+from repro.survey.analysis import (
+    brand_companies,
+    country_proportions_by_year,
+    creation_histogram,
+    dbl_countries,
+    dbl_registrars,
+    privacy_by_registrar,
+    registrar_country_mix,
+    top_privacy_services,
+    top_registrant_countries,
+    top_registrars,
+)
+from repro.survey.database import DomainEntry, SurveyDatabase
+from repro.survey.normalize import (
+    canonical_country,
+    canonical_registrar,
+    detect_brand,
+    detect_privacy_service,
+)
+from repro.survey.report import format_histogram, format_proportions, format_table
+
+__all__ = [
+    "DomainEntry",
+    "SurveyDatabase",
+    "brand_companies",
+    "canonical_country",
+    "canonical_registrar",
+    "country_proportions_by_year",
+    "creation_histogram",
+    "dbl_countries",
+    "dbl_registrars",
+    "detect_brand",
+    "detect_privacy_service",
+    "format_histogram",
+    "format_proportions",
+    "format_table",
+    "privacy_by_registrar",
+    "registrar_country_mix",
+    "top_privacy_services",
+    "top_registrant_countries",
+    "top_registrars",
+]

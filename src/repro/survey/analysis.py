@@ -1,0 +1,173 @@
+"""Aggregations reproducing Tables 3-9 and Figures 4-5 of Section 6."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.datagen.countries import country_by_code
+from repro.survey.database import SurveyDatabase
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One row of a paper-style ranking table."""
+
+    key: str
+    count: int
+    share: float  # fraction of the table's total
+
+
+def _ranking(
+    counts: Counter, total: int, k: int, *, other_label: str = "(Other)",
+    unknown_label: str | None = None, unknown_count: int = 0,
+) -> list[TableRow]:
+    """Top-k rows plus aggregated (Other) and optional (Unknown) rows."""
+    rows = [
+        TableRow(key, count, count / total if total else 0.0)
+        for key, count in counts.most_common(k)
+    ]
+    other = total - sum(r.count for r in rows) - unknown_count
+    if other > 0:
+        rows.append(TableRow(other_label, other, other / total))
+    if unknown_label is not None and unknown_count > 0:
+        rows.append(
+            TableRow(unknown_label, unknown_count, unknown_count / total)
+        )
+    return rows
+
+
+def _country_name(code: str) -> str:
+    try:
+        return country_by_code(code).name
+    except KeyError:
+        return code
+
+
+def top_registrant_countries(
+    db: SurveyDatabase, *, year: int | None = None, k: int = 10
+) -> list[TableRow]:
+    """Table 3: top registrant countries, excluding privacy-protected
+    domains, with an (Unknown) row for records lacking country data."""
+    scope = (db.created_in(year) if year is not None else db).public()
+    counts: Counter = Counter()
+    unknown = 0
+    for entry in scope:
+        if entry.country is None:
+            unknown += 1
+        else:
+            counts[_country_name(entry.country)] += 1
+    return _ranking(counts, len(scope), k,
+                    unknown_label="(Unknown)", unknown_count=unknown)
+
+
+def top_registrars(
+    db: SurveyDatabase, *, year: int | None = None, k: int = 10
+) -> list[TableRow]:
+    """Table 5: top registrars by registrations."""
+    scope = db.created_in(year) if year is not None else db
+    counts = Counter(e.registrar or "(Unknown)" for e in scope)
+    return _ranking(counts, len(scope), k)
+
+
+def top_privacy_services(db: SurveyDatabase, *, k: int = 10) -> list[TableRow]:
+    """Table 7: top privacy protection services among protected domains."""
+    protected = [e for e in db if e.is_private]
+    counts = Counter(e.privacy_service for e in protected)
+    return _ranking(counts, len(protected), k)
+
+
+def privacy_by_registrar(db: SurveyDatabase, *, k: int = 10) -> list[TableRow]:
+    """Table 6: registrars through which protected domains were registered."""
+    protected = [e for e in db if e.is_private]
+    counts = Counter(e.registrar or "(Unknown)" for e in protected)
+    return _ranking(counts, len(protected), k)
+
+
+def privacy_rate(db: SurveyDatabase) -> float:
+    """Overall fraction of domains using privacy protection (paper: ~20%)."""
+    if not len(db):
+        return 0.0
+    return sum(e.is_private for e in db) / len(db)
+
+
+def brand_companies(db: SurveyDatabase) -> list[TableRow]:
+    """Table 4: well-known brand companies with the most com domains."""
+    counts = Counter(e.brand for e in db if e.brand)
+    total = sum(counts.values())
+    return [
+        TableRow(brand, count, count / total if total else 0.0)
+        for brand, count in counts.most_common()
+    ]
+
+
+def dbl_countries(db: SurveyDatabase, *, year: int = 2014,
+                  k: int = 10) -> list[TableRow]:
+    """Table 8: registrant countries of blacklisted domains created in
+    ``year``."""
+    return top_registrant_countries(db.blacklisted(), year=year, k=k)
+
+
+def dbl_registrars(db: SurveyDatabase, *, year: int = 2014,
+                   k: int = 10) -> list[TableRow]:
+    """Table 9: registrars of blacklisted domains created in ``year``."""
+    return top_registrars(db.blacklisted(), year=year, k=k)
+
+
+def creation_histogram(db: SurveyDatabase) -> dict[int, int]:
+    """Figure 4a: number of domains created per year."""
+    counts = Counter(
+        e.creation_year for e in db if e.creation_year is not None
+    )
+    return dict(sorted(counts.items()))
+
+
+def country_proportions_by_year(
+    db: SurveyDatabase,
+    *,
+    countries: tuple[str, ...] = ("US", "CN", "GB", "FR", "DE"),
+    min_year: int = 1995,
+) -> dict[int, dict[str, float]]:
+    """Figure 4b: per-year breakdown into the five largest registrant
+    countries, privacy-protected, unknown, and other."""
+    by_year: dict[int, Counter] = {}
+    totals: Counter = Counter()
+    for entry in db:
+        year = entry.creation_year
+        if year is None or year < min_year:
+            continue
+        bucket = by_year.setdefault(year, Counter())
+        totals[year] += 1
+        if entry.is_private:
+            bucket["Private"] += 1
+        elif entry.country is None:
+            bucket["Unknown"] += 1
+        elif entry.country in countries:
+            bucket[entry.country] += 1
+        else:
+            bucket["Other"] += 1
+    result: dict[int, dict[str, float]] = {}
+    for year in sorted(by_year):
+        total = totals[year]
+        result[year] = {
+            key: count / total for key, count in sorted(by_year[year].items())
+        }
+    return result
+
+
+def registrar_country_mix(
+    db: SurveyDatabase, registrar: str, *, k: int = 3
+) -> list[TableRow]:
+    """Figure 5: top registrant countries for one registrar.
+
+    Records lacking country data appear as ``[]``, as in the paper's plot.
+    """
+    entries = [
+        e for e in db.public() if e.registrar == registrar
+    ]
+    counts = Counter(e.country if e.country else "[]" for e in entries)
+    total = len(entries)
+    return [
+        TableRow(code, count, count / total if total else 0.0)
+        for code, count in counts.most_common(k)
+    ]

@@ -1,0 +1,169 @@
+"""The survey database: one row per parsed com registration (Section 6).
+
+"With our parser in hand, we applied it to our crawl of the WHOIS records
+of com domains and constructed a database of the fields extracted by the
+parser."  :class:`SurveyDatabase` is that database, built either directly
+from :class:`~repro.parser.fields.ParsedRecord` objects or from crawl
+results run through a parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+from typing import Callable, Iterable
+
+from repro.parser.fields import ParsedRecord
+from repro.survey.normalize import (
+    canonical_country,
+    canonical_registrar,
+    detect_brand,
+    detect_privacy_service,
+)
+
+
+@dataclass(frozen=True)
+class DomainEntry:
+    """One domain's surveyed fields."""
+
+    domain: str
+    registrar: str | None
+    country: str | None  # ISO code; None = unknown
+    created: date | None
+    privacy_service: str | None
+    org: str | None
+    brand: str | None
+    blacklisted: bool = False
+
+    @property
+    def is_private(self) -> bool:
+        return self.privacy_service is not None
+
+    @property
+    def creation_year(self) -> int | None:
+        return self.created.year if self.created else None
+
+
+class SurveyDatabase:
+    """An append-only collection of :class:`DomainEntry` rows."""
+
+    def __init__(self) -> None:
+        self.entries: list[DomainEntry] = []
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def add_parsed(
+        self,
+        domain: str,
+        parsed: ParsedRecord,
+        *,
+        registrar_hint: str | None = None,
+        blacklisted: bool = False,
+    ) -> DomainEntry:
+        """Normalize one parsed record into the database.
+
+        ``registrar_hint`` supplies the registrar from the thin record when
+        the thick record's own registrar line is missing or garbled.
+        """
+        name = parsed.registrant.get("name")
+        org = parsed.registrant.get("org")
+        privacy = detect_privacy_service(name, org)
+        entry = DomainEntry(
+            domain=domain,
+            registrar=canonical_registrar(parsed.registrar or registrar_hint),
+            country=canonical_country(parsed.registrant.get("country")),
+            created=parsed.created,
+            privacy_service=privacy,
+            org=org,
+            brand=detect_brand(org) if privacy is None else None,
+            blacklisted=blacklisted,
+        )
+        self.entries.append(entry)
+        return entry
+
+    @classmethod
+    def from_parsed_records(
+        cls,
+        records: Iterable[tuple[str, ParsedRecord]],
+        *,
+        blacklisted_domains: set[str] | None = None,
+    ) -> "SurveyDatabase":
+        db = cls()
+        blacklisted = blacklisted_domains or set()
+        for domain, parsed in records:
+            db.add_parsed(domain, parsed, blacklisted=domain in blacklisted)
+        return db
+
+    @classmethod
+    def from_crawl(
+        cls,
+        results: Iterable,
+        parse: Callable[[str], ParsedRecord],
+        *,
+        blacklisted_domains: set[str] | None = None,
+    ) -> "SurveyDatabase":
+        """Parse every successful crawl result into a database.
+
+        The registrar named by the thin record serves as a hint when the
+        thick record's own registrar line is missing -- the two-step thin ->
+        thick data flow of Section 4.1.
+        """
+        from repro.datagen.thin import extract_registrar
+
+        db = cls()
+        blacklisted = blacklisted_domains or set()
+        for result in results:
+            if getattr(result, "thick_text", None) is None:
+                continue
+            parsed = parse(result.thick_text)
+            thin_text = getattr(result, "thin_text", None)
+            hint = extract_registrar(thin_text) if thin_text else None
+            db.add_parsed(
+                result.domain,
+                parsed,
+                registrar_hint=hint,
+                blacklisted=result.domain in blacklisted,
+            )
+        return db
+
+    # ------------------------------------------------------------------
+    # Filters
+    # ------------------------------------------------------------------
+
+    def created_in(self, year: int) -> "SurveyDatabase":
+        sub = SurveyDatabase()
+        sub.entries = [e for e in self.entries if e.creation_year == year]
+        return sub
+
+    def created_through(self, year: int) -> "SurveyDatabase":
+        sub = SurveyDatabase()
+        sub.entries = [
+            e for e in self.entries
+            if e.creation_year is not None and e.creation_year <= year
+        ]
+        return sub
+
+    def blacklisted(self) -> "SurveyDatabase":
+        sub = SurveyDatabase()
+        sub.entries = [e for e in self.entries if e.blacklisted]
+        return sub
+
+    def normal(self) -> "SurveyDatabase":
+        """Entries not on the blacklist (the main Section 6.1-6.3 scope)."""
+        sub = SurveyDatabase()
+        sub.entries = [e for e in self.entries if not e.blacklisted]
+        return sub
+
+    def public(self) -> "SurveyDatabase":
+        """Entries without privacy protection (country analyses use these)."""
+        sub = SurveyDatabase()
+        sub.entries = [e for e in self.entries if not e.is_private]
+        return sub

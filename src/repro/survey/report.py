@@ -1,0 +1,59 @@
+"""Text rendering of survey results in the paper's table style."""
+
+from __future__ import annotations
+
+from repro.survey.analysis import TableRow
+
+
+def format_table(
+    rows: list[TableRow], *, title: str = "", key_header: str = "Key",
+    width: int = 34,
+) -> str:
+    """Render ranking rows as a paper-style table."""
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * (width + 22))
+    lines.append(f"{key_header:<{width}} {'Number':>10} {'(% All)':>9}")
+    total = sum(row.count for row in rows)
+    for row in rows:
+        lines.append(
+            f"{row.key:<{width}} {row.count:>10,} ({row.share * 100:5.1f})"
+        )
+    lines.append(f"{'Total':<{width}} {total:>10,} (100.0)")
+    return "\n".join(lines)
+
+
+def format_histogram(
+    histogram: dict[int, int], *, title: str = "", bar_width: int = 50
+) -> str:
+    """Render a per-year histogram with ASCII bars (Figure 4a)."""
+    lines = [title] if title else []
+    if not histogram:
+        return "\n".join(lines + ["(empty)"])
+    peak = max(histogram.values())
+    for year, count in histogram.items():
+        bar = "#" * max(1, round(count / peak * bar_width)) if count else ""
+        lines.append(f"{year}  {count:>8,}  {bar}")
+    return "\n".join(lines)
+
+
+def format_proportions(
+    proportions: dict[int, dict[str, float]], *, title: str = ""
+) -> str:
+    """Render per-year composition rows (Figure 4b)."""
+    lines = [title] if title else []
+    keys: list[str] = []
+    for breakdown in proportions.values():
+        for key in breakdown:
+            if key not in keys:
+                keys.append(key)
+    keys.sort()
+    header = "year  " + "  ".join(f"{key:>8}" for key in keys)
+    lines.append(header)
+    for year, breakdown in proportions.items():
+        cells = "  ".join(
+            f"{breakdown.get(key, 0.0) * 100:7.1f}%" for key in keys
+        )
+        lines.append(f"{year}  {cells}")
+    return "\n".join(lines)

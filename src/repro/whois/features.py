@@ -1,0 +1,229 @@
+"""Featurization of WHOIS records into CRF attribute sequences (Section 3.3).
+
+:class:`WhoisFeaturizer` turns the labelable lines of a record into a
+:class:`repro.crf.Sequence` whose attributes reproduce the paper's feature
+families:
+
+- dictionary words suffixed ``@T`` (left of the first separator) or ``@V``
+  (right of it, or the whole line when no separator exists);
+- the ``SEP`` marker and its kind when a separator is present;
+- layout markers ``NL`` (preceded by one or more blank lines), ``SHL`` /
+  ``SHR`` (indentation shift left/right relative to the previous labelable
+  line) and ``SYM`` (line begins with a symbol such as ``#`` or ``%``);
+- word-class attributes (``CLS:fivedigit``, ``CLS:email``, ...) as in
+  eq. (7).
+
+Observation attributes feed features of the forms in eqs. (6)-(7);
+the *edge* attributes (markers plus title words) feed the
+transition-detecting features of eq. (8) that Figure 1 visualizes.
+Every family can be disabled independently for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crf.features import Sequence
+from repro.whois.lexicon import Lexicon
+from repro.whois.records import WhoisRecord, is_labelable
+from repro.whois.text import (
+    detect_symbol_start,
+    indentation,
+    split_title_value,
+    tokenize,
+    word_classes,
+)
+
+
+@dataclass(frozen=True)
+class FeaturizerConfig:
+    """Switches for the feature families (used by the ablation study)."""
+
+    tv_tagging: bool = True
+    markers: bool = True
+    classes: bool = True
+    edge_words: bool = True
+    edge_markers: bool = True
+    #: also emit each word untagged (no @T/@V suffix).  A "more general
+    #: class of words" feature: it lets evidence transfer between title and
+    #: value positions, which helps on templates never seen in training
+    #: (e.g. a bare "ADMINISTRATIVE CONTACT" banner when training only saw
+    #: "Administrative Contact:" titles).
+    plain_words: bool = True
+    #: 4-character prefix features on title words ("P4:admi@T"), linking
+    #: morphological variants across registrar vocabularies: admin ~
+    #: administrative, tech ~ technical, organisation ~ organization,
+    #: created ~ creation, expires ~ expiration ~ expiry.
+    prefixes: bool = True
+    #: propagate block-header context: lines indented under a header such as
+    #: "Registrant:" receive a ``CTX:registrant`` attribute.  This encodes
+    #: the paper's observation that "a field title appears alone with the
+    #: following block representing the associated value" (Section 4.2).
+    header_context: bool = True
+    max_words_per_line: int = 40
+
+
+class WhoisFeaturizer:
+    """Converter from WHOIS text to CRF attribute sequences.
+
+    Optionally carries a frozen :class:`Lexicon`: words outside its
+    vocabulary are *additionally* marked with ``UNK@T``/``UNK@V``
+    attributes, giving the model an explicit out-of-vocabulary signal on
+    never-seen templates (unknown words otherwise just contribute nothing).
+    """
+
+    def __init__(
+        self,
+        config: FeaturizerConfig | None = None,
+        *,
+        lexicon: Lexicon | None = None,
+    ) -> None:
+        self.config = config or FeaturizerConfig()
+        self.lexicon = lexicon
+
+    def _unknown(self, word: str) -> bool:
+        return self.lexicon is not None and word not in self.lexicon
+
+    # ------------------------------------------------------------------
+    # Per-line analysis
+    # ------------------------------------------------------------------
+
+    def line_attributes(self, line: str) -> tuple[list[str], list[str]]:
+        """Observation and edge attributes intrinsic to one line of text."""
+        cfg = self.config
+        obs: list[str] = ["BIAS"]
+        edge: list[str] = []
+        split = split_title_value(line)
+        if split is not None:
+            title, value, kind = split
+            obs.append("SEP")
+            obs.append(f"SEP:{kind}")
+            title_words = tokenize(title)[: cfg.max_words_per_line]
+            value_words = tokenize(value)[: cfg.max_words_per_line]
+            if not value_words:
+                obs.append("EMPTYVAL")
+            class_text = value if value_words else line
+        else:
+            title_words = []
+            value_words = tokenize(line)[: cfg.max_words_per_line]
+            class_text = line
+        if cfg.tv_tagging:
+            obs.extend(f"{w}@T" for w in title_words)
+            obs.extend(f"{w}@V" for w in value_words)
+        else:
+            obs.extend(f"{w}@V" for w in title_words + value_words)
+        if self.lexicon is not None:
+            if any(self._unknown(w) for w in title_words):
+                obs.append("UNK@T")
+            if any(self._unknown(w) for w in value_words):
+                obs.append("UNK@V")
+        if cfg.plain_words:
+            obs.extend(dict.fromkeys(title_words + value_words))
+        if cfg.prefixes:
+            # "@H" marks head-position words: the title, or the leading
+            # words when the line has no separator.
+            header_words = title_words if title_words else value_words[:3]
+            obs.extend(dict.fromkeys(
+                f"P4:{w[:4]}@H" for w in header_words if len(w) >= 4
+            ))
+        if cfg.classes:
+            obs.extend(word_classes(class_text))
+        if detect_symbol_start(line):
+            obs.append("SYM")
+            if cfg.edge_markers:
+                edge.append("SYM")
+        if cfg.edge_words:
+            edge.extend(f"{w}@T" for w in title_words[:4])
+            if not title_words and value_words:
+                # Lines without separators transition on their first words
+                # (e.g. the bare "Registrant" block headers).
+                edge.extend(f"{w}@V" for w in value_words[:2])
+        if split is not None and cfg.edge_markers:
+            edge.append("SEP")
+        return obs, edge
+
+    # ------------------------------------------------------------------
+    # Whole-record featurization (first-level CRF)
+    # ------------------------------------------------------------------
+
+    def featurize_lines(self, raw_lines: list[str]) -> Sequence:
+        """Featurize the labelable lines of a record, with layout context."""
+        cfg = self.config
+        obs_seq: list[list[str]] = []
+        edge_seq: list[list[str]] = []
+        blank_run = 0
+        prev_indent: int | None = None
+        header: tuple[str, int] | None = None  # (headword, indent)
+        for line in raw_lines:
+            if not is_labelable(line):
+                blank_run += 1
+                continue
+            obs, edge = self.line_attributes(line)
+            indent = indentation(line)
+            if cfg.markers:
+                if blank_run > 0:
+                    obs.append("NL")
+                    if cfg.edge_markers:
+                        edge.append("NL")
+                if prev_indent is not None:
+                    if indent < prev_indent:
+                        obs.append("SHL")
+                        if cfg.edge_markers:
+                            edge.append("SHL")
+                    elif indent > prev_indent:
+                        obs.append("SHR")
+                        if cfg.edge_markers:
+                            edge.append("SHR")
+                prev_indent = indent
+            if cfg.header_context:
+                if header is not None and indent > header[1]:
+                    obs.append(f"CTX:{header[0]}")
+                    if cfg.prefixes and len(header[0]) >= 4:
+                        obs.append(f"CTX4:{header[0][:4]}")
+                else:
+                    header = None
+                headword = self._headword(line)
+                if headword is not None:
+                    header = (headword, indent)
+            blank_run = 0
+            obs_seq.append(obs)
+            edge_seq.append(edge)
+        return Sequence(obs=obs_seq, edge=edge_seq)
+
+    @staticmethod
+    def _headword(line: str) -> str | None:
+        """First word of a block-header line, or None if not a header.
+
+        A header is a line whose separator has an empty value
+        ("Registrant:") or a short line with no separator at all
+        ("Domain servers in listed order" would qualify via its colon).
+        """
+        split = split_title_value(line)
+        if split is not None:
+            title, value, _kind = split
+            if not tokenize(value):
+                words = tokenize(title)
+                return words[0] if words else None
+            return None
+        words = tokenize(line)
+        if words and len(words) <= 4:
+            return words[0]
+        return None
+
+    def featurize_record(self, record: WhoisRecord) -> Sequence:
+        return self.featurize_lines(record.lines)
+
+    def featurize_text(self, text: str) -> Sequence:
+        return self.featurize_lines(text.splitlines())
+
+    # ------------------------------------------------------------------
+    # Registrant-block featurization (second-level CRF)
+    # ------------------------------------------------------------------
+
+    def featurize_registrant_lines(self, lines: list[str]) -> Sequence:
+        """Featurize a registrant block for the second-level CRF.
+
+        The block is a contiguous run of labelable lines, so ``NL`` context
+        does not apply; indentation shifts within the block do.
+        """
+        return self.featurize_lines(lines)

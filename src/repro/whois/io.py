@@ -1,0 +1,79 @@
+"""JSONL persistence for labeled WHOIS corpora.
+
+The paper released its code and data; this module is the data half: labeled
+records serialize to one JSON object per line, so corpora can be shipped,
+diffed, and re-labeled with standard tools.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.whois.records import LabeledLine, LabeledRecord
+
+
+def record_to_dict(record: LabeledRecord) -> dict:
+    return {
+        "domain": record.domain,
+        "tld": record.tld,
+        "registrar": record.registrar,
+        "schema_family": record.schema_family,
+        "raw_lines": record.raw_lines,
+        "labels": [
+            {"block": line.block, "sub": line.sub} for line in record.lines
+        ],
+    }
+
+
+def record_from_dict(data: dict) -> LabeledRecord:
+    from repro.whois.records import is_labelable
+
+    labelable = [ln for ln in data["raw_lines"] if is_labelable(ln)]
+    labels = data["labels"]
+    if len(labelable) != len(labels):
+        raise ValueError(
+            f"{data.get('domain')}: {len(labels)} labels for "
+            f"{len(labelable)} labelable lines"
+        )
+    lines = [
+        LabeledLine(text=text, block=label["block"], sub=label.get("sub"))
+        for text, label in zip(labelable, labels)
+    ]
+    return LabeledRecord(
+        domain=data["domain"],
+        raw_lines=list(data["raw_lines"]),
+        lines=lines,
+        tld=data.get("tld", "com"),
+        registrar=data.get("registrar"),
+        schema_family=data.get("schema_family"),
+    )
+
+
+def save_corpus(records: Iterable[LabeledRecord], path: str | Path) -> int:
+    """Write records as JSONL; returns the number written."""
+    count = 0
+    with Path(path).open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record_to_dict(record)) + "\n")
+            count += 1
+    return count
+
+
+def load_corpus(path: str | Path) -> list[LabeledRecord]:
+    return list(iter_corpus(path))
+
+
+def iter_corpus(path: str | Path) -> Iterator[LabeledRecord]:
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield record_from_dict(json.loads(line))
+            except (json.JSONDecodeError, KeyError) as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed corpus line ({exc})"
+                ) from exc

@@ -1,0 +1,37 @@
+"""The two label spaces of the paper's two-level parsing strategy (Section 3.2)."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class BlockLabel(str, Enum):
+    """First-level labels: the six blocks of information in a WHOIS record."""
+
+    REGISTRAR = "registrar"
+    DOMAIN = "domain"
+    DATE = "date"
+    REGISTRANT = "registrant"
+    OTHER = "other"
+    NULL = "null"
+
+
+class RegistrantLabel(str, Enum):
+    """Second-level labels: the twelve registrant sub-fields."""
+
+    NAME = "name"
+    ID = "id"
+    ORG = "org"
+    STREET = "street"
+    CITY = "city"
+    STATE = "state"
+    POSTCODE = "postcode"
+    COUNTRY = "country"
+    PHONE = "phone"
+    FAX = "fax"
+    EMAIL = "email"
+    OTHER = "other"
+
+
+BLOCK_LABELS: tuple[str, ...] = tuple(label.value for label in BlockLabel)
+REGISTRANT_LABELS: tuple[str, ...] = tuple(label.value for label in RegistrantLabel)

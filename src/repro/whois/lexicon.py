@@ -1,0 +1,56 @@
+"""Word dictionary with frequency trimming (Section 3.3).
+
+The paper compiles a dictionary of all words appearing in the training set
+and trims the very infrequent ones.  :class:`Lexicon` provides that
+dictionary as a reusable object: the featurizer can consult it to map
+out-of-vocabulary words to a shared ``UNK`` attribute, and analyses can use
+it for corpus statistics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from repro.whois.text import tokenize
+
+
+class Lexicon:
+    """A frequency-counted word dictionary."""
+
+    def __init__(self) -> None:
+        self.counts: Counter[str] = Counter()
+        self._vocab: frozenset[str] | None = None
+
+    def add_text(self, text: str) -> None:
+        if self._vocab is not None:
+            raise RuntimeError("lexicon is frozen; create a new one to re-count")
+        self.counts.update(tokenize(text))
+
+    def add_texts(self, texts: Iterable[str]) -> None:
+        for text in texts:
+            self.add_text(text)
+
+    def freeze(self, min_count: int = 1) -> "Lexicon":
+        """Trim words below ``min_count`` and freeze the vocabulary."""
+        if min_count < 1:
+            raise ValueError("min_count must be >= 1")
+        self._vocab = frozenset(
+            word for word, count in self.counts.items() if count >= min_count
+        )
+        return self
+
+    @property
+    def vocabulary(self) -> frozenset[str]:
+        if self._vocab is None:
+            raise RuntimeError("freeze() the lexicon before using its vocabulary")
+        return self._vocab
+
+    def __contains__(self, word: str) -> bool:
+        return word in self.vocabulary
+
+    def __len__(self) -> int:
+        return len(self.vocabulary)
+
+    def most_common(self, k: int = 20) -> list[tuple[str, int]]:
+        return self.counts.most_common(k)

@@ -1,0 +1,104 @@
+"""WHOIS records and their line-granularity labeling.
+
+Following Section 3 of the paper, a record is chunked into its individual
+lines of text; every line containing at least one alphanumeric character is
+*labelable* and carries exactly one block label (and, inside registrant
+blocks, one sub-field label).  Empty lines and pure-punctuation lines carry
+no label but still matter: they generate the ``NL``/``SYM`` context markers
+used by the featurizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+def is_labelable(line: str) -> bool:
+    """True if the line contains an alphanumeric character (Section 3.1)."""
+    return any(ch.isalnum() for ch in line)
+
+
+@dataclass(frozen=True)
+class WhoisRecord:
+    """A raw (unlabeled) WHOIS response for one domain."""
+
+    domain: str
+    text: str
+
+    @property
+    def lines(self) -> list[str]:
+        return self.text.splitlines()
+
+    def labelable_lines(self) -> list[tuple[int, str]]:
+        """The (raw-index, text) pairs of lines that receive labels."""
+        return [(i, ln) for i, ln in enumerate(self.lines) if is_labelable(ln)]
+
+    def __len__(self) -> int:
+        return len(self.labelable_lines())
+
+
+@dataclass(frozen=True)
+class LabeledLine:
+    """One labelable line with its ground-truth (or predicted) labels."""
+
+    text: str
+    block: str
+    sub: str | None = None
+
+
+@dataclass
+class LabeledRecord:
+    """A WHOIS record whose labelable lines all carry labels.
+
+    ``raw_lines`` preserves the record verbatim, including blank and
+    symbol-only separator lines, so featurization context is intact;
+    ``lines`` holds one :class:`LabeledLine` per labelable raw line, in
+    order.
+    """
+
+    domain: str
+    raw_lines: list[str]
+    lines: list[LabeledLine]
+    tld: str = field(default="com")
+    registrar: str | None = None
+    schema_family: str | None = None
+
+    def __post_init__(self) -> None:
+        n_labelable = sum(1 for ln in self.raw_lines if is_labelable(ln))
+        if n_labelable != len(self.lines):
+            raise ValueError(
+                f"{self.domain}: {n_labelable} labelable raw lines but "
+                f"{len(self.lines)} labeled lines"
+            )
+        for raw, labeled in zip(self.iter_labelable_raw(), self.lines):
+            if raw != labeled.text:
+                raise ValueError(
+                    f"{self.domain}: labeled line {labeled.text!r} does not "
+                    f"match raw line {raw!r}"
+                )
+
+    def iter_labelable_raw(self) -> Iterator[str]:
+        return (ln for ln in self.raw_lines if is_labelable(ln))
+
+    @property
+    def text(self) -> str:
+        return "\n".join(self.raw_lines)
+
+    @property
+    def block_labels(self) -> list[str]:
+        return [line.block for line in self.lines]
+
+    @property
+    def sub_labels(self) -> list[str | None]:
+        return [line.sub for line in self.lines]
+
+    def to_record(self) -> WhoisRecord:
+        """Strip the labels, leaving the raw record."""
+        return WhoisRecord(domain=self.domain, text=self.text)
+
+    def registrant_lines(self) -> list[LabeledLine]:
+        return [line for line in self.lines if line.block == "registrant"]
+
+    def __len__(self) -> int:
+        return len(self.lines)

@@ -1,0 +1,187 @@
+"""Tests for registration evolution and two-crawl churn analysis."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.datagen import CorpusConfig, CorpusGenerator
+from repro.datagen.entities import EntityGenerator
+from repro.datagen.evolution import (
+    ChurnEvent,
+    DEFAULT_RATES,
+    evolve_registration,
+    evolve_snapshot,
+)
+from repro.datagen.registrars import REGISTRARS
+from repro.parser import WhoisParser
+from repro.survey.changes import diff_snapshots, format_churn
+from repro.survey.database import SurveyDatabase
+
+
+@pytest.fixture(scope="module")
+def world():
+    generator = CorpusGenerator(CorpusConfig(seed=1300))
+    registrations = {
+        r.domain: r for r in (generator.sample_registration()
+                              for _ in range(250))
+    }
+    return generator, registrations
+
+
+# ----------------------------------------------------------------------
+# Evolution
+# ----------------------------------------------------------------------
+
+
+def test_event_mix_matches_rates(world):
+    generator, registrations = world
+    rng = random.Random(7)
+    entities = EntityGenerator(rng)
+    _, events = evolve_snapshot(
+        registrations, rng, entities,
+        transfer_targets=REGISTRARS[:6],
+    )
+    counts = Counter(events.values())
+    n = len(registrations)
+    assert counts[ChurnEvent.UNCHANGED] > n * 0.6
+    assert 0 < counts[ChurnEvent.DROPPED] < n * 0.1
+    assert counts[ChurnEvent.RENEWED] > 0
+
+
+def test_renewal_extends_expiry(world):
+    generator, registrations = world
+    rng = random.Random(1)
+    entities = EntityGenerator(rng)
+    registration = next(iter(registrations.values()))
+    for _ in range(200):
+        event, evolved = evolve_registration(
+            registration, rng, entities,
+            rates={ChurnEvent.RENEWED: 1.0},
+        )
+        assert event is ChurnEvent.RENEWED
+        assert evolved.expires > registration.expires
+        break
+
+
+def test_transfer_changes_registrar(world):
+    generator, registrations = world
+    rng = random.Random(2)
+    entities = EntityGenerator(rng)
+    registration = next(iter(registrations.values()))
+    event, evolved = evolve_registration(
+        registration, rng, entities,
+        rates={ChurnEvent.TRANSFERRED: 1.0},
+        transfer_targets=tuple(
+            p for p in REGISTRARS if p.name != registration.registrar_name
+        ),
+    )
+    assert event is ChurnEvent.TRANSFERRED
+    assert evolved.registrar_name != registration.registrar_name
+    assert evolved.schema_family != "" and evolved.schema_version == 1
+
+
+def test_dropped_returns_none(world):
+    generator, registrations = world
+    rng = random.Random(3)
+    entities = EntityGenerator(rng)
+    registration = next(iter(registrations.values()))
+    event, evolved = evolve_registration(
+        registration, rng, entities, rates={ChurnEvent.DROPPED: 1.0}
+    )
+    assert event is ChurnEvent.DROPPED and evolved is None
+
+
+def test_privacy_toggle_round_trip(world):
+    generator, registrations = world
+    rng = random.Random(4)
+    entities = EntityGenerator(rng)
+    public = next(r for r in registrations.values() if not r.is_private)
+    event, private = evolve_registration(
+        public, rng, entities, rates={ChurnEvent.PRIVACY_ADDED: 1.0}
+    )
+    assert event is ChurnEvent.PRIVACY_ADDED and private.is_private
+    event, public_again = evolve_registration(
+        private, rng, entities, rates={ChurnEvent.PRIVACY_REMOVED: 1.0}
+    )
+    assert event is ChurnEvent.PRIVACY_REMOVED
+    assert not public_again.is_private
+
+
+# ----------------------------------------------------------------------
+# End-to-end churn detection through the parser
+# ----------------------------------------------------------------------
+
+
+def test_diff_snapshots_detects_injected_events(world):
+    generator, registrations = world
+    parser = WhoisParser(l2=0.1).fit(generator.labeled_corpus(150))
+    rng = random.Random(11)
+    entities = EntityGenerator(rng)
+    evolved, events = evolve_snapshot(
+        registrations, rng, entities, transfer_targets=REGISTRARS[:8]
+    )
+
+    def build(snapshot):
+        db = SurveyDatabase()
+        expiries = {}
+        for domain, registration in snapshot.items():
+            parsed = parser.parse(generator.render(registration).text)
+            db.add_parsed(domain, parsed)
+            expiries[domain] = parsed.expires
+        return db, expiries
+
+    first_db, first_exp = build(registrations)
+    second_db, second_exp = build(evolved)
+    report = diff_snapshots(first_db, second_db,
+                            first_expiries=first_exp,
+                            second_expiries=second_exp)
+
+    expected = Counter(events.values())
+    assert len(report.dropped) == expected[ChurnEvent.DROPPED]
+    # Transfers: every injected transfer whose registrars normalize
+    # differently must be found; no extras beyond parser noise.
+    assert len(report.transferred) >= expected[ChurnEvent.TRANSFERRED] * 0.7
+    assert len(report.privacy_added) >= expected[ChurnEvent.PRIVACY_ADDED] * 0.7
+    assert len(report.renewed) >= expected[ChurnEvent.RENEWED] * 0.8
+    # False-positive bound: detected events shouldn't wildly exceed injected.
+    assert len(report.transferred) <= expected[ChurnEvent.TRANSFERRED] + 5
+
+
+def test_diff_disjoint_snapshots():
+    a = SurveyDatabase()
+    b = SurveyDatabase()
+    from repro.parser.fields import ParsedRecord
+
+    record = ParsedRecord()
+    record.registrant = {"name": "X", "org": "Org"}
+    a.add_parsed("only-a.com", record)
+    b.add_parsed("only-b.com", record)
+    report = diff_snapshots(a, b)
+    assert report.dropped == ["only-a.com"]
+    assert report.appeared == ["only-b.com"]
+
+
+def test_format_churn_renders(world):
+    generator, registrations = world
+    rng = random.Random(21)
+    entities = EntityGenerator(rng)
+    evolved, _ = evolve_snapshot(registrations, rng, entities,
+                                 transfer_targets=REGISTRARS[:4])
+
+    db_a, db_b = SurveyDatabase(), SurveyDatabase()
+    from repro.parser.fields import ParsedRecord
+
+    for domain in list(registrations)[:30]:
+        r = ParsedRecord()
+        r.registrant = {"org": "A"}
+        r.registrar = registrations[domain].registrar_name
+        db_a.add_parsed(domain, r)
+        if domain in evolved:
+            r2 = ParsedRecord()
+            r2.registrant = {"org": "A"}
+            r2.registrar = evolved[domain].registrar_name
+            db_b.add_parsed(domain, r2)
+    text = format_churn(diff_snapshots(db_a, db_b))
+    assert "Churn between crawls" in text
+    assert "dropped" in text

@@ -1,0 +1,173 @@
+"""Tests for forward-backward and Viterbi against brute-force enumeration."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.special import logsumexp
+
+from repro.crf.inference import (
+    edge_marginals,
+    log_backward,
+    log_forward,
+    log_partition,
+    node_marginals,
+    posterior_score,
+    viterbi,
+)
+
+
+def brute_force_scores(emit, trans):
+    """Score of every possible label sequence, by direct enumeration."""
+    n_tokens, n_states = emit.shape
+    scores = {}
+    for labels in itertools.product(range(n_states), repeat=n_tokens):
+        score = sum(emit[t, y] for t, y in enumerate(labels))
+        score += sum(
+            trans[t, labels[t], labels[t + 1]] for t in range(n_tokens - 1)
+        )
+        scores[labels] = score
+    return scores
+
+
+def random_potentials(rng, n_tokens, n_states, scale=3.0):
+    emit = rng.normal(scale=scale, size=(n_tokens, n_states))
+    trans = rng.normal(scale=scale, size=(max(n_tokens - 1, 0), n_states, n_states))
+    return emit, trans
+
+
+potential_params = st.tuples(
+    st.integers(min_value=1, max_value=5),  # n_tokens
+    st.integers(min_value=2, max_value=4),  # n_states
+    st.integers(min_value=0, max_value=10_000),  # rng seed
+)
+
+
+@given(potential_params)
+@settings(max_examples=40, deadline=None)
+def test_log_partition_matches_brute_force(params):
+    n_tokens, n_states, seed = params
+    rng = np.random.default_rng(seed)
+    emit, trans = random_potentials(rng, n_tokens, n_states)
+    expected = logsumexp(list(brute_force_scores(emit, trans).values()))
+    assert log_partition(emit, trans) == pytest.approx(expected, rel=1e-9)
+
+
+@given(potential_params)
+@settings(max_examples=40, deadline=None)
+def test_viterbi_matches_brute_force_argmax(params):
+    n_tokens, n_states, seed = params
+    rng = np.random.default_rng(seed)
+    emit, trans = random_potentials(rng, n_tokens, n_states)
+    scores = brute_force_scores(emit, trans)
+    best = max(scores, key=scores.get)
+    got = tuple(viterbi(emit, trans).tolist())
+    # Ties are vanishingly unlikely with continuous potentials, but compare
+    # scores rather than paths to be safe.
+    assert posterior_score(emit, trans, np.array(got)) == pytest.approx(
+        scores[best], rel=1e-9
+    )
+
+
+@given(potential_params)
+@settings(max_examples=30, deadline=None)
+def test_node_marginals_match_brute_force(params):
+    n_tokens, n_states, seed = params
+    rng = np.random.default_rng(seed)
+    emit, trans = random_potentials(rng, n_tokens, n_states)
+    scores = brute_force_scores(emit, trans)
+    log_z = logsumexp(list(scores.values()))
+    expected = np.zeros((n_tokens, n_states))
+    for labels, score in scores.items():
+        p = np.exp(score - log_z)
+        for t, y in enumerate(labels):
+            expected[t, y] += p
+    got = node_marginals(emit, trans)
+    np.testing.assert_allclose(got, expected, atol=1e-10)
+
+
+@given(potential_params)
+@settings(max_examples=30, deadline=None)
+def test_edge_marginals_match_brute_force(params):
+    n_tokens, n_states, seed = params
+    rng = np.random.default_rng(seed)
+    emit, trans = random_potentials(rng, n_tokens, n_states)
+    scores = brute_force_scores(emit, trans)
+    log_z = logsumexp(list(scores.values()))
+    expected = np.zeros((max(n_tokens - 1, 0), n_states, n_states))
+    for labels, score in scores.items():
+        p = np.exp(score - log_z)
+        for t in range(n_tokens - 1):
+            expected[t, labels[t], labels[t + 1]] += p
+    got = edge_marginals(emit, trans)
+    np.testing.assert_allclose(got, expected, atol=1e-10)
+
+
+@given(potential_params)
+@settings(max_examples=30, deadline=None)
+def test_marginals_are_distributions(params):
+    n_tokens, n_states, seed = params
+    rng = np.random.default_rng(seed)
+    emit, trans = random_potentials(rng, n_tokens, n_states)
+    node = node_marginals(emit, trans)
+    assert np.all(node >= -1e-12)
+    np.testing.assert_allclose(node.sum(axis=1), 1.0, atol=1e-9)
+    if n_tokens > 1:
+        edge = edge_marginals(emit, trans)
+        np.testing.assert_allclose(edge.sum(axis=(1, 2)), 1.0, atol=1e-9)
+        # Edge marginals must be consistent with node marginals.
+        np.testing.assert_allclose(edge.sum(axis=2), node[:-1], atol=1e-9)
+        np.testing.assert_allclose(edge.sum(axis=1), node[1:], atol=1e-9)
+
+
+def test_forward_backward_agree_on_partition():
+    rng = np.random.default_rng(7)
+    emit, trans = random_potentials(rng, 12, 6)
+    alpha = log_forward(emit, trans)
+    beta = log_backward(emit, trans)
+    # alpha[t] + beta[t] must logsumexp to the same logZ at every position.
+    per_position = logsumexp(alpha + beta, axis=1)
+    np.testing.assert_allclose(per_position, per_position[0], atol=1e-9)
+
+
+def test_single_token_sequence():
+    emit = np.array([[1.0, 2.0, 0.5]])
+    trans = np.zeros((0, 3, 3))
+    assert viterbi(emit, trans).tolist() == [1]
+    assert log_partition(emit, trans) == pytest.approx(logsumexp(emit[0]))
+    np.testing.assert_allclose(
+        node_marginals(emit, trans)[0], np.exp(emit[0] - logsumexp(emit[0]))
+    )
+    assert edge_marginals(emit, trans).shape == (0, 3, 3)
+
+
+def test_empty_sequence_rejected():
+    with pytest.raises(ValueError):
+        log_partition(np.zeros((0, 3)), np.zeros((0, 3, 3)))
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        log_partition(np.zeros((4, 3)), np.zeros((2, 3, 3)))
+
+
+def test_posterior_score_length_mismatch():
+    emit = np.zeros((3, 2))
+    trans = np.zeros((2, 2, 2))
+    with pytest.raises(ValueError):
+        posterior_score(emit, trans, np.array([0, 1]))
+
+
+def test_viterbi_prefers_transition_structure():
+    # Emissions are symmetric; only transitions break the tie, so the path
+    # must follow the high-weight transition chain 0 -> 1 -> 0 -> 1.
+    emit = np.zeros((4, 2))
+    trans = np.zeros((3, 2, 2))
+    trans[:, 0, 1] = 5.0
+    trans[:, 1, 0] = 5.0
+    trans[:, 0, 0] = -5.0
+    trans[:, 1, 1] = -5.0
+    path = viterbi(emit, trans).tolist()
+    assert path in ([0, 1, 0, 1], [1, 0, 1, 0])

@@ -1,0 +1,427 @@
+"""Tests for the synthetic data substrate."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.blacklist import (
+    DBL_COUNTRY_DIST,
+    DBL_REGISTRAR_DIST,
+    weighted_choice,
+)
+from repro.datagen.corpus import BRAND_WEIGHTS, CorpusConfig, CorpusGenerator
+from repro.datagen.countries import (
+    COUNTRIES,
+    country_by_code,
+    country_profile,
+)
+from repro.datagen.entities import EntityGenerator
+from repro.datagen.registrars import (
+    REGISTRARS,
+    registrar_by_name,
+    registrar_shares,
+    tail_registrar_profile,
+)
+from repro.datagen.schemas import FAMILIES, family_by_name
+from repro.datagen.thin import extract_referral, extract_registrar, render_thin
+from repro.datagen.tlds import EXAMPLE_DOMAINS, NEW_TLDS
+from repro.datagen.zone import ZoneFile
+from repro.whois.labels import BLOCK_LABELS, REGISTRANT_LABELS
+
+
+# ----------------------------------------------------------------------
+# Countries
+# ----------------------------------------------------------------------
+
+
+def test_country_lookup():
+    assert country_by_code("US").name == "United States"
+    with pytest.raises(KeyError):
+        country_by_code("ZZ")
+
+
+def test_country_codes_unique():
+    codes = [c.code for c in COUNTRIES]
+    assert len(set(codes)) == len(codes)
+
+
+@given(st.integers(min_value=1980, max_value=2020))
+@settings(max_examples=30, deadline=None)
+def test_country_profile_is_distribution(year):
+    profile = country_profile(year)
+    assert sum(profile.values()) == pytest.approx(1.0)
+    assert all(p >= 0 for p in profile.values())
+
+
+def test_country_profile_trends():
+    """US share falls and CN share rises over time (Figure 4b)."""
+    early, late = country_profile(1998), country_profile(2014)
+    assert early["US"] > late["US"]
+    assert early["CN"] < late["CN"]
+
+
+# ----------------------------------------------------------------------
+# Entities
+# ----------------------------------------------------------------------
+
+
+def test_contact_shapes_per_country():
+    gen = EntityGenerator(random.Random(1))
+    us = gen.contact("US")
+    assert len(us.postcode) == 5 and us.postcode.isdigit()
+    assert us.country_code == "US"
+    assert "@" in us.email
+    jp = gen.contact("JP")
+    assert "-" in jp.postcode
+    gb = gen.contact("GB")
+    assert any(ch.isalpha() for ch in gb.postcode)
+
+
+def test_contact_unknown_country():
+    gen = EntityGenerator(random.Random(2))
+    contact = gen.contact("??")
+    assert contact.country_code == "??"
+    assert contact.country_display == ""
+
+
+def test_entity_generation_is_deterministic():
+    a = EntityGenerator(random.Random(42)).contact("US")
+    b = EntityGenerator(random.Random(42)).contact("US")
+    assert a == b
+
+
+def test_domain_names_have_tld():
+    gen = EntityGenerator(random.Random(3))
+    for _ in range(20):
+        domain = gen.domain_name("com")
+        assert domain.endswith(".com")
+        label = domain.removesuffix(".com")
+        assert label and label.replace("-", "").isalnum()
+
+
+def test_name_servers_count():
+    gen = EntityGenerator(random.Random(4))
+    servers = gen.name_servers("x.com", count=3)
+    assert len(servers) == 3
+    assert all(s.startswith("ns") for s in servers)
+
+
+# ----------------------------------------------------------------------
+# Registrars
+# ----------------------------------------------------------------------
+
+
+def test_registrar_shares_sum_below_one():
+    for year in (2000, 2007, 2014):
+        shares = registrar_shares(year)
+        assert 0.5 < sum(shares.values()) <= 1.0
+
+
+def test_registrar_share_trends():
+    """Chinese registrars gain share over time (Table 5 right vs left)."""
+    early, late = registrar_shares(2003), registrar_shares(2014)
+    assert late["HiChina Zhicheng Technology Ltd."] > early[
+        "HiChina Zhicheng Technology Ltd."
+    ]
+    assert late["Xin Net Technology Corporation"] > early[
+        "Xin Net Technology Corporation"
+    ]
+
+
+def test_registrar_lookup_and_tail():
+    assert registrar_by_name("GoDaddy.com, LLC").iana_id == 146
+    with pytest.raises(KeyError):
+        registrar_by_name("Nope Registrars")
+    tail = tail_registrar_profile(5)
+    assert tail.schema_family in FAMILIES
+    with pytest.raises(ValueError):
+        tail_registrar_profile(10_000)
+
+
+def test_all_registrar_schema_families_resolve():
+    for profile in REGISTRARS:
+        family_by_name(profile.schema_family)  # must not raise
+
+
+def test_country_mixes_are_normalizable():
+    for profile in REGISTRARS:
+        if profile.country_mix is not None:
+            total = sum(profile.country_mix.values())
+            assert total == pytest.approx(1.0, abs=0.02), profile.name
+
+
+# ----------------------------------------------------------------------
+# weighted_choice
+# ----------------------------------------------------------------------
+
+
+def test_weighted_choice_respects_weights():
+    rng = random.Random(0)
+    counts = Counter(
+        weighted_choice(rng, {"a": 0.9, "b": 0.1}) for _ in range(2000)
+    )
+    assert counts["a"] > counts["b"] * 4
+
+
+def test_dbl_distributions_sum_to_one():
+    assert sum(DBL_COUNTRY_DIST.values()) == pytest.approx(1.0, abs=0.01)
+    assert sum(DBL_REGISTRAR_DIST.values()) == pytest.approx(1.0, abs=0.01)
+
+
+# ----------------------------------------------------------------------
+# Schema families
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return CorpusGenerator(CorpusConfig(seed=7))
+
+
+@pytest.mark.parametrize("family_name", sorted(FAMILIES))
+def test_every_family_renders_valid_records(family_name, generator):
+    family = FAMILIES[family_name]
+    for version in range(1, family.n_versions + 1):
+        registration = generator.sample_registration()
+        record = family.render(registration, generator.rng, version=version)
+        assert record.domain == registration.domain
+        assert len(record.lines) >= 8
+        for line in record.lines:
+            assert line.block in BLOCK_LABELS
+            if line.block == "registrant":
+                assert line.sub in REGISTRANT_LABELS
+        blocks = set(record.block_labels)
+        assert "registrant" in blocks
+        assert "domain" in blocks
+        assert "date" in blocks
+        assert "registrar" in blocks
+
+
+def test_family_version_out_of_range(generator):
+    registration = generator.sample_registration()
+    with pytest.raises(ValueError):
+        FAMILIES["godaddy"].render(registration, generator.rng, version=3)
+
+
+def test_godaddy_drift_changes_titles(generator):
+    registration = generator.sample_registration()
+    v1 = FAMILIES["godaddy"].render(registration, generator.rng, version=1)
+    v2 = FAMILIES["godaddy"].render(registration, generator.rng, version=2)
+    assert any("Updated Date:" in ln for ln in v1.raw_lines)
+    assert any("Update Date:" in ln for ln in v2.raw_lines)
+
+
+def test_registrant_subfields_cover_core_fields(generator):
+    registration = generator.sample_registration(
+        registrar=registrar_by_name("GoDaddy.com, LLC")
+    )
+    record = FAMILIES["godaddy"].render(registration, generator.rng)
+    subs = {line.sub for line in record.registrant_lines()}
+    assert {"name", "org", "street", "city", "postcode", "phone",
+            "email"} <= subs
+
+
+def test_alias_families_resolve():
+    assert family_by_name("namecheap").name == "enom"
+    assert family_by_name("pdr").name == "generic_a"
+    with pytest.raises(KeyError):
+        family_by_name("nonexistent")
+
+
+# ----------------------------------------------------------------------
+# Thin records
+# ----------------------------------------------------------------------
+
+
+def test_thin_record_roundtrip(generator):
+    registration = generator.sample_registration()
+    thin = render_thin(registration)
+    assert extract_referral(thin) == registration.registrar_whois_server
+    assert extract_registrar(thin) == registration.registrar_name.upper()
+    assert registration.domain.upper() in thin
+
+
+def test_extract_referral_absent():
+    assert extract_referral("No match for domain.") is None
+    assert extract_registrar("No match for domain.") is None
+
+
+# ----------------------------------------------------------------------
+# New TLD templates
+# ----------------------------------------------------------------------
+
+
+def test_new_tld_records_cover_all_twelve(generator):
+    records = generator.new_tld_records()
+    assert set(records) == set(NEW_TLDS) == set(EXAMPLE_DOMAINS)
+    for tld, record in records.items():
+        assert record.tld == tld
+        assert record.domain == EXAMPLE_DOMAINS[tld]
+        assert len(record.lines) >= 15
+        assert "registrant" in set(record.block_labels)
+
+
+def test_new_tld_templates_are_distinct(generator):
+    records = generator.new_tld_records()
+    first_lines = {tld: rec.raw_lines[0] for tld, rec in records.items()}
+    # org intentionally mirrors info; all other first lines must differ.
+    values = [v for tld, v in first_lines.items() if tld != "org"]
+    assert len(set(values)) == len(values)
+
+
+# ----------------------------------------------------------------------
+# Corpus generation
+# ----------------------------------------------------------------------
+
+
+def test_labeled_corpus_reproducible():
+    a = CorpusGenerator(CorpusConfig(seed=11)).labeled_corpus(5)
+    b = CorpusGenerator(CorpusConfig(seed=11)).labeled_corpus(5)
+    assert [r.text for r in a] == [r.text for r in b]
+    assert [r.block_labels for r in a] == [r.block_labels for r in b]
+
+
+def test_corpus_deterministic_across_processes():
+    """Corpora must be byte-identical regardless of PYTHONHASHSEED.
+
+    Regression test: set-iteration order once leaked into weighted
+    sampling, making corpora differ between interpreter processes.
+    """
+    import hashlib
+    import subprocess
+    import sys
+
+    script = (
+        "from repro.datagen import CorpusGenerator;"
+        "from repro.datagen.corpus import CorpusConfig;"
+        "import hashlib;"
+        "c = CorpusGenerator(CorpusConfig(seed=305)).labeled_corpus(20);"
+        "t = chr(10).join(r.text for r in c);"
+        "print(hashlib.md5(t.encode()).hexdigest())"
+    )
+    digests = set()
+    for hash_seed in ("0", "31337"):
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+            check=True,
+        )
+        digests.add(result.stdout.strip())
+    assert len(digests) == 1
+
+
+def test_new_tld_records_deterministic_ids():
+    a = CorpusGenerator(CorpusConfig(seed=77)).new_tld_record("asia")
+    b = CorpusGenerator(CorpusConfig(seed=77)).new_tld_record("asia")
+    assert a.text == b.text
+
+
+def test_corpus_seeds_differ():
+    a = CorpusGenerator(CorpusConfig(seed=1)).labeled_corpus(5)
+    b = CorpusGenerator(CorpusConfig(seed=2)).labeled_corpus(5)
+    assert [r.text for r in a] != [r.text for r in b]
+
+
+def test_corpus_domains_unique():
+    corpus = CorpusGenerator(CorpusConfig(seed=3)).labeled_corpus(200)
+    domains = [r.domain for r in corpus]
+    assert len(set(domains)) == len(domains)
+
+
+def test_survey_registrations_match_target_distributions():
+    gen = CorpusGenerator(CorpusConfig(seed=5))
+    registrations = gen.registrations(4000)
+    # Privacy rate near the paper's ~20% overall.
+    privacy = sum(r.is_private for r in registrations) / len(registrations)
+    assert 0.08 < privacy < 0.35
+    # GoDaddy near its ~34% share.
+    godaddy = sum(
+        r.registrar_name == "GoDaddy.com, LLC" for r in registrations
+    ) / len(registrations)
+    assert 0.35 * 0.7 < godaddy < 0.35 * 1.3
+    # US is the top non-private registrant country.
+    countries = Counter(
+        r.registrant_country for r in registrations if not r.is_private
+    )
+    assert countries.most_common(1)[0][0] == "US"
+
+
+def test_dbl_registrations_skews():
+    gen = CorpusGenerator(CorpusConfig(seed=6))
+    dbl = gen.dbl_registrations(1500)
+    assert all(r.blacklisted and r.creation_year == 2014 for r in dbl)
+    countries = Counter(r.registrant_country for r in dbl)
+    # Table 8 shape: US first, JP second, CN third.
+    top3 = [code for code, _ in countries.most_common(3)]
+    assert top3 == ["US", "JP", "CN"]
+    registrars = Counter(r.registrar_name for r in dbl)
+    top_registrars = {name for name, _ in registrars.most_common(3)}
+    assert "eNom, Inc." in top_registrars
+    assert "GMO Internet, Inc. d/b/a Onamae.com" in top_registrars
+
+
+def test_brand_registrations_present():
+    gen = CorpusGenerator(CorpusConfig(seed=8, brand_rate=0.05))
+    registrations = gen.registrations(2000)
+    brands = Counter(r.brand for r in registrations if r.brand)
+    assert brands  # some brand domains exist
+    assert set(brands) <= set(BRAND_WEIGHTS)
+
+
+def test_drift_probability_produces_v2_records():
+    gen = CorpusGenerator(CorpusConfig(seed=9, drift_probability=1.0))
+    versions = {
+        r.schema_version
+        for r in gen.registrations(300)
+        if r.registrar_name == "GoDaddy.com, LLC"
+    }
+    assert versions == {2}
+
+
+def test_zone_generation():
+    gen = CorpusGenerator(CorpusConfig(seed=10))
+    zone, registrations = gen.zone(300)
+    assert len(zone) == 300
+    assert set(zone.domains) == set(registrations)
+    assert 0 < len(zone.expired) < 40
+    assert len(zone.active_domains()) == 300 - len(zone.expired)
+
+
+def test_zone_file_roundtrip(tmp_path):
+    zone = ZoneFile(tld="com", domains=["a.com", "b.com"])
+    zone.save(tmp_path / "zone.txt")
+    loaded = ZoneFile.load(tmp_path / "zone.txt")
+    assert loaded.domains == ["a.com", "b.com"]
+
+
+def test_zone_file_rejects_duplicates():
+    with pytest.raises(ValueError):
+        ZoneFile(tld="com", domains=["a.com", "a.com"])
+
+
+def test_zone_file_rejects_unknown_expired():
+    with pytest.raises(ValueError):
+        ZoneFile(tld="com", domains=["a.com"], expired={"b.com"})
+
+
+def test_corpus_config_seed_conflict():
+    with pytest.raises(ValueError):
+        CorpusGenerator(CorpusConfig(seed=1), seed=2)
+
+
+def test_privacy_contact_has_service_org():
+    gen = CorpusGenerator(CorpusConfig(seed=12, privacy_rate_2014=0.9))
+    found = False
+    for _ in range(200):
+        reg = gen.sample_registration(year=2014)
+        if reg.is_private:
+            assert reg.registrant.org == reg.privacy_service
+            assert reg.registrant.name == "Registration Private"
+            found = True
+            break
+    assert found

@@ -1,0 +1,224 @@
+"""Tests for metrics, cross-validation, and the experiment drivers."""
+
+import pytest
+
+from repro.datagen import CorpusGenerator
+from repro.datagen.corpus import CorpusConfig
+from repro.eval.crossval import kfold, learning_curve
+from repro.eval.experiments import (
+    ABLATION_CONFIGS,
+    ablation_study,
+    crawl_and_survey,
+    figure1_transition_graph,
+    figures2_3_learning_curves,
+    make_parser,
+    sec23_baselines,
+    sec53_maintainability,
+    table1_top_features,
+    table2_new_tlds,
+)
+from repro.eval.metrics import count_line_errors, evaluate_parser
+from repro.parser import RuleBasedParser
+from repro.whois.labels import BLOCK_LABELS
+
+
+class _ConstantParser:
+    def __init__(self, label="null"):
+        self.label = label
+
+    def predict_blocks(self, record):
+        return [self.label] * len(record.block_labels)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return CorpusGenerator(CorpusConfig(seed=500)).labeled_corpus(120)
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+
+def test_count_line_errors():
+    assert count_line_errors(["a", "b"], ["a", "c"]) == 1
+    with pytest.raises(ValueError):
+        count_line_errors(["a"], ["a", "b"])
+
+
+def test_evaluate_parser_perfect(corpus):
+    evaluation = evaluate_parser(RuleBasedParser(), corpus)
+    assert evaluation.line_error_rate == 0.0
+    assert evaluation.document_error_rate == 0.0
+    assert evaluation.confusion == {}
+
+
+def test_evaluate_parser_constant(corpus):
+    evaluation = evaluate_parser(_ConstantParser("null"), corpus)
+    assert evaluation.line_error_rate > 0.5
+    assert evaluation.document_error_rate == 1.0
+    assert all(pred == "null" for (_, pred) in evaluation.confusion)
+
+
+# ----------------------------------------------------------------------
+# Cross-validation
+# ----------------------------------------------------------------------
+
+
+def test_kfold_partitions(corpus):
+    folds = kfold(corpus, 5, seed=0)
+    assert len(folds) == 5
+    domains = [r.domain for fold in folds for r in fold]
+    assert sorted(domains) == sorted(r.domain for r in corpus)
+    sizes = [len(f) for f in folds]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_kfold_validates(corpus):
+    with pytest.raises(ValueError):
+        kfold(corpus, 1)
+    with pytest.raises(ValueError):
+        kfold(corpus[:3], 5)
+
+
+def test_learning_curve_shapes(corpus):
+    points = learning_curve(
+        corpus,
+        {"rules": lambda train: RuleBasedParser().fit(train)},
+        train_sizes=(5, 20),
+        n_folds=3,
+        seed=0,
+    )
+    assert len(points) == 2
+    by_size = {p.train_size: p for p in points}
+    assert by_size[20].line_error_mean <= by_size[5].line_error_mean
+    assert all(p.n_folds == 3 for p in points)
+
+
+def test_learning_curve_size_validation(corpus):
+    with pytest.raises(ValueError):
+        learning_curve(
+            corpus,
+            {"rules": lambda train: RuleBasedParser().fit(train)},
+            train_sizes=(1000,),
+            n_folds=5,
+        )
+
+
+# ----------------------------------------------------------------------
+# Experiment drivers (smoke-scale)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def small_parser(corpus):
+    return make_parser(corpus, second_level=False)
+
+
+def test_table1_driver(small_parser):
+    features = table1_top_features(small_parser, k=5)
+    assert set(features) == set(BLOCK_LABELS)
+    assert all(len(v) == 5 for v in features.values())
+    registrant_words = [w for w, _ in features["registrant"]]
+    assert any("registrant" in w or "owner" in w or "CTX" in w
+               for w in registrant_words)
+
+
+def test_figure1_driver(small_parser):
+    graph = figure1_transition_graph(small_parser, k=15)
+    assert set(graph.nodes) == set(BLOCK_LABELS)
+    assert graph.number_of_edges() > 0
+    for _, _, data in graph.edges(data=True):
+        assert data["features"]
+
+
+def test_figures2_3_driver_small():
+    points = figures2_3_learning_curves(
+        n_records=150, train_sizes=(10, 25), n_folds=3, seed=0
+    )
+    names = {p.parser_name for p in points}
+    assert names == {"rule-based", "statistical"}
+    assert len(points) == 4
+
+
+def test_table2_driver_small():
+    results = table2_new_tlds(train_size=120, seed=0)
+    assert len(results) == 12
+    # The statistical parser is never (meaningfully) worse than rules, and
+    # is much better overall.
+    assert sum(r.statistical_errors for r in results) < sum(
+        r.rule_errors for r in results
+    )
+
+
+def test_sec53_driver_small():
+    result = sec53_maintainability(train_size=120, seed=0)
+    assert result.statistical_errors_after == 0
+    assert result.examples_added == result.statistical_tlds_with_errors
+    assert result.rule_tlds_with_errors >= result.statistical_tlds_with_errors
+
+
+def test_sec23_driver_small():
+    result = sec23_baselines(n_train=120, n_test=120, seed=0)
+    assert 0.7 < result.template_coverage <= 1.0
+    assert result.template_ok_rate_drifted < result.template_ok_rate_static
+    assert 0.3 < result.regex_registrant_accuracy < 0.9
+    assert result.statistical_registrant_accuracy \
+        > result.regex_registrant_accuracy
+
+
+def test_crawl_and_survey_driver_small():
+    stats, db, parser = crawl_and_survey(
+        n_domains=400, n_train=80, n_dbl=100, seed=0
+    )
+    assert stats.thick_coverage > 0.7
+    assert len(db) > 300
+    assert len(db.blacklisted()) == 100
+
+
+def test_two_level_vs_flat_driver_small():
+    from repro.eval.experiments import two_level_vs_flat
+
+    result = two_level_vs_flat(n_train=50, n_test=80, seed=1)
+    assert 0.0 <= result.flat_block_error <= 1.0
+    assert 0.0 <= result.two_level_sub_error <= 1.0
+    assert result.flat_states == 17
+    assert result.two_level_states == (6, 12)
+
+
+def test_registrant_field_metrics(corpus):
+    from repro.eval.experiments import registrant_field_metrics
+
+    parser = make_parser(corpus[:80])
+    metrics = registrant_field_metrics(parser, corpus[80:])
+    assert "name" in metrics and "email" in metrics
+    for field, m in metrics.items():
+        assert 0.0 <= m.precision <= 1.0
+        assert 0.0 <= m.recall <= 1.0
+        assert 0.0 <= m.f1 <= 1.0
+    # Core contact fields must be extracted well on in-distribution data.
+    assert metrics["email"].f1 > 0.9
+    assert metrics["name"].f1 > 0.85
+
+
+def test_line_confidences(corpus):
+    parser = make_parser(corpus[:60])
+    record = corpus[70]
+    confidences = parser.line_confidences(record)
+    assert len(confidences) == len(record.block_labels)
+    for line, block, prob in confidences:
+        assert 0.0 <= prob <= 1.0 + 1e-9
+    mean = sum(p for _, _, p in confidences) / len(confidences)
+    assert mean > 0.9  # clean in-distribution records are high-confidence
+    assert parser.line_confidences("") == []
+
+
+def test_ablation_driver_small():
+    results = ablation_study(n_train=25, n_test=80, seed=0,
+                             configs={
+                                 "full": ABLATION_CONFIGS["full"],
+                                 "no-tv-tagging":
+                                     ABLATION_CONFIGS["no-tv-tagging"],
+                             })
+    assert set(results) == {"full", "no-tv-tagging"}
+    assert all(0.0 <= v <= 1.0 for v in results.values())

@@ -1,0 +1,314 @@
+"""Tests for the WHOIS protocol simulation and crawler."""
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen import CorpusGenerator
+from repro.datagen.corpus import CorpusConfig
+from repro.datagen.registrars import RateLimitSpec
+from repro.netsim.clock import SimClock
+from repro.netsim.crawler import WhoisCrawler
+from repro.netsim.internet import SimulatedInternet, build_com_internet
+from repro.netsim.protocol import (
+    MAX_QUERY_LENGTH,
+    ProtocolError,
+    frame_query,
+    frame_response,
+    parse_query,
+)
+from repro.netsim.ratelimit import RateLimiter
+from repro.netsim.servers import QueryOutcome, RegistrarServer, RegistryServer
+from repro.netsim.tcp import AsyncWhoisServer, whois_query
+
+
+# ----------------------------------------------------------------------
+# Protocol framing
+# ----------------------------------------------------------------------
+
+
+def test_frame_and_parse_query_roundtrip():
+    assert parse_query(frame_query("example.com")) == "example.com"
+
+
+def test_frame_query_rejects_newlines():
+    with pytest.raises(ProtocolError):
+        frame_query("evil\nquery")
+
+
+def test_frame_query_rejects_oversize():
+    with pytest.raises(ProtocolError):
+        frame_query("x" * (MAX_QUERY_LENGTH + 1))
+
+
+def test_parse_query_tolerates_bare_lf():
+    assert parse_query(b"example.com\n") == "example.com"
+
+
+def test_frame_response_normalizes_line_endings():
+    framed = frame_response("a\nb")
+    assert framed == b"a\r\nb\r\n"
+
+
+@given(st.text(alphabet=st.characters(blacklist_characters="\r\n",
+                                      max_codepoint=0x7F), max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_query_roundtrip_property(query):
+    assert parse_query(frame_query(query)) == query.strip()
+
+
+# ----------------------------------------------------------------------
+# Clock and rate limiter
+# ----------------------------------------------------------------------
+
+
+def test_clock_advances_monotonically():
+    clock = SimClock()
+    clock.advance(5)
+    assert clock.now() == 5
+    clock.sleep_until(3)  # no-op, never backwards
+    assert clock.now() == 5
+    with pytest.raises(ValueError):
+        clock.advance(-1)
+
+
+def test_rate_limiter_allows_under_limit():
+    clock = SimClock()
+    limiter = RateLimiter(clock, limit=3, window=10.0, penalty=30.0)
+    assert all(limiter.allow("a") for _ in range(3))
+
+
+def test_rate_limiter_trips_and_recovers():
+    clock = SimClock()
+    limiter = RateLimiter(clock, limit=2, window=10.0, penalty=30.0,
+                          punish_during_penalty=False)
+    assert limiter.allow("a") and limiter.allow("a")
+    assert not limiter.allow("a")
+    assert limiter.is_penalized("a")
+    assert limiter.trips("a") == 1
+    clock.advance(31)
+    # Window has also passed, so the budget is fresh.
+    assert limiter.allow("a")
+
+
+def test_rate_limiter_penalty_extension():
+    clock = SimClock()
+    limiter = RateLimiter(clock, limit=1, window=10.0, penalty=30.0)
+    assert limiter.allow("a")
+    assert not limiter.allow("a")  # trip
+    clock.advance(20)
+    assert not limiter.allow("a")  # still penalized, penalty restarts
+    clock.advance(25)
+    assert not limiter.allow("a")  # extended penalty still active
+
+
+def test_rate_limiter_sources_independent():
+    clock = SimClock()
+    limiter = RateLimiter(clock, limit=1, window=10.0, penalty=30.0)
+    assert limiter.allow("a")
+    assert not limiter.allow("a")
+    assert limiter.allow("b")
+
+
+def test_rate_limiter_window_slides():
+    clock = SimClock()
+    limiter = RateLimiter(clock, limit=2, window=10.0, penalty=5.0)
+    assert limiter.allow("a")
+    clock.advance(11)
+    assert limiter.allow("a")
+    assert limiter.allow("a")  # first query aged out of the window
+
+
+def test_rate_limiter_validates_params():
+    with pytest.raises(ValueError):
+        RateLimiter(SimClock(), limit=0, window=10, penalty=1)
+
+
+# ----------------------------------------------------------------------
+# Servers
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def com_world():
+    gen = CorpusGenerator(CorpusConfig(seed=300))
+    zone, registrations = gen.zone(800)
+    internet, clock, truth = build_com_internet(gen, zone, registrations)
+    return gen, zone, registrations, internet, clock, truth
+
+
+def test_registry_serves_thin_records(com_world):
+    _, zone, registrations, internet, _, _ = com_world
+    domain = zone.active_domains()[0]
+    response = internet.query("1.2.3.4", "whois.verisign-grs.com", domain)
+    assert response.outcome is QueryOutcome.OK
+    assert registrations[domain].registrar_whois_server in response.text
+
+
+def test_registry_no_match_for_expired(com_world):
+    _, zone, _, internet, _, _ = com_world
+    if not zone.expired:
+        pytest.skip("no expired domains in this draw")
+    domain = next(iter(zone.expired))
+    response = internet.query("1.2.3.5", "whois.verisign-grs.com", domain)
+    assert response.outcome is QueryOutcome.NO_MATCH
+
+
+def test_registrar_serves_thick_records(com_world):
+    _, zone, registrations, internet, _, truth = com_world
+    domain = zone.active_domains()[0]
+    host = registrations[domain].registrar_whois_server
+    response = internet.query("1.2.3.6", host, domain)
+    assert response.outcome is QueryOutcome.OK
+    assert response.text == truth[domain].text
+
+
+def test_unknown_host_drops(com_world):
+    *_, internet, _, _ = com_world
+    response = internet.query("1.2.3.7", "whois.nowhere.example", "x.com")
+    assert response.outcome is QueryOutcome.DROPPED
+
+
+def test_server_rate_limit_failure_modes():
+    clock = SimClock()
+    server = RegistrarServer(
+        "whois.strict.com", clock, {"x.com": "text"},
+        rate_limit=RateLimitSpec(limit=1, window=10, penalty=60,
+                                 failure_mode="error"),
+    )
+    assert server.query("ip", "x.com").outcome is QueryOutcome.OK
+    refused = server.query("ip", "x.com")
+    assert refused.outcome is QueryOutcome.ERROR
+    assert "LIMIT EXCEEDED" in refused.text
+    assert server.refused_count == 1
+
+
+def test_latency_advances_clock(com_world):
+    *_, internet, clock, _ = com_world
+    before = clock.now()
+    internet.query("9.9.9.9", "whois.verisign-grs.com", "whatever.com")
+    assert clock.now() == pytest.approx(before + internet.latency)
+
+
+# ----------------------------------------------------------------------
+# Crawler
+# ----------------------------------------------------------------------
+
+
+def test_crawl_reaches_paper_coverage():
+    gen = CorpusGenerator(CorpusConfig(seed=301))
+    zone, registrations = gen.zone(2000)
+    internet, clock, truth = build_com_internet(gen, zone, registrations)
+    crawler = WhoisCrawler(internet)
+    results = crawler.crawl(zone)
+    stats = crawler.stats
+    assert stats.total == 2000
+    # Section 4.1: "a bit over 90%" thick coverage, ~7.5% failures.
+    assert stats.thick_coverage > 0.80
+    assert 0.01 < stats.failure_rate < 0.15
+    # Every retrieved thick record is byte-identical to ground truth.
+    for result in results:
+        if result.status == "ok":
+            assert result.thick_text == truth[result.domain].text
+
+
+def test_crawler_infers_rate_limits():
+    gen = CorpusGenerator(CorpusConfig(seed=302))
+    zone, registrations = gen.zone(1500)
+    internet, clock, _ = build_com_internet(gen, zone, registrations)
+    crawler = WhoisCrawler(internet)
+    crawler.crawl(zone)
+    assert crawler.stats.rate_limit_events > 0
+    assert crawler.stats.inferred_intervals  # limits were recorded
+    assert all(v <= 3600.0 for v in crawler.stats.inferred_intervals.values())
+
+
+def test_crawler_netsol_ends_thin_only():
+    """Footnote 11: the strict limiter leaves only thin records."""
+    gen = CorpusGenerator(CorpusConfig(seed=303))
+    zone, registrations = gen.zone(1500)
+    internet, _, _ = build_com_internet(gen, zone, registrations)
+    crawler = WhoisCrawler(internet)
+    results = crawler.crawl(zone)
+    netsol = [
+        r for r in results
+        if r.registrar_server == "whois.networksolutions.com"
+    ]
+    if len(netsol) < 20:
+        pytest.skip("too few NetSol domains in draw")
+    thin_only = sum(r.status == "thin_only" for r in netsol)
+    assert thin_only / len(netsol) > 0.3
+
+
+def test_crawler_requires_source_ips():
+    internet = SimulatedInternet(SimClock())
+    with pytest.raises(ValueError):
+        WhoisCrawler(internet, source_ips=())
+
+
+def test_crawl_result_properties():
+    gen = CorpusGenerator(CorpusConfig(seed=304))
+    zone, registrations = gen.zone(50)
+    internet, _, _ = build_com_internet(gen, zone, registrations)
+    crawler = WhoisCrawler(internet)
+    result = crawler.crawl_domain(zone.domains[0])
+    assert result.domain == zone.domains[0]
+    if result.status == "ok":
+        assert result.has_thick
+
+
+# ----------------------------------------------------------------------
+# Real TCP transport
+# ----------------------------------------------------------------------
+
+
+def test_async_whois_server_roundtrip():
+    async def scenario():
+        records = {"example.com": "Domain Name: EXAMPLE.COM\nRegistrar: X"}
+        async with AsyncWhoisServer(records.get) as server:
+            hit = await whois_query("127.0.0.1", server.port, "example.com")
+            miss = await whois_query("127.0.0.1", server.port, "other.com")
+            assert server.queries_served == 2
+            return hit, miss
+
+    hit, miss = asyncio.run(scenario())
+    assert hit == "Domain Name: EXAMPLE.COM\nRegistrar: X"
+    assert miss == "No match for domain."
+
+
+def test_async_whois_server_malformed_query():
+    async def scenario():
+        async with AsyncWhoisServer(lambda q: None) as server:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b"x" * 2000 + b"\r\n")
+            await writer.drain()
+            data = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            return data
+
+    data = asyncio.run(scenario())
+    assert b"Malformed" in data
+
+
+def test_async_server_end_to_end_with_parser():
+    """Crawl a real TCP server and parse the result with the trained CRF."""
+    gen = CorpusGenerator(CorpusConfig(seed=305))
+    corpus = gen.labeled_corpus(60)
+    from repro.parser import WhoisParser
+
+    parser = WhoisParser(l2=0.1).fit(corpus[:50])
+    target = corpus[55]
+    records = {target.domain: target.text}
+
+    async def fetch():
+        async with AsyncWhoisServer(records.get) as server:
+            return await whois_query("127.0.0.1", server.port, target.domain)
+
+    text = asyncio.run(fetch())
+    parsed = parser.parse(text)
+    assert parsed.domain == target.domain

@@ -1,0 +1,171 @@
+"""Tests for the RDAP schema, converters, and gateway."""
+
+import json
+from datetime import date
+
+import pytest
+
+from repro.datagen import CorpusConfig, CorpusGenerator
+from repro.parser import WhoisParser
+from repro.rdap.convert import parsed_to_rdap, registration_to_rdap
+from repro.rdap.schema import (
+    RdapDomain,
+    RdapEntity,
+    RdapEvent,
+    RdapValidationError,
+    validate_rdap,
+)
+from repro.rdap.server import DomainNotFound, RdapGateway
+
+
+@pytest.fixture(scope="module")
+def world():
+    generator = CorpusGenerator(CorpusConfig(seed=1400))
+    corpus = generator.labeled_corpus(150)
+    parser = WhoisParser(l2=0.1).fit(corpus[:120])
+    return generator, corpus, parser
+
+
+# ----------------------------------------------------------------------
+# Schema and validation
+# ----------------------------------------------------------------------
+
+
+def test_minimal_domain_serializes_and_validates():
+    domain = RdapDomain(
+        ldh_name="example.com",
+        statuses=["active"],
+        events=[RdapEvent("registration", date(2014, 3, 5))],
+        nameservers=["ns1.example.com"],
+        entities=[RdapEntity(role="registrant", full_name="J. Smith")],
+    )
+    payload = domain.to_json()
+    validate_rdap(payload)
+    assert payload["ldhName"] == "example.com"
+    assert payload["events"][0]["eventDate"] == "2014-03-05"
+    assert payload["nameservers"][0]["objectClassName"] == "nameserver"
+    assert payload["secureDNS"] == {"delegationSigned": False}
+
+
+def test_vcard_contains_contact_details():
+    entity = RdapEntity(
+        role="registrant", full_name="Jane Doe", organization="Doe LLC",
+        street="1 Main St", city="Springfield", region="IL",
+        postal_code="62701", country="US", phone="+1.555", email="j@d.com",
+        handle="C1",
+    )
+    payload = entity.to_json()
+    vcard = payload["vcardArray"][1]
+    kinds = [item[0] for item in vcard]
+    assert {"version", "fn", "org", "adr", "tel", "email"} <= set(kinds)
+    adr = next(item for item in vcard if item[0] == "adr")[3]
+    assert adr[2] == "1 Main St" and adr[6] == "US"
+
+
+@pytest.mark.parametrize(
+    "mutation,message",
+    [
+        (lambda p: p.update(objectClassName="entity"), "objectClassName"),
+        (lambda p: p.update(rdapConformance=[]), "conformance"),
+        (lambda p: p.update(ldhName=""), "ldhName"),
+        (lambda p: p.update(ldhName="exämple.com"), "ASCII"),
+        (lambda p: p["events"].append(
+            {"eventAction": "party", "eventDate": "2014-01-01"}), "eventAction"),
+        (lambda p: p["entities"][0].update(roles=["boss"]), "roles"),
+        (lambda p: p["entities"][0].update(vcardArray=["x"]), "vcard"),
+    ],
+)
+def test_validation_rejects_malformed(mutation, message):
+    payload = RdapDomain(
+        ldh_name="example.com",
+        events=[RdapEvent("registration", date(2014, 1, 1))],
+        entities=[RdapEntity(role="registrant", full_name="X")],
+    ).to_json()
+    mutation(payload)
+    with pytest.raises(RdapValidationError, match=message):
+        validate_rdap(payload)
+
+
+# ----------------------------------------------------------------------
+# Converters
+# ----------------------------------------------------------------------
+
+
+def test_registration_to_rdap_roundtrips_ground_truth(world):
+    generator, _, _ = world
+    registration = generator.sample_registration()
+    payload = registration_to_rdap(registration).to_json()
+    validate_rdap(payload)
+    assert payload["ldhName"] == registration.domain
+    roles = {e["roles"][0] for e in payload["entities"]}
+    assert {"registrant", "registrar", "administrative", "technical"} <= roles
+    actions = {e["eventAction"] for e in payload["events"]}
+    assert actions == {"registration", "expiration", "last changed"}
+
+
+def test_parsed_to_rdap_from_parser_output(world):
+    generator, corpus, parser = world
+    record = corpus[130]
+    parsed = parser.parse(record.to_record())
+    payload = parsed_to_rdap(record.domain, parsed).to_json()
+    validate_rdap(payload)
+    assert payload["ldhName"] == record.domain
+    registrant = next(
+        (e for e in payload["entities"] if "registrant" in e["roles"]), None
+    )
+    assert registrant is not None
+
+
+def test_parsed_to_rdap_handles_empty_parse():
+    from repro.parser.fields import ParsedRecord
+
+    payload = parsed_to_rdap("x.com", ParsedRecord()).to_json()
+    validate_rdap(payload)
+    assert payload["ldhName"] == "x.com"
+    assert payload["entities"] == []
+
+
+# ----------------------------------------------------------------------
+# Gateway
+# ----------------------------------------------------------------------
+
+
+def test_gateway_end_to_end(world):
+    generator, corpus, parser = world
+    records = {r.domain: r.text for r in corpus[120:]}
+    gateway = RdapGateway(parser, records.get)
+    domain = corpus[125].domain
+    payload = gateway.lookup(domain)
+    assert payload["ldhName"] == domain
+    body = gateway.lookup_json(domain)
+    assert json.loads(body)["objectClassName"] == "domain"
+    assert gateway.lookups == 2
+
+
+def test_gateway_not_found(world):
+    *_, parser = world
+    gateway = RdapGateway(parser, lambda domain: None)
+    with pytest.raises(DomainNotFound):
+        gateway.lookup("missing.com")
+    error = json.loads(gateway.error_json("missing.com"))
+    assert error["errorCode"] == 404
+
+
+def test_gateway_agreement_with_ground_truth(world):
+    """Gateway output must match native RDAP from the registry's own data."""
+    generator, _, parser = world
+    agree = total = 0
+    for _ in range(25):
+        registration = generator.sample_registration()
+        text = generator.render(registration).text
+        gateway = RdapGateway(parser, {registration.domain: text}.get)
+        via_parser = gateway.lookup(registration.domain)
+        native = registration_to_rdap(registration).to_json()
+        total += 1
+        if via_parser["ldhName"] == native["ldhName"] and {
+            e["eventAction"]: e["eventDate"] for e in via_parser["events"]
+        }.get("registration") == {
+            e["eventAction"]: e["eventDate"] for e in native["events"]
+        }.get("registration"):
+            agree += 1
+    assert agree / total > 0.9

@@ -1,0 +1,124 @@
+"""Failure-injection and fuzz tests: parsers must never crash on garbage."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen import CorpusConfig, CorpusGenerator
+from repro.parser import RuleBasedParser, SimpleRegexParser, WhoisParser
+
+
+@pytest.fixture(scope="module")
+def parser():
+    corpus = CorpusGenerator(CorpusConfig(seed=1200)).labeled_corpus(60)
+    return WhoisParser(l2=0.1).fit(corpus)
+
+
+arbitrary_text = st.text(max_size=400)
+whois_like_text = st.lists(
+    st.one_of(
+        st.just(""),
+        st.sampled_from([
+            "Domain Name: X.COM", "Registrant Name: A B", "%%%%",
+            "   indented", "key: value", "no separator line",
+            "Created on....: 1999-01-01", "\ttab\tseparated",
+        ]),
+        st.text(max_size=60),
+    ),
+    max_size=25,
+).map("\n".join)
+
+
+@given(arbitrary_text)
+@settings(max_examples=100, deadline=None)
+def test_statistical_parser_never_crashes(parser, text):
+    parsed = parser.parse(text)
+    assert parsed.statuses is not None  # returned a well-formed record
+
+
+@given(whois_like_text)
+@settings(max_examples=100, deadline=None)
+def test_statistical_parser_on_whois_like_garbage(parser, text):
+    labeled = parser.label_lines(text)
+    from repro.whois.records import is_labelable
+
+    expected = sum(1 for ln in text.splitlines() if is_labelable(ln))
+    assert len(labeled) == expected
+
+
+@given(whois_like_text)
+@settings(max_examples=100, deadline=None)
+def test_rule_parser_never_crashes(text):
+    parsed = RuleBasedParser().parse(text)
+    assert parsed.blocks is not None
+
+
+@given(arbitrary_text)
+@settings(max_examples=100, deadline=None)
+def test_regex_parser_never_crashes(text):
+    result = SimpleRegexParser().parse(text)
+    assert result is not None
+
+
+def test_parser_on_truncated_records(parser):
+    """Records cut off mid-transfer still parse without raising."""
+    corpus = CorpusGenerator(CorpusConfig(seed=1201)).labeled_corpus(10)
+    for record in corpus:
+        for cut in (1, len(record.text) // 3, len(record.text) // 2):
+            truncated = record.text[:cut]
+            parsed = parser.parse(truncated)
+            assert parsed is not None
+
+
+def test_parser_on_interleaved_records(parser):
+    """Two records glued together (a real crawl artifact) still parse."""
+    corpus = CorpusGenerator(CorpusConfig(seed=1202)).labeled_corpus(4)
+    glued = corpus[0].text + "\n\n" + corpus[1].text
+    parsed = parser.parse(glued)
+    assert parsed.domain in (corpus[0].domain, corpus[1].domain)
+
+
+def test_parser_on_high_unicode(parser):
+    text = (
+        "Domain Name: EXAMPLE.COM\n"
+        "Registrant Name: 株式会社サンプル\n"
+        "Registrant City: 東京\n"
+        "Registrant Country: JP\n"
+    )
+    parsed = parser.parse(text)
+    assert parsed.domain == "example.com"
+
+
+def test_parser_on_enormous_line(parser):
+    text = "Registrant Name: " + "x" * 50_000
+    parsed = parser.parse(text)  # must not blow up on one huge line
+    assert parsed is not None
+
+
+def test_parser_on_many_blank_lines(parser):
+    text = ("\n" * 200) + "Domain Name: X.COM" + ("\n" * 200)
+    labeled = parser.label_lines(text)
+    assert len(labeled) == 1
+
+
+def test_typo_injection_preserves_alignment():
+    gen = CorpusGenerator(CorpusConfig(seed=1203, typo_rate=0.5))
+    corpus = gen.labeled_corpus(30)
+    clean = CorpusGenerator(CorpusConfig(seed=1203)).labeled_corpus(30)
+    assert any(a.text != b.text for a, b in zip(corpus, clean))
+    for record in corpus:  # LabeledRecord validates alignment on init
+        assert len(record.lines) >= 8
+
+
+def test_parser_degrades_gracefully_under_typos(parser):
+    """Swapped title letters cost a little accuracy, not a collapse --
+    prefix features and context keep most lines right."""
+    noisy = CorpusGenerator(
+        CorpusConfig(seed=1204, typo_rate=0.3)
+    ).labeled_corpus(60)
+    errors = total = 0
+    for record in noisy:
+        pred = parser.predict_blocks(record)
+        errors += sum(p != g for p, g in zip(pred, record.block_labels))
+        total += len(record.block_labels)
+    assert errors / total < 0.10

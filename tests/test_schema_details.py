@@ -1,0 +1,149 @@
+"""Targeted tests of individual schema families' signature shapes."""
+
+import random
+
+import pytest
+
+from repro.datagen import CorpusConfig, CorpusGenerator
+from repro.datagen.schemas import FAMILIES, fmt_date
+from repro.datagen.schemas.base import Row, build_record
+from datetime import date
+
+
+@pytest.fixture()
+def generator():
+    return CorpusGenerator(CorpusConfig(seed=1000))
+
+
+def _render(generator, family_name, **kwargs):
+    registration = generator.sample_registration(**kwargs)
+    return registration, FAMILIES[family_name].render(
+        registration, generator.rng
+    )
+
+
+def test_godaddy_icann_titles(generator):
+    _, record = _render(generator, "godaddy")
+    text = record.text
+    assert "Registrar WHOIS Server:" in text
+    assert "Registrant Name:" in text
+    assert ">>> Last update of WHOIS database:" in text
+
+
+def test_enom_indented_blocks(generator):
+    _, record = _render(generator, "enom")
+    assert any(ln.startswith("Registration Service Provided By:")
+               for ln in record.raw_lines)
+    indented = [ln for ln in record.raw_lines if ln.startswith("   ")]
+    assert len(indented) >= 10
+
+
+def test_netsol_bare_registrant_header(generator):
+    _, record = _render(generator, "netsol")
+    assert record.raw_lines[0] == "Registrant:"
+    assert record.lines[0].block == "registrant"
+
+
+def test_hichina_dot_leaders(generator):
+    _, record = _render(generator, "hichina")
+    assert any("...." in ln and "Registrant Name" in ln
+               for ln in record.raw_lines)
+
+
+def test_gmo_bracket_headers(generator):
+    _, record = _render(generator, "gmo")
+    assert any(ln.startswith("[Registrant]") for ln in record.raw_lines)
+    assert any(ln.startswith("[Name Server]") for ln in record.raw_lines)
+
+
+def test_oneandone_lowercase_owner(generator):
+    _, record = _render(generator, "oneandone")
+    assert any(ln.startswith("owner:") for ln in record.raw_lines)
+    assert record.raw_lines[0].startswith("%%")
+
+
+def test_gandi_nic_handles(generator):
+    _, record = _render(generator, "gandi")
+    assert any("nic-hdl:" in ln for ln in record.raw_lines)
+    assert any(ln == "owner-c:" for ln in record.raw_lines)
+    id_lines = [l for l in record.lines if l.sub == "id"]
+    assert id_lines and id_lines[0].text.strip().startswith("nic-hdl:")
+
+
+def test_rrpproxy_property_columns(generator):
+    _, record = _render(generator, "rrpproxy")
+    assert any(ln.startswith("property[OWNERCONTACT NAME]:")
+               for ln in record.raw_lines)
+    assert any(ln.startswith("property[NAMESERVER0]:")
+               for ln in record.raw_lines)
+
+
+def test_ovh_hash_banner(generator):
+    _, record = _render(generator, "ovh")
+    assert record.raw_lines[0].startswith("#")
+    assert record.lines[0].block == "null"
+
+
+def test_melbourneit_repeated_address_titles(generator):
+    _, record = _render(generator, "melbourneit")
+    address_lines = [ln for ln in record.raw_lines
+                     if ln.startswith("Organisation Address")]
+    assert len(address_lines) >= 4
+    subs = [l.sub for l in record.lines
+            if l.text.startswith("Organisation Address")]
+    assert "street" in subs and "postcode" in subs
+
+
+def test_odd_family_has_no_separators(generator):
+    from repro.whois.text import split_title_value
+
+    _, record = _render(generator, "odd")
+    separators = sum(
+        split_title_value(l.text) is not None for l in record.lines
+    )
+    assert separators <= 2  # essentially free-form
+
+
+# ----------------------------------------------------------------------
+# base helpers
+# ----------------------------------------------------------------------
+
+
+def test_fmt_date_styles():
+    d = date(2014, 3, 5)
+    assert fmt_date(d, "iso") == "2014-03-05"
+    assert fmt_date(d, "iso_time") == "2014-03-05T00:00:00Z"
+    assert fmt_date(d, "slash") == "2014/03/05"
+    assert fmt_date(d, "us") == "03/05/2014"
+    assert fmt_date(d, "dmy_abbr") == "05-Mar-2014"
+    assert fmt_date(d, "dmy_space") == "05 Mar 2014"
+    assert fmt_date(d, "long") == "March 5, 2014"
+    with pytest.raises(ValueError):
+        fmt_date(d, "nope")
+
+
+def test_build_record_rejects_unlabeled_content(generator):
+    registration = generator.sample_registration()
+    with pytest.raises(ValueError, match="no block label"):
+        build_record(registration, [Row("Some content", None)], family="t")
+
+
+def test_build_record_rejects_labeled_blank(generator):
+    registration = generator.sample_registration()
+    with pytest.raises(ValueError, match="carries label"):
+        build_record(registration, [Row("", "domain")], family="t")
+
+
+def test_all_families_registrant_value_recoverable(generator):
+    """Every family's rendered registrant name line must contain the name."""
+    for family_name, family in FAMILIES.items():
+        registration = generator.sample_registration()
+        record = family.render(registration, generator.rng)
+        name_lines = [l.text for l in record.lines if l.sub == "name"]
+        assert name_lines, family_name
+        assert any(
+            registration.registrant.name.lower() in ln.lower()
+            or registration.registrant.name.lower()
+            in ln.lower().replace(",", "")
+            for ln in name_lines
+        ), (family_name, name_lines, registration.registrant.name)

@@ -1,0 +1,86 @@
+"""Integration: crawl results flow into the survey with thin-record hints."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.datagen import CorpusConfig, CorpusGenerator
+from repro.netsim.crawler import WhoisCrawler
+from repro.netsim.internet import build_com_internet
+from repro.parser import WhoisParser
+from repro.parser.fields import ParsedRecord
+from repro.survey.database import SurveyDatabase
+
+
+@dataclass
+class _FakeResult:
+    domain: str
+    thin_text: str | None
+    thick_text: str | None
+
+
+def test_registrar_hint_from_thin_record():
+    """A thick record without a registrar line falls back to the thin one."""
+    thin = "   Domain Name: X.COM\n   Registrar: ENOM, INC.\n"
+    thick = "Registrant Name: John Smith\n"
+
+    def fake_parse(text):
+        parsed = ParsedRecord()
+        parsed.registrant = {"name": "John Smith"}
+        return parsed
+
+    db = SurveyDatabase.from_crawl(
+        [_FakeResult("x.com", thin, thick)], fake_parse
+    )
+    assert db.entries[0].registrar == "eNom"
+
+
+def test_results_without_thick_records_skipped():
+    db = SurveyDatabase.from_crawl(
+        [_FakeResult("x.com", "thin", None)], lambda text: ParsedRecord()
+    )
+    assert len(db) == 0
+
+
+def test_crawl_to_survey_registrar_agreement():
+    """Surveyed registrars must match the ground-truth registrations."""
+    gen = CorpusGenerator(CorpusConfig(seed=700))
+    parser = WhoisParser(l2=0.1).fit(gen.labeled_corpus(150))
+    zone, registrations = gen.zone(400)
+    internet, _, _ = build_com_internet(gen, zone, registrations)
+    crawler = WhoisCrawler(internet)
+    results = crawler.crawl(zone)
+    db = SurveyDatabase.from_crawl(results, parser.parse)
+    assert len(db) > 250
+
+    from repro.survey.normalize import canonical_registrar
+
+    agree = total = 0
+    for entry in db:
+        expected = canonical_registrar(
+            registrations[entry.domain].registrar_name
+        )
+        total += 1
+        agree += entry.registrar == expected
+    assert agree / total > 0.95
+
+
+def test_crawl_to_survey_country_agreement():
+    gen = CorpusGenerator(CorpusConfig(seed=701))
+    parser = WhoisParser(l2=0.1).fit(gen.labeled_corpus(150))
+    zone, registrations = gen.zone(400)
+    internet, _, _ = build_com_internet(gen, zone, registrations)
+    results = WhoisCrawler(internet).crawl(zone)
+    db = SurveyDatabase.from_crawl(results, parser.parse)
+
+    agree = total = 0
+    for entry in db:
+        registration = registrations[entry.domain]
+        if registration.is_private:
+            continue
+        expected = registration.registrant_country
+        got = entry.country
+        total += 1
+        agree += (got == expected) or (expected == "??" and got is None)
+    assert total > 100
+    assert agree / total > 0.9

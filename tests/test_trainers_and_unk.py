@@ -1,0 +1,123 @@
+"""Tests for trainer behaviour details and UNK out-of-vocabulary handling."""
+
+import numpy as np
+import pytest
+
+from repro.crf.features import FeatureIndex, Sequence
+from repro.crf.train import LBFGSTrainer, SGDTrainer
+from repro.datagen import CorpusConfig, CorpusGenerator
+from repro.parser import WhoisParser
+from repro.whois.features import WhoisFeaturizer
+from repro.whois.lexicon import Lexicon
+
+
+def _dataset(n=12):
+    seqs, labels = [], []
+    for i in range(n):
+        seqs.append(Sequence(obs=[["a"], ["b"]]))
+        labels.append(["x", "y"])
+    index = FeatureIndex(["x", "y"]).build(seqs)
+    return [
+        (index.encode(s), index.encode_labels(l))
+        for s, l in zip(seqs, labels)
+    ], index
+
+
+# ----------------------------------------------------------------------
+# Trainers
+# ----------------------------------------------------------------------
+
+
+def test_lbfgs_records_objective_history():
+    dataset, index = _dataset()
+    params, log = LBFGSTrainer(l2=0.5).fit(dataset, index)
+    assert log.n_iterations == len(log.objective_values) > 1
+    assert log.objective_values[-1] < log.objective_values[0]
+    assert log.converged
+
+
+def test_lbfgs_iteration_cap():
+    dataset, index = _dataset()
+    _, capped = LBFGSTrainer(l2=0.5, max_iterations=1).fit(dataset, index)
+    _, free = LBFGSTrainer(l2=0.5, max_iterations=100).fit(dataset, index)
+    assert capped.n_iterations <= free.n_iterations
+
+
+def test_lbfgs_warm_start():
+    dataset, index = _dataset()
+    params, _ = LBFGSTrainer(l2=0.5).fit(dataset, index)
+    _, warm_log = LBFGSTrainer(l2=0.5).fit(dataset, index, initial=params)
+    # Starting at the optimum, the first evaluation is already optimal.
+    assert warm_log.objective_values[0] == pytest.approx(
+        warm_log.objective_values[-1], rel=1e-6
+    )
+
+
+def test_lbfgs_rejects_bad_initial():
+    dataset, index = _dataset()
+    with pytest.raises(ValueError):
+        LBFGSTrainer().fit(dataset, index,
+                           initial=np.zeros(index.n_features + 3))
+
+
+def test_lbfgs_empty_dataset():
+    _, index = _dataset()
+    with pytest.raises(ValueError):
+        LBFGSTrainer().fit([], index)
+
+
+def test_sgd_parameter_validation():
+    with pytest.raises(ValueError):
+        SGDTrainer(epochs=0)
+    with pytest.raises(ValueError):
+        SGDTrainer(batch_size=0)
+
+
+def test_sgd_batch_size_does_not_change_learnability():
+    dataset, index = _dataset(20)
+    for batch_size in (1, 4, 32):
+        params, _ = SGDTrainer(l2=0.2, epochs=30, batch_size=batch_size,
+                               seed=0).fit(dataset, index)
+        # Both states separable -> obs weight for ("a","x") must dominate.
+        from repro.crf.objective import ParamView
+
+        view = ParamView.of(params, index)
+        a = index.obs_vocab["a"]
+        assert view.obs[a, index.label_ids["x"]] > view.obs[
+            a, index.label_ids["y"]
+        ]
+
+
+# ----------------------------------------------------------------------
+# UNK handling
+# ----------------------------------------------------------------------
+
+
+def test_featurizer_marks_oov_words():
+    lexicon = Lexicon()
+    lexicon.add_text("registrant name john")
+    lexicon.freeze()
+    fzr = WhoisFeaturizer(lexicon=lexicon)
+    obs, _ = fzr.line_attributes("Registrant Name: John")
+    assert "UNK@T" not in obs and "UNK@V" not in obs
+    obs, _ = fzr.line_attributes("Registrant Zorblax: Qwxyz")
+    assert "UNK@T" in obs and "UNK@V" in obs
+
+
+def test_featurizer_without_lexicon_has_no_unk():
+    obs, _ = WhoisFeaturizer().line_attributes("Xyzzy: Plugh")
+    assert not any(a.startswith("UNK") for a in obs)
+
+
+def test_parser_unk_mode_trains_and_parses():
+    generator = CorpusGenerator(CorpusConfig(seed=1500))
+    corpus = generator.labeled_corpus(80)
+    parser = WhoisParser(l2=0.1, unk_min_count=2,
+                         second_level=False).fit(corpus[:60])
+    assert parser.featurizer.lexicon is not None
+    errors = total = 0
+    for record in corpus[60:]:
+        pred = parser.predict_blocks(record)
+        errors += sum(p != g for p, g in zip(pred, record.block_labels))
+        total += len(record.block_labels)
+    assert errors / total < 0.02
