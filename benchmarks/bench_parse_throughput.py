@@ -1,0 +1,99 @@
+"""Survey-scale parsing throughput: per-record loop vs ``parse_many``.
+
+Section 6 parses the WHOIS records of the full com zone (102M domains)
+with an already-trained model, so parse throughput -- not training time --
+bounds the survey.  This bench times the three ways to run that workload:
+
+- the per-record ``parse()`` loop (the naive baseline);
+- ``parse_many`` in one process (batched Viterbi + memoized line
+  encoding, the steady-state survey path);
+- ``parse_many`` sharded over worker processes (``jobs=2``).
+
+All three must produce identical :class:`ParsedRecord` outputs; the
+speedup lines printed at the end are the bench's deliverable.  Scale with
+``REPRO_BENCH_TRAIN`` / ``REPRO_BENCH_TEST`` (see conftest).
+"""
+
+import pytest
+from conftest import TEST_SIZE, emit
+
+#: wall-clock minima, keyed by path name, for the closing summary.
+_TIMINGS: dict[str, float] = {}
+
+
+@pytest.fixture(scope="module")
+def records(test_corpus):
+    return [r.to_record() for r in test_corpus]
+
+
+@pytest.fixture(scope="module")
+def serial_parsed(trained_parser, records):
+    """Reference outputs from the per-record loop (computed untimed)."""
+    return [trained_parser.parse(r) for r in records]
+
+
+def test_per_record_loop_baseline(benchmark, trained_parser, records):
+    def parse_loop():
+        return [trained_parser.parse(r) for r in records]
+
+    parsed = benchmark.pedantic(parse_loop, rounds=2, iterations=1)
+    assert len(parsed) == len(records)
+    best = benchmark.stats["min"]
+    _TIMINGS["loop"] = best
+    emit(
+        f"Throughput: per-record parse() loop ({len(records)} records)",
+        f"{len(records) / best:,.0f} records/s",
+    )
+
+
+def test_parse_many_single_process(
+    benchmark, trained_parser, records, serial_parsed
+):
+    def parse_bulk():
+        return trained_parser.parse_many(records)
+
+    # warmup_rounds=1 fills the line-encoding cache: the measurement is
+    # the steady state a long-running survey actually operates in.
+    parsed = benchmark.pedantic(
+        parse_bulk, rounds=5, iterations=1, warmup_rounds=1
+    )
+    assert parsed == serial_parsed, "bulk path diverged from parse() loop"
+    best = benchmark.stats["min"]
+    _TIMINGS["bulk"] = best
+    emit(
+        f"Throughput: parse_many, one process ({len(records)} records)",
+        f"{len(records) / best:,.0f} records/s",
+    )
+
+
+def test_parse_many_two_processes(
+    benchmark, trained_parser, records, serial_parsed
+):
+    def parse_sharded():
+        return trained_parser.parse_many(records, jobs=2)
+
+    parsed = benchmark.pedantic(parse_sharded, rounds=2, iterations=1)
+    assert parsed == serial_parsed, "sharded path diverged from parse() loop"
+    best = benchmark.stats["min"]
+    _TIMINGS["jobs2"] = best
+
+    loop, bulk = _TIMINGS["loop"], _TIMINGS["bulk"]
+    body = [
+        f"{'path':<24} {'records/s':>12} {'speedup':>9}",
+        f"{'parse() loop':<24} {len(records) / loop:>12,.0f} {'1.0x':>9}",
+        f"{'parse_many':<24} {len(records) / bulk:>12,.0f} "
+        f"{loop / bulk:>8.1f}x",
+        f"{'parse_many jobs=2':<24} {len(records) / best:>12,.0f} "
+        f"{loop / best:>8.1f}x",
+    ]
+    emit(
+        f"Throughput summary ({len(records)} records, identical outputs)",
+        "\n".join(body),
+    )
+    if TEST_SIZE >= 500:
+        # At survey scale the batched path must win decisively; the
+        # multiprocess path is only asserted correct (CI boxes may have
+        # a single core, where forked workers cannot pay for themselves).
+        assert loop / bulk >= 2.0, (
+            f"parse_many only {loop / bulk:.1f}x faster than the loop"
+        )

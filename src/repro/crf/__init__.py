@@ -26,6 +26,7 @@ from repro.crf.inference import (
 )
 from repro.crf.analysis import ModelSummary, model_summary, prune, top_weight_share
 from repro.crf.batch import EncodedBatch, batch_nll_grad
+from repro.crf.decode import batch_marginals, batch_viterbi
 from repro.crf.model import ChainCRF
 from repro.crf.train import LBFGSTrainer, SGDTrainer, TrainLog
 
@@ -33,7 +34,9 @@ __all__ = [
     "ChainCRF",
     "EncodedBatch",
     "ModelSummary",
+    "batch_marginals",
     "batch_nll_grad",
+    "batch_viterbi",
     "model_summary",
     "prune",
     "top_weight_share",

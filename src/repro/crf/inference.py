@@ -17,7 +17,22 @@ Everything runs in ``O(S^2 T)`` as eq. (10) promises.
 from __future__ import annotations
 
 import numpy as np
-from scipy.special import logsumexp
+
+_NEG_INF = -1e30  # padding potential; exp() underflows to exactly 0
+
+
+def _logsumexp(x: np.ndarray, axis: int) -> np.ndarray:
+    """Max-subtraction log-sum-exp along ``axis``.
+
+    Equivalent to ``scipy.special.logsumexp`` for finite inputs but
+    measurably faster on the small arrays these recursions iterate over
+    (no dispatch overhead, no keepdims bookkeeping beyond one squeeze).
+    Shared by the batched routines in :mod:`repro.crf.batch`.
+    """
+    m = np.max(x, axis=axis, keepdims=True)
+    m = np.maximum(m, _NEG_INF)  # keep padded rows finite
+    out = m + np.log(np.sum(np.exp(x - m), axis=axis, keepdims=True))
+    return np.squeeze(out, axis=axis)
 
 
 def _check(emit: np.ndarray, trans: np.ndarray) -> None:
@@ -39,7 +54,7 @@ def log_forward(emit: np.ndarray, trans: np.ndarray) -> np.ndarray:
     alpha[0] = emit[0]
     for t in range(1, n_tokens):
         # alpha[t, j] = logsumexp_i(alpha[t-1, i] + trans[t-1, i, j]) + emit[t, j]
-        alpha[t] = logsumexp(alpha[t - 1][:, None] + trans[t - 1], axis=0) + emit[t]
+        alpha[t] = _logsumexp(alpha[t - 1][:, None] + trans[t - 1], axis=0) + emit[t]
     return alpha
 
 
@@ -49,14 +64,14 @@ def log_backward(emit: np.ndarray, trans: np.ndarray) -> np.ndarray:
     n_tokens, n_states = emit.shape
     beta = np.zeros((n_tokens, n_states))
     for t in range(n_tokens - 2, -1, -1):
-        beta[t] = logsumexp(trans[t] + (emit[t + 1] + beta[t + 1])[None, :], axis=1)
+        beta[t] = _logsumexp(trans[t] + (emit[t + 1] + beta[t + 1])[None, :], axis=1)
     return beta
 
 
 def log_partition(emit: np.ndarray, trans: np.ndarray) -> float:
     """``log Z(x)`` of eq. (3), computed via eq. (10)."""
     alpha = log_forward(emit, trans)
-    return float(logsumexp(alpha[-1]))
+    return float(_logsumexp(alpha[-1], axis=0))
 
 
 def node_marginals(
@@ -71,7 +86,7 @@ def node_marginals(
         alpha = log_forward(emit, trans)
     if beta is None:
         beta = log_backward(emit, trans)
-    log_z = logsumexp(alpha[-1])
+    log_z = _logsumexp(alpha[-1], axis=0)
     return np.exp(alpha + beta - log_z)
 
 
@@ -87,7 +102,7 @@ def edge_marginals(
         alpha = log_forward(emit, trans)
     if beta is None:
         beta = log_backward(emit, trans)
-    log_z = logsumexp(alpha[-1])
+    log_z = _logsumexp(alpha[-1], axis=0)
     n_tokens = emit.shape[0]
     if n_tokens < 2:
         return np.zeros((0, emit.shape[1], emit.shape[1]))

@@ -8,7 +8,9 @@ from typing import Iterable, Sequence as TypingSequence
 
 import numpy as np
 
-from repro.crf.features import FeatureIndex, Sequence
+from repro.crf.batch import EncodedBatch
+from repro.crf.decode import batch_marginals, batch_viterbi
+from repro.crf.features import EncodedSequence, FeatureIndex, Sequence
 from repro.crf.inference import (
     log_partition,
     node_marginals,
@@ -193,10 +195,95 @@ class ChainCRF:
     ) -> list[list[str]]:
         return [self.predict(seq) for seq in sequences]
 
+    def _decode_many(self, sequences, decode, empty, *, chunk_size: int):
+        """Shared batched-decoding driver for the ``*_many`` methods.
+
+        Accepts raw or pre-encoded sequences.  Non-empty sequences are
+        sorted by length and padded into per-chunk :class:`EncodedBatch`
+        objects (bounding peak memory at roughly ``chunk_size * T_max *
+        S^2`` floats; length-sorting keeps each chunk's padding tight),
+        and per-record results are scattered back into input order; empty
+        sequences map to ``empty``.
+        """
+        index, view = self._require_fitted()
+        encoded = [
+            s if isinstance(s, EncodedSequence)
+            else index.encode(_as_sequence(s))
+            for s in sequences
+        ]
+        out: list = [empty(index) for _ in encoded]
+        keep = [i for i, s in enumerate(encoded) if len(s) > 0]
+        if not keep:
+            return out
+        keep.sort(key=lambda i: len(encoded[i]))
+        for start in range(0, len(keep), chunk_size):
+            rows = keep[start:start + chunk_size]
+            batch = EncodedBatch.from_encoded(
+                [encoded[i] for i in rows], index
+            )
+            emit, trans = batch.potentials(view)
+            for i, result in zip(rows, decode(batch, emit, trans)):
+                out[i] = result
+        return out
+
+    def predict_many(
+        self,
+        sequences: Iterable[Sequence | EncodedSequence | list[list[str]]],
+        *,
+        chunk_size: int = 256,
+    ) -> list[list[str]]:
+        """Batched Viterbi decoding of many sequences at once.
+
+        Produces exactly the same label sequences as calling
+        :meth:`predict` per sequence (empty sequences yield ``[]``), but
+        runs the recursions across all sequences of a chunk in dense numpy
+        ops -- the bulk path Section 6's survey-scale parse runs on.
+        Items may be pre-encoded (:class:`EncodedSequence`), in which case
+        the per-sequence attribute-to-id resolution is skipped too -- the
+        :class:`~repro.parser.bulk.BulkPipeline` cache feeds this form.
+        """
+        index = self.index
+
+        def decode(chunk, emit, trans):
+            return [
+                index.decode_labels(row.tolist())
+                for row in batch_viterbi(chunk, emit, trans)
+            ]
+
+        return self._decode_many(
+            sequences, decode, lambda _index: [], chunk_size=chunk_size
+        )
+
+    def predict_marginals_many(
+        self,
+        sequences: Iterable[Sequence | EncodedSequence | list[list[str]]],
+        *,
+        chunk_size: int = 256,
+    ) -> list[np.ndarray]:
+        """Batched per-token posteriors, one ``(T, n_states)`` array each."""
+        return self._decode_many(
+            sequences,
+            batch_marginals,
+            lambda index: np.zeros((0, index.n_states)),
+            chunk_size=chunk_size,
+        )
+
     def predict_marginals(self, seq: Sequence | list[list[str]]) -> np.ndarray:
         """Per-token posterior ``Pr(y_t | x)``, shape ``(T, n_states)``."""
         index, (emit, trans) = self._potentials(seq)
         return node_marginals(emit, trans)
+
+    def predict_with_marginals(
+        self, seq: Sequence | list[list[str]]
+    ) -> tuple[list[str], np.ndarray]:
+        """Viterbi labels and per-token posteriors from one set of
+        potentials (featurize/encode/potentials computed once, not twice)."""
+        index, _view = self._require_fitted()
+        if len(_as_sequence(seq)) == 0:
+            return [], np.zeros((0, index.n_states))
+        index, (emit, trans) = self._potentials(seq)
+        labels = index.decode_labels(viterbi(emit, trans).tolist())
+        return labels, node_marginals(emit, trans)
 
     def log_likelihood(
         self, seq: Sequence | list[list[str]], labels: TypingSequence[str]

@@ -177,3 +177,24 @@ class WhoisCrawler:
             else:
                 self.stats.failed += 1
         return results
+
+    @staticmethod
+    def parse_results(
+        results: list[CrawlResult],
+        parser,
+        *,
+        jobs: int = 1,
+    ) -> list[tuple[CrawlResult, "object"]]:
+        """Parse every crawled thick record on the parser's bulk path.
+
+        Returns ``(result, ParsedRecord)`` pairs for the results that
+        carry a thick record, in crawl order.  ``parser`` is a
+        :class:`~repro.parser.statistical.WhoisParser` (or anything with
+        a compatible ``parse_many``); ``jobs`` shards the parse across
+        processes.
+        """
+        thick = [result for result in results if result.has_thick]
+        parsed = parser.parse_many(
+            [result.thick_text for result in thick], jobs=jobs
+        )
+        return list(zip(thick, parsed))

@@ -1,0 +1,232 @@
+"""Bulk featurize-and-encode machinery for survey-scale parsing.
+
+The paper's headline workload (Section 6) parses 102M com records with an
+already-trained model, so the prediction path has to move: per-record
+featurization re-tokenizes every line from scratch, and per-record
+``FeatureIndex.encode`` re-resolves every attribute string to an id.
+
+WHOIS lines repeat massively across records of the same registrar schema
+("Registrant Name:", "Domain Status: clientTransferProhibited", privacy
+service boilerplate...), so :class:`LineEncoder` memoizes the entire
+line -> encoded-attribute-ids computation per *distinct* line of text.  A
+cache hit skips tokenization, separator splitting, word-classing, UNK
+lookup, and vocabulary resolution in one go; only the cheap layout-context
+attributes (``NL``/``SHL``/``SHR`` markers and ``CTX:`` header context),
+which depend on neighboring lines, are appended per occurrence -- as
+pre-resolved ids.
+
+The resulting :class:`~repro.crf.features.EncodedSequence` objects feed
+straight into :meth:`ChainCRF.predict_many`'s batched Viterbi without any
+further per-token work.  Encodings are identical to
+``index.encode(featurizer.featurize_lines(raw))`` up to attribute-id
+order, which the decoder is invariant to (potentials are sums over the
+id multiset, and the id sets match exactly).
+"""
+
+from __future__ import annotations
+
+from repro.crf.features import EncodedSequence, FeatureIndex
+from repro.whois.features import WhoisFeaturizer
+from repro.whois.records import is_labelable
+from repro.whois.text import indentation
+
+
+class LineEncoder:
+    """Memoizing ``line text -> encoded attribute ids`` for one index.
+
+    One instance serves one ``(featurizer, FeatureIndex)`` pair: the
+    cached ids are only valid for the vocabulary (and lexicon) they were
+    resolved against, so :class:`~repro.parser.statistical.WhoisParser`
+    rebuilds its encoders whenever the model is (re)fitted.
+
+    The cache stores, per distinct line: the encoded intrinsic
+    observation ids, the encoded intrinsic edge ids, the indentation
+    depth, and the block-header headword -- everything about a line that
+    does not depend on its neighbors.  It is capped at ``cache_size``
+    distinct lines (insertion simply stops at the cap; WHOIS vocabulary
+    is heavy-headed enough that the hot lines enter early).
+    """
+
+    def __init__(
+        self,
+        featurizer: WhoisFeaturizer,
+        index: FeatureIndex,
+        *,
+        cache_size: int = 200_000,
+        profiles: dict | None = None,
+    ) -> None:
+        self.featurizer = featurizer
+        self.index = index
+        self.cache_size = cache_size
+        #: raw line -> (obs attrs, edge attrs, indent, headword), shareable
+        #: between the block- and registrant-level encoders: the attribute
+        #: strings are index-independent, so passing one dict to both
+        #: spares the second level re-analyzing lines the first level
+        #: already saw (every registrant line is also a block-level line).
+        self._profiles: dict[
+            str, tuple[list[str], list[str], int, str | None]
+        ] = {} if profiles is None else profiles
+        self._lines: dict[
+            str, tuple[tuple[int, ...], tuple[int, ...], int, str | None]
+        ] = {}
+        self._ctx: dict[str, tuple[int, ...]] = {}
+        obs_vocab, edge_vocab = index.obs_vocab, index.edge_vocab
+        # Layout-marker ids, resolved once.  A marker absent from the
+        # vocabulary encodes to nothing, exactly as FeatureIndex.encode
+        # drops unknown attributes.
+        self._nl = (obs_vocab.get("NL"), edge_vocab.get("NL"))
+        self._shl = (obs_vocab.get("SHL"), edge_vocab.get("SHL"))
+        self._shr = (obs_vocab.get("SHR"), edge_vocab.get("SHR"))
+
+    # ------------------------------------------------------------------
+
+    def _line_profile(
+        self, line: str
+    ) -> tuple[tuple[int, ...], tuple[int, ...], int, str | None]:
+        profile = self._lines.get(line)
+        if profile is None:
+            raw = self._profiles.get(line)
+            if raw is None:
+                obs, edge = self.featurizer.line_attributes(line)
+                raw = (
+                    obs,
+                    edge,
+                    indentation(line),
+                    WhoisFeaturizer.headword(line),
+                )
+                if len(self._profiles) < self.cache_size:
+                    self._profiles[line] = raw
+            obs, edge, indent, headword = raw
+            obs_vocab = self.index.obs_vocab
+            edge_vocab = self.index.edge_vocab
+            profile = (
+                tuple({obs_vocab[a] for a in obs if a in obs_vocab}),
+                tuple({edge_vocab[a] for a in edge if a in edge_vocab}),
+                indent,
+                headword,
+            )
+            if len(self._lines) < self.cache_size:
+                self._lines[line] = profile
+        return profile
+
+    def _ctx_ids(self, head: str) -> tuple[int, ...]:
+        """Encoded ``CTX:<head>`` (+ ``CTX4:`` prefix) attributes."""
+        ids = self._ctx.get(head)
+        if ids is None:
+            attrs = [f"CTX:{head}"]
+            if self.featurizer.config.prefixes and len(head) >= 4:
+                attrs.append(f"CTX4:{head[:4]}")
+            vocab = self.index.obs_vocab
+            ids = tuple(vocab[a] for a in attrs if a in vocab)
+            self._ctx[head] = ids
+        return ids
+
+    # ------------------------------------------------------------------
+
+    def encode_record(
+        self,
+        raw_lines: list[str],
+        collect: list[str] | None = None,
+    ) -> EncodedSequence:
+        """Encode one record's labelable lines, mirroring
+        :meth:`WhoisFeaturizer.featurize_lines` attribute for attribute.
+
+        Intrinsic ids come from the cache; the context-dependent layout
+        and header attributes -- disjoint from every intrinsic attribute
+        by construction (``NL``/``SHL``/``SHR`` and the ``CTX:`` prefix
+        never occur in :meth:`line_attributes` output) -- are appended as
+        pre-resolved ids, so no dedup pass is needed.
+
+        ``collect``, when given, receives the labelable lines in order --
+        the caller needs them anyway and this spares a second
+        labelability scan over the record.
+        """
+        cfg = self.featurizer.config
+        obs_seq: list[list[int]] = []
+        edge_seq: list[list[int]] = []
+        blank_run = 0
+        prev_indent: int | None = None
+        header: tuple[str, int] | None = None
+        for line in raw_lines:
+            if not is_labelable(line):
+                blank_run += 1
+                continue
+            if collect is not None:
+                collect.append(line)
+            intrinsic_obs, intrinsic_edge, indent, headword = (
+                self._line_profile(line)
+            )
+            obs = list(intrinsic_obs)
+            edge = list(intrinsic_edge)
+            if cfg.markers:
+                if blank_run > 0:
+                    if self._nl[0] is not None:
+                        obs.append(self._nl[0])
+                    if cfg.edge_markers and self._nl[1] is not None:
+                        edge.append(self._nl[1])
+                if prev_indent is not None:
+                    shift = (
+                        self._shl if indent < prev_indent
+                        else self._shr if indent > prev_indent
+                        else None
+                    )
+                    if shift is not None:
+                        if shift[0] is not None:
+                            obs.append(shift[0])
+                        if cfg.edge_markers and shift[1] is not None:
+                            edge.append(shift[1])
+                prev_indent = indent
+            if cfg.header_context:
+                if header is not None and indent > header[1]:
+                    obs.extend(self._ctx_ids(header[0]))
+                else:
+                    header = None
+                if headword is not None:
+                    header = (headword, indent)
+            blank_run = 0
+            obs_seq.append(obs)
+            edge_seq.append(edge)
+        return EncodedSequence(obs_ids=obs_seq, edge_ids=edge_seq)
+
+    def encode_lines(self, lines: list[str]) -> EncodedSequence:
+        """Encode an already-filtered run of labelable lines.
+
+        This is :meth:`encode_record` for the second-level segments: they
+        are contiguous runs of labelable lines by construction, so the
+        labelability checks and blank-run (``NL``) handling drop out;
+        indentation shifts and header context within the run remain.
+        """
+        cfg = self.featurizer.config
+        obs_seq: list[list[int]] = []
+        edge_seq: list[list[int]] = []
+        prev_indent: int | None = None
+        header: tuple[str, int] | None = None
+        for line in lines:
+            intrinsic_obs, intrinsic_edge, indent, headword = (
+                self._line_profile(line)
+            )
+            obs = list(intrinsic_obs)
+            edge = list(intrinsic_edge)
+            if cfg.markers:
+                if prev_indent is not None:
+                    shift = (
+                        self._shl if indent < prev_indent
+                        else self._shr if indent > prev_indent
+                        else None
+                    )
+                    if shift is not None:
+                        if shift[0] is not None:
+                            obs.append(shift[0])
+                        if cfg.edge_markers and shift[1] is not None:
+                            edge.append(shift[1])
+                prev_indent = indent
+            if cfg.header_context:
+                if header is not None and indent > header[1]:
+                    obs.extend(self._ctx_ids(header[0]))
+                else:
+                    header = None
+                if headword is not None:
+                    header = (headword, indent)
+            obs_seq.append(obs)
+            edge_seq.append(edge)
+        return EncodedSequence(obs_ids=obs_seq, edge_ids=edge_seq)

@@ -11,6 +11,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 from datetime import date
+from functools import lru_cache
 
 from repro.whois.text import split_title_value
 
@@ -32,6 +33,7 @@ _DATE_PATTERNS = (
 )
 
 
+@lru_cache(maxsize=65536)
 def parse_whois_date(text: str) -> date | None:
     """Best-effort parse of the date formats seen across registrars."""
     for pattern in _DATE_PATTERNS:
@@ -100,6 +102,7 @@ class ParsedRecord:
 _BRACKET_TITLE = re.compile(r"^\s*\[([^\]]+)\]\s*(.*)$")
 
 
+@lru_cache(maxsize=65536)
 def value_of(line: str) -> str:
     """The value part of a line (text after the separator, or the line)."""
     split = split_title_value(line)
@@ -111,6 +114,7 @@ def value_of(line: str) -> str:
     return text.strip().strip(".").strip()
 
 
+@lru_cache(maxsize=65536)
 def title_of(line: str) -> str:
     split = split_title_value(line)
     if split is None:

@@ -24,6 +24,46 @@ from repro.whois.labels import BLOCK_LABELS, REGISTRANT_LABELS
 from repro.whois.records import LabeledRecord, WhoisRecord, is_labelable
 
 
+def _block_runs(blocks: list[str], label: str) -> list[tuple[int, int]]:
+    """Half-open ``(start, end)`` spans of contiguous ``label`` runs."""
+    runs: list[tuple[int, int]] = []
+    start: int | None = None
+    for i, block in enumerate(blocks):
+        if block == label and start is None:
+            start = i
+        elif block != label and start is not None:
+            runs.append((start, i))
+            start = None
+    if start is not None:
+        runs.append((start, len(blocks)))
+    return runs
+
+
+#: Per-worker parser for the multiprocessing shards of parse_many /
+#: label_lines_many.  Set once by the pool initializer: with the fork
+#: start method the parser (and its warm line caches) is inherited
+#: copy-on-write; with spawn it is pickled once per worker -- either
+#: way, per-task payloads stay small.
+_SHARD_PARSER: "WhoisParser | None" = None
+
+
+def _init_shard_worker(parser: "WhoisParser") -> None:
+    global _SHARD_PARSER
+    _SHARD_PARSER = parser
+
+
+def _parse_shard(payload: tuple[list, int]) -> list[ParsedRecord]:
+    records, chunk_size = payload
+    return _SHARD_PARSER.parse_many(records, jobs=1, chunk_size=chunk_size)
+
+
+def _label_shard(payload: tuple[list, int]) -> list:
+    records, chunk_size = payload
+    return _SHARD_PARSER.label_lines_many(
+        records, jobs=1, chunk_size=chunk_size
+    )
+
+
 def _registrant_segments(
     record: LabeledRecord,
 ) -> list[tuple[list[str], list[str]]]:
@@ -91,6 +131,17 @@ class WhoisParser:
             else None
         )
         self._trained_on: int = 0
+        #: lazy (block, registrant) LineEncoder pair for the bulk path;
+        #: dropped whenever the model -- and with it the vocabularies the
+        #: cached ids resolve against -- changes.
+        self._bulk_encoders = None
+
+    def __getstate__(self):
+        # The line-encoding caches can hold hundreds of thousands of
+        # entries; rebuild them in each worker instead of pickling them.
+        state = self.__dict__.copy()
+        state["_bulk_encoders"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Training
@@ -135,6 +186,7 @@ class WhoisParser:
             if reg_seqs:
                 self.registrant_crf.fit(reg_seqs, reg_labels)
         self._trained_on = len(records)
+        self._bulk_encoders = None
         return self
 
     def partial_fit(
@@ -164,6 +216,7 @@ class WhoisParser:
                     reg_seqs, reg_labels, replay=replay_reg
                 )
         self._trained_on += len(new_records)
+        self._bulk_encoders = None
         return self
 
     # ------------------------------------------------------------------
@@ -193,26 +246,26 @@ class WhoisParser:
         seq = self.featurizer.featurize_registrant_lines(lines)
         return self.registrant_crf.predict(seq)
 
+    @property
+    def _has_second_level(self) -> bool:
+        return self.registrant_crf is not None and self.registrant_crf.is_fitted
+
     def label_lines(
         self, record: WhoisRecord | LabeledRecord | str
     ) -> list[tuple[str, str, str | None]]:
         """(line, block, sub) for each labelable line; sub only on registrant."""
         raw = self._raw_lines(record)
         lines = [ln for ln in raw if is_labelable(ln)]
-        blocks = self.predict_blocks(record)
+        # Featurize once; predict_blocks() would featurize a second time.
+        blocks = self.block_crf.predict(self.featurizer.featurize_lines(raw))
         subs: list[str | None] = [None] * len(lines)
-        if self.registrant_crf is not None and self.registrant_crf.is_fitted:
-            start = None
-            for i, block in enumerate(blocks + ["<end>"]):
-                if block == "registrant" and start is None:
-                    start = i
-                elif block != "registrant" and start is not None:
-                    segment = lines[start:i]
-                    for j, sub in enumerate(
-                        self.predict_registrant_fields(segment)
-                    ):
-                        subs[start + j] = sub
-                    start = None
+        if self._has_second_level:
+            for start, end in _block_runs(blocks, "registrant"):
+                segment = lines[start:end]
+                for j, sub in enumerate(
+                    self.predict_registrant_fields(segment)
+                ):
+                    subs[start + j] = sub
         return list(zip(lines, blocks, subs))
 
     def line_confidences(
@@ -229,21 +282,160 @@ class WhoisParser:
         if not lines:
             return []
         seq = self.featurizer.featurize_lines(raw)
-        blocks = self.block_crf.predict(seq)
-        marginals = self.block_crf.predict_marginals(seq)
+        # One featurize/encode/potentials pass serves both Viterbi and
+        # forward-backward (they used to run from scratch separately).
+        blocks, marginals = self.block_crf.predict_with_marginals(seq)
         label_ids = self.block_crf.index.label_ids
         return [
             (line, block, float(marginals[t, label_ids[block]]))
             for t, (line, block) in enumerate(zip(lines, blocks))
         ]
 
-    def parse(self, record: WhoisRecord | LabeledRecord | str) -> ParsedRecord:
-        """Full parse: label lines, then extract structured fields."""
-        labeled = self.label_lines(record)
+    @staticmethod
+    def _assemble(labeled: list[tuple[str, str, str | None]]) -> ParsedRecord:
         lines = [line for line, _, _ in labeled]
         blocks = [block for _, block, _ in labeled]
         subs = [sub for _, block, sub in labeled if block == "registrant"]
         return assemble_record(lines, blocks, [s or "other" for s in subs])
+
+    def parse(self, record: WhoisRecord | LabeledRecord | str) -> ParsedRecord:
+        """Full parse: label lines, then extract structured fields."""
+        return self._assemble(self.label_lines(record))
+
+    # ------------------------------------------------------------------
+    # Bulk inference (the survey-scale path of Section 6)
+    # ------------------------------------------------------------------
+
+    def _encoders(self) -> tuple["LineEncoder", "LineEncoder | None"]:
+        """The memoizing line encoders of the bulk path, built lazily.
+
+        Cached encodings are only valid for the current vocabularies and
+        lexicon, so ``fit``/``partial_fit`` drop them (see
+        :class:`repro.parser.bulk.LineEncoder`).
+        """
+        if self._bulk_encoders is None:
+            from repro.parser.bulk import LineEncoder
+
+            profiles: dict = {}  # raw line analyses, shared across levels
+            self._bulk_encoders = (
+                LineEncoder(
+                    self.featurizer, self.block_crf.index, profiles=profiles
+                ),
+                LineEncoder(
+                    self.featurizer,
+                    self.registrant_crf.index,
+                    profiles=profiles,
+                )
+                if self._has_second_level
+                else None,
+            )
+        return self._bulk_encoders
+
+    def _map_sharded(self, worker, records: list, jobs: int, chunk_size: int):
+        """Fan a bulk call out over ``jobs`` worker processes.
+
+        Each worker runs the full single-process bulk pipeline on one
+        contiguous shard (featurize, batch-decode both levels, assemble)
+        and ships back only the small results -- the parser itself
+        travels once per worker via the pool initializer.
+        """
+        import multiprocessing as mp
+
+        method = "fork" if "fork" in mp.get_all_start_methods() else None
+        ctx = mp.get_context(method)
+        bounds = [len(records) * i // jobs for i in range(jobs + 1)]
+        shards = [
+            (records[bounds[i]:bounds[i + 1]], chunk_size)
+            for i in range(jobs)
+        ]
+        with ctx.Pool(
+            jobs, initializer=_init_shard_worker, initargs=(self,)
+        ) as pool:
+            parts = pool.map(worker, shards)
+        return [item for part in parts for item in part]
+
+    def label_lines_many(
+        self,
+        records: TypingSequence[WhoisRecord | LabeledRecord | str],
+        *,
+        jobs: int = 1,
+        chunk_size: int = 256,
+    ) -> list[list[tuple[str, str, str | None]]]:
+        """Bulk :meth:`label_lines` over many records.
+
+        Produces exactly the per-record results, but runs each stage
+        corpus-wide: every record's lines are featurized *and encoded*
+        through the memoizing per-line cache, the first level decodes in
+        one batched Viterbi pass, then *all* registrant segments are
+        gathered into a single second-level batch.  With ``jobs > 1``
+        the whole pipeline shards across processes.
+        """
+        records = list(records)
+        if jobs > 1 and len(records) >= 2 * jobs:
+            return self._map_sharded(_label_shard, records, jobs, chunk_size)
+        block_encoder, registrant_encoder = self._encoders()
+        lines_per: list[list[str]] = []
+        encoded = []
+        for record in records:
+            lines: list[str] = []
+            encoded.append(
+                block_encoder.encode_record(
+                    self._raw_lines(record), collect=lines
+                )
+            )
+            lines_per.append(lines)
+        blocks_per = self.block_crf.predict_many(
+            encoded, chunk_size=chunk_size
+        )
+        subs_per: list[list[str | None]] = [
+            [None] * len(lines) for lines in lines_per
+        ]
+        if registrant_encoder is not None:
+            # Corpus-wide gather: one batch over every registrant segment.
+            spans: list[tuple[int, int]] = []  # (record, start)
+            segments = []
+            for r, blocks in enumerate(blocks_per):
+                for start, end in _block_runs(blocks, "registrant"):
+                    spans.append((r, start))
+                    segments.append(
+                        registrant_encoder.encode_lines(
+                            lines_per[r][start:end]
+                        )
+                    )
+            sub_labels = self.registrant_crf.predict_many(
+                segments, chunk_size=chunk_size
+            )
+            for (r, start), subs in zip(spans, sub_labels):
+                subs_per[r][start:start + len(subs)] = subs
+        return [
+            list(zip(lines, blocks, subs))
+            for lines, blocks, subs in zip(lines_per, blocks_per, subs_per)
+        ]
+
+    def parse_many(
+        self,
+        records: TypingSequence[WhoisRecord | LabeledRecord | str],
+        *,
+        jobs: int = 1,
+        chunk_size: int = 256,
+    ) -> list[ParsedRecord]:
+        """Bulk :meth:`parse`: identical :class:`ParsedRecord` outputs,
+        batched end to end.
+
+        This is the path the paper's Section 6 survey runs on -- parsing
+        102M com records is ~400k chunks of this method, embarrassingly
+        parallel across machines on top of the in-process ``jobs``
+        sharding.
+        """
+        records = list(records)
+        if jobs > 1 and len(records) >= 2 * jobs:
+            return self._map_sharded(_parse_shard, records, jobs, chunk_size)
+        return [
+            self._assemble(labeled)
+            for labeled in self.label_lines_many(
+                records, chunk_size=chunk_size
+            )
+        ]
 
     # ------------------------------------------------------------------
     # Introspection / persistence

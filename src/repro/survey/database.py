@@ -134,6 +134,44 @@ class SurveyDatabase:
             )
         return db
 
+    @classmethod
+    def from_crawl_bulk(
+        cls,
+        results: Iterable,
+        parse_many: Callable[[list[str]], list[ParsedRecord]],
+        *,
+        blacklisted_domains: set[str] | None = None,
+    ) -> "SurveyDatabase":
+        """:meth:`from_crawl` on the batched parser path.
+
+        ``parse_many`` maps a list of record texts to their
+        :class:`ParsedRecord` objects in one call -- normally
+        ``parser.parse_many`` (bind ``jobs`` with a lambda or
+        ``functools.partial`` to shard across processes).  Row for row,
+        the result is identical to :meth:`from_crawl` with the same
+        parser; this path is how the Section 6 survey scales to a full
+        zone crawl.
+        """
+        from repro.datagen.thin import extract_registrar
+
+        kept = [
+            result for result in results
+            if getattr(result, "thick_text", None) is not None
+        ]
+        parsed_records = parse_many([r.thick_text for r in kept])
+        db = cls()
+        blacklisted = blacklisted_domains or set()
+        for result, parsed in zip(kept, parsed_records):
+            thin_text = getattr(result, "thin_text", None)
+            hint = extract_registrar(thin_text) if thin_text else None
+            db.add_parsed(
+                result.domain,
+                parsed,
+                registrar_hint=hint,
+                blacklisted=result.domain in blacklisted,
+            )
+        return db
+
     # ------------------------------------------------------------------
     # Filters
     # ------------------------------------------------------------------

@@ -70,6 +70,12 @@ class WhoisFeaturizer:
     vocabulary are *additionally* marked with ``UNK@T``/``UNK@V``
     attributes, giving the model an explicit out-of-vocabulary signal on
     never-seen templates (unknown words otherwise just contribute nothing).
+
+    Featurization here is deliberately cache-free: one record in, one
+    :class:`Sequence` out.  The bulk path
+    (:class:`repro.parser.bulk.LineEncoder`) layers a memoizing per-line
+    *encoding* cache on top of :meth:`line_attributes`, exploiting the
+    massive line repetition across records of the same registrar schema.
     """
 
     def __init__(
@@ -182,7 +188,7 @@ class WhoisFeaturizer:
                         obs.append(f"CTX4:{header[0][:4]}")
                 else:
                     header = None
-                headword = self._headword(line)
+                headword = self.headword(line)
                 if headword is not None:
                     header = (headword, indent)
             blank_run = 0
@@ -191,7 +197,7 @@ class WhoisFeaturizer:
         return Sequence(obs=obs_seq, edge=edge_seq)
 
     @staticmethod
-    def _headword(line: str) -> str | None:
+    def headword(line: str) -> str | None:
         """First word of a block-header line, or None if not a header.
 
         A header is a line whose separator has an empty value

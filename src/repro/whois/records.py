@@ -16,7 +16,12 @@ from typing import Iterator
 
 def is_labelable(line: str) -> bool:
     """True if the line contains an alphanumeric character (Section 3.1)."""
-    return any(ch.isalnum() for ch in line)
+    # An explicit loop: this runs once per line of every parsed record,
+    # and a generator expression costs a frame per call.
+    for ch in line:
+        if ch.isalnum():
+            return True
+    return False
 
 
 @dataclass(frozen=True)

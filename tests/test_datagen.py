@@ -291,9 +291,17 @@ def test_corpus_deterministic_across_processes():
     sampling, making corpora differ between interpreter processes.
     """
     import hashlib
+    import os
     import subprocess
     import sys
+    from pathlib import Path
 
+    # The spawned interpreter needs to find the repro package even when
+    # it is not installed (tests run with PYTHONPATH=src).
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    python_path = os.pathsep.join(
+        p for p in (src, os.environ.get("PYTHONPATH")) if p
+    )
     script = (
         "from repro.datagen import CorpusGenerator;"
         "from repro.datagen.corpus import CorpusConfig;"
@@ -308,7 +316,11 @@ def test_corpus_deterministic_across_processes():
             [sys.executable, "-c", script],
             capture_output=True,
             text=True,
-            env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+            env={
+                "PYTHONHASHSEED": hash_seed,
+                "PYTHONPATH": python_path,
+                "PATH": "/usr/bin:/bin",
+            },
             check=True,
         )
         digests.add(result.stdout.strip())
