@@ -14,8 +14,12 @@ speedup lines printed at the end are the bench's deliverable.  Scale with
 ``REPRO_BENCH_TRAIN`` / ``REPRO_BENCH_TEST`` (see conftest).
 """
 
+import time
+
 import pytest
 from conftest import TEST_SIZE, emit
+
+from repro import obs
 
 #: wall-clock minima, keyed by path name, for the closing summary.
 _TIMINGS: dict[str, float] = {}
@@ -97,3 +101,48 @@ def test_parse_many_two_processes(
         assert loop / bulk >= 2.0, (
             f"parse_many only {loop / bulk:.1f}x faster than the loop"
         )
+
+
+def test_instrumentation_overhead(trained_parser, records):
+    """Metrics must be cheap enough to leave on: the CI tripwire.
+
+    Times ``parse_many`` with the ``repro.obs`` registry uninstalled
+    (the no-op fast path) and with one installed (full span/counter
+    emission), best of several rounds each, interleaved so thermal and
+    cache drift hits both alike.  Fails the job when enabling
+    instrumentation costs more than 5% throughput.
+    """
+    rounds = 5
+
+    def best_time(run) -> float:
+        best = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            run()
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    trained_parser.parse_many(records)  # warm caches for both variants
+    previous = obs.active()
+    try:
+        obs.uninstall()
+        off = best_time(lambda: trained_parser.parse_many(records))
+        registry = obs.install(obs.MetricsRegistry())
+        on = best_time(lambda: trained_parser.parse_many(records))
+    finally:
+        obs.uninstall()
+        if previous is not None:
+            obs.install(previous)
+    overhead = on / off - 1.0
+    emit(
+        f"Instrumentation overhead ({len(records)} records)",
+        f"{'off':<12} {len(records) / off:>12,.0f} records/s\n"
+        f"{'on':<12} {len(records) / on:>12,.0f} records/s\n"
+        f"{'overhead':<12} {overhead:>12.1%}",
+    )
+    assert registry.histogram("parse.decode_seconds", level="block").count > 0
+    # 5% plus a 10ms absolute floor so tiny CI scales don't flake on
+    # scheduler noise.
+    assert on <= off * 1.05 + 0.010, (
+        f"instrumentation overhead {overhead:.1%} exceeds the 5% budget"
+    )

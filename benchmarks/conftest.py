@@ -11,6 +11,12 @@ Scales are set by environment variables so the harness can be dialed up:
 - ``REPRO_BENCH_TEST``    (default 1000) labeled test records
 - ``REPRO_BENCH_DOMAINS`` (default 4000) zone size for the crawl/survey
 - ``REPRO_BENCH_DBL``     (default 1000) blacklisted registrations
+
+Every bench session runs with a ``repro.obs`` registry installed, so the
+pipelines emit the same metrics as production runs.  Set
+``REPRO_BENCH_METRICS`` to a path to archive the session's metrics
+(JSON, plus a ``.prom`` sibling) -- the ``BENCH_*.json``-style artifact
+that makes runs comparable over time.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ import os
 
 import pytest
 
+from repro import obs
 from repro.datagen import CorpusGenerator
 from repro.datagen.corpus import CorpusConfig
 from repro.eval.experiments import crawl_and_survey, make_parser
@@ -33,6 +40,19 @@ TEST_SIZE = _scale("REPRO_BENCH_TEST", 1000)
 SURVEY_DOMAINS = _scale("REPRO_BENCH_DOMAINS", 4000)
 DBL_SIZE = _scale("REPRO_BENCH_DBL", 1000)
 SEED = _scale("REPRO_BENCH_SEED", 0)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_metrics():
+    """Session-wide metrics registry; archived when REPRO_BENCH_METRICS set."""
+    registry = obs.install(obs.MetricsRegistry())
+    yield registry
+    obs.uninstall()
+    path = os.environ.get("REPRO_BENCH_METRICS")
+    if path:
+        obs.write_metrics(path, registry)
+        root, _ = os.path.splitext(path)
+        obs.write_metrics(root + ".prom", registry)
 
 
 @pytest.fixture(scope="session")

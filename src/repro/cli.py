@@ -7,7 +7,14 @@ Subcommands mirror the paper's workflow:
 - ``parse``     parse raw WHOIS text with a saved model
 - ``crawl``     run the simulated com crawl and save the thick records
 - ``survey``    build the Section 6 tables from crawled records
+- ``rdap``      serve RDAP lookups over crawled records
 - ``eval``      line/document error of a saved model on a labeled corpus
+
+``train``, ``parse``, ``crawl``, ``survey``, and ``rdap`` accept
+``--metrics-out PATH``: the command runs with a fresh ``repro.obs``
+registry installed and writes every pipeline metric (timings, cache hit
+rates, rate-limit trips, ...) to ``PATH`` on exit -- JSON by default,
+Prometheus text for ``.prom``/``.txt`` extensions.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.datagen import CorpusConfig, CorpusGenerator
 from repro.eval.metrics import evaluate_parser
 from repro.netsim.crawler import WhoisCrawler
@@ -93,8 +101,15 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     generator = CorpusGenerator(CorpusConfig(seed=args.seed))
     zone, registrations = generator.zone(args.domains)
     internet, clock, _truth = build_com_internet(generator, zone, registrations)
+    registry = obs.active()
+    if registry is not None:
+        # Spans during the crawl measure *simulated* seconds.
+        registry.clock = clock
     crawler = WhoisCrawler(internet)
-    results = crawler.crawl(zone)
+    with obs.trace("crawl.zone_seconds"):
+        results = crawler.crawl(zone)
+    if registry is not None:
+        registry.clock = None
     stats = crawler.stats
     with Path(args.output).open("w", encoding="utf-8") as handle:
         for result in results:
@@ -140,6 +155,29 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_rdap(args: argparse.Namespace) -> int:
+    from repro.rdap.server import DomainNotFound, RdapGateway
+
+    parser = WhoisParser.load(args.model)
+    with Path(args.crawl).open("r", encoding="utf-8") as handle:
+        records = {
+            row["domain"].lower(): row["thick_text"]
+            for row in map(json.loads, handle)
+            if row.get("thick_text")
+        }
+    gateway = RdapGateway(parser, records.get, cache_size=args.cache_size)
+    status = 0
+    bodies = []
+    for domain in args.domains:
+        try:
+            bodies.append(gateway.lookup(domain))
+        except DomainNotFound as exc:
+            bodies.append(json.loads(gateway.error_json(domain, exc=exc)))
+            status = 1
+    print(json.dumps(bodies[0] if len(bodies) == 1 else bodies, indent=2))
+    return status
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.reportgen import ReportScale, generate_report
 
@@ -175,6 +213,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     sub = root.add_subparsers(dest="command", required=True)
 
+    def add_metrics_out(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--metrics-out", metavar="PATH", default=None,
+            help="write pipeline metrics to PATH on exit "
+                 "(.json, or .prom/.txt for Prometheus text)",
+        )
+
     generate = sub.add_parser("generate", help="write a labeled corpus")
     generate.add_argument("output", help="output JSONL path")
     generate.add_argument("--count", type=int, default=500)
@@ -188,6 +233,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     train.add_argument("model", help="model output directory")
     train.add_argument("--l2", type=float, default=0.1)
     train.add_argument("--min-count", type=int, default=1)
+    add_metrics_out(train)
     train.set_defaults(func=_cmd_train)
 
     parse = sub.add_parser("parse", help="parse WHOIS records")
@@ -198,12 +244,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
                        help="include per-line labels")
     parse.add_argument("--jobs", type=int, default=1,
                        help="parser worker processes")
+    add_metrics_out(parse)
     parse.set_defaults(func=_cmd_parse)
 
     crawl = sub.add_parser("crawl", help="run the simulated com crawl")
     crawl.add_argument("output", help="output JSONL path")
     crawl.add_argument("--domains", type=int, default=2000)
     crawl.add_argument("--seed", type=int, default=0)
+    add_metrics_out(crawl)
     crawl.set_defaults(func=_cmd_crawl)
 
     survey = sub.add_parser("survey", help="survey crawled records")
@@ -211,7 +259,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
     survey.add_argument("crawl", help="crawl JSONL from the crawl command")
     survey.add_argument("--jobs", type=int, default=1,
                        help="parser worker processes")
+    add_metrics_out(survey)
     survey.set_defaults(func=_cmd_survey)
+
+    rdap = sub.add_parser(
+        "rdap", help="RDAP lookups over crawled records"
+    )
+    rdap.add_argument("model", help="model directory")
+    rdap.add_argument("crawl", help="crawl JSONL from the crawl command")
+    rdap.add_argument("domains", nargs="+", metavar="domain",
+                      help="domain(s) to look up")
+    rdap.add_argument("--cache-size", type=int, default=256,
+                      help="LRU response cache entries (0 disables)")
+    add_metrics_out(rdap)
+    rdap.set_defaults(func=_cmd_rdap)
 
     report = sub.add_parser(
         "report", help="regenerate every table/figure into one markdown file"
@@ -232,7 +293,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_arg_parser().parse_args(argv)
-    return args.func(args)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out is None:
+        return args.func(args)
+    registry = obs.MetricsRegistry()
+    with obs.use(registry):
+        status = args.func(args)
+    path = obs.write_metrics(metrics_out, registry)
+    print(f"wrote metrics to {path}", file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":

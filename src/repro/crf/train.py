@@ -14,10 +14,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 from scipy.optimize import minimize
 
+from repro import obs
 from repro.crf.batch import EncodedBatch, batch_nll_grad
 from repro.crf.features import EncodedSequence, FeatureIndex
 from repro.crf.objective import ParamView, sequence_nll_grad
@@ -68,8 +70,25 @@ class LBFGSTrainer:
         batch = EncodedBatch(dataset, index)
 
         def objective(theta: np.ndarray) -> tuple[float, np.ndarray]:
+            started = perf_counter()
             nll, grad = batch_nll_grad(theta, batch, index, self.l2)
             log.record(nll)
+            # Per-evaluation observability hooks (Section 5's "watch the
+            # parser train" story): loss trajectory, gradient norm, and
+            # the cost of each objective evaluation.
+            if obs.active() is not None:
+                obs.inc("train.iterations", trainer="lbfgs")
+                obs.set_gauge("train.loss", nll, trainer="lbfgs")
+                obs.set_gauge(
+                    "train.grad_norm",
+                    float(np.linalg.norm(grad)),
+                    trainer="lbfgs",
+                )
+                obs.observe(
+                    "train.iteration_seconds",
+                    perf_counter() - started,
+                    trainer="lbfgs",
+                )
             return nll, grad
 
         result = minimize(
@@ -123,6 +142,7 @@ class SGDTrainer:
         order = list(range(len(dataset)))
         n = len(dataset)
         for _ in range(self.epochs):
+            epoch_started = perf_counter()
             rng.shuffle(order)
             epoch_nll = 0.0
             for batch_start in range(0, n, self.batch_size):
@@ -143,5 +163,13 @@ class SGDTrainer:
             if self.l2 > 0.0:
                 epoch_nll += 0.5 * self.l2 * float(params @ params)
             log.record(epoch_nll)
+            if obs.active() is not None:
+                obs.inc("train.iterations", trainer="sgd")
+                obs.set_gauge("train.loss", epoch_nll, trainer="sgd")
+                obs.observe(
+                    "train.iteration_seconds",
+                    perf_counter() - epoch_started,
+                    trainer="sgd",
+                )
         log.converged = True
         return params, log

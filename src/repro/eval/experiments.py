@@ -287,9 +287,8 @@ def crawl_and_survey(
     crawler = WhoisCrawler(internet)
     results = crawler.crawl(zone)
 
-    db = SurveyDatabase.from_crawl_bulk(
-        results, lambda texts: parser.parse_many(texts, jobs=jobs)
-    )
+    parsed_crawl = WhoisCrawler.parse_results(results, parser, jobs=jobs)
+    db = SurveyDatabase.from_parsed_crawl(parsed_crawl)
     dbl_records = [
         generator.render(registration)
         for registration in generator.dbl_registrations(n_dbl)

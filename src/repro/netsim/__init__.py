@@ -19,7 +19,12 @@ unpublished thresholds.  This package provides:
 """
 
 from repro.netsim.clock import SimClock
-from repro.netsim.crawler import CrawlResult, CrawlStats, WhoisCrawler
+from repro.netsim.crawler import (
+    CrawlResult,
+    CrawlStats,
+    ParsedCrawl,
+    WhoisCrawler,
+)
 from repro.netsim.internet import SimulatedInternet, build_com_internet
 from repro.netsim.protocol import (
     MAX_QUERY_LENGTH,
@@ -39,6 +44,7 @@ __all__ = [
     "CrawlResult",
     "CrawlStats",
     "MAX_QUERY_LENGTH",
+    "ParsedCrawl",
     "QueryOutcome",
     "RateLimiter",
     "RegistrarServer",

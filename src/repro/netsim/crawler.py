@@ -14,11 +14,17 @@ request is marked as failed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
 
+from repro import obs
 from repro.datagen.thin import extract_referral
 from repro.datagen.zone import ZoneFile
 from repro.netsim.internet import SimulatedInternet
 from repro.netsim.servers import QueryOutcome, Response
+
+if TYPE_CHECKING:
+    from repro.parser.api import Parser
+    from repro.parser.fields import ParsedRecord
 
 
 @dataclass(frozen=True)
@@ -120,18 +126,32 @@ class WhoisCrawler:
                 continue
             attempts += 1
             self.clock.sleep_until(allowed)
+            issued = self.clock.now()
             response = self.internet.query(ip, host, query)
             self.stats.queries_sent += 1
+            # Latency in *simulated* seconds: the pacing dynamics the
+            # paper cares about live on this clock, not the wall clock.
+            obs.observe(
+                "crawler.query_seconds", self.clock.now() - issued, server=host
+            )
+            obs.inc("crawler.queries", server=host)
             state.next_allowed[ip] = self.clock.now() + state.interval
             if response.is_valid:
                 state.hits += 1
+                if attempts > 1:
+                    obs.inc("crawler.vantage_retries", attempts - 1, server=host)
                 return response
             # Invalid data: infer we hit the limit, slow down and back off.
             self.stats.rate_limit_events += 1
             state.trips += 1
             state.interval = min(3600.0, max(1.0, state.interval * 4.0))
             self.stats.inferred_intervals[host] = state.interval
+            obs.inc("crawler.rate_limit_trips", server=host)
+            obs.set_gauge(
+                "crawler.inferred_interval_seconds", state.interval, server=host
+            )
             state.next_allowed[ip] = self.clock.now() + self.penalty_guess
+        obs.inc("crawler.exhausted_queries", server=host)
         return None
 
     # ------------------------------------------------------------------
@@ -164,10 +184,12 @@ class WhoisCrawler:
     def crawl(self, zone: ZoneFile) -> list[CrawlResult]:
         """Crawl every domain in the zone snapshot."""
         results = []
+        start = self.clock.now()
         for domain in zone:
             result = self.crawl_domain(domain)
             results.append(result)
             self.stats.total += 1
+            obs.inc("crawler.results", status=result.status)
             if result.status == "ok":
                 self.stats.ok += 1
             elif result.status == "no_match":
@@ -176,25 +198,55 @@ class WhoisCrawler:
                 self.stats.thin_only += 1
             else:
                 self.stats.failed += 1
+        obs.set_gauge("crawler.crawl_sim_seconds", self.clock.now() - start)
         return results
 
     @staticmethod
     def parse_results(
-        results: list[CrawlResult],
-        parser,
+        results: "list[CrawlResult]",
+        parser: "Parser",
         *,
         jobs: int = 1,
-    ) -> list[tuple[CrawlResult, "object"]]:
+    ) -> "ParsedCrawl":
         """Parse every crawled thick record on the parser's bulk path.
 
-        Returns ``(result, ParsedRecord)`` pairs for the results that
-        carry a thick record, in crawl order.  ``parser`` is a
-        :class:`~repro.parser.statistical.WhoisParser` (or anything with
-        a compatible ``parse_many``); ``jobs`` shards the parse across
-        processes.
+        ``parser`` is anything satisfying the
+        :class:`~repro.parser.api.Parser` protocol; ``jobs`` shards the
+        parse across processes when the parser supports it.  The
+        returned :class:`ParsedCrawl` keeps the thick-carrying results
+        and their parses aligned, in crawl order.
         """
         thick = [result for result in results if result.has_thick]
-        parsed = parser.parse_many(
-            [result.thick_text for result in thick], jobs=jobs
-        )
-        return list(zip(thick, parsed))
+        with obs.trace("crawler.parse_results_seconds"):
+            parsed = parser.parse_many(
+                [result.thick_text for result in thick], jobs=jobs
+            )
+        return ParsedCrawl(results=tuple(thick), parsed=tuple(parsed))
+
+
+@dataclass(frozen=True)
+class ParsedCrawl:
+    """The thick results of a crawl, aligned with their parses.
+
+    Iterating yields ``(CrawlResult, ParsedRecord)`` pairs in crawl
+    order -- the shape :meth:`SurveyDatabase.from_parsed_crawl` ingests.
+    """
+
+    results: tuple[CrawlResult, ...]
+    parsed: "tuple[ParsedRecord, ...]"
+
+    def __post_init__(self) -> None:
+        if len(self.results) != len(self.parsed):
+            raise ValueError(
+                f"{len(self.results)} results but {len(self.parsed)} parses"
+            )
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> "Iterator[tuple[CrawlResult, ParsedRecord]]":
+        return iter(zip(self.results, self.parsed))
+
+    @property
+    def pairs(self) -> "list[tuple[CrawlResult, ParsedRecord]]":
+        return list(zip(self.results, self.parsed))

@@ -1,0 +1,84 @@
+"""Exporters: registry -> JSON dict / Prometheus text exposition.
+
+Both views render the same snapshot, so a run can be archived as JSON
+(diffable, ``BENCH_*.json``-style trajectories) and scraped as Prometheus
+text without the instrumentation knowing which consumer exists.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def to_json(registry: MetricsRegistry) -> dict:
+    """JSON-friendly snapshot of every series (see ``snapshot``)."""
+    return registry.snapshot()
+
+
+def _prom_name(name: str, suffix: str = "") -> str:
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    return f"{cleaned}{suffix}"
+
+
+def _prom_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{value.replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+        for key, value in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4)."""
+    snapshot = registry.snapshot()
+    lines: list[str] = []
+    for name, rows in snapshot["counters"].items():
+        metric = _prom_name(name, "_total")
+        lines.append(f"# TYPE {_prom_name(name)} counter")
+        for row in rows:
+            lines.append(f"{metric}{_prom_labels(row['labels'])} {row['value']:g}")
+    for name, rows in snapshot["gauges"].items():
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        for row in rows:
+            lines.append(f"{metric}{_prom_labels(row['labels'])} {row['value']:g}")
+    for name, rows in snapshot["histograms"].items():
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        for row in rows:
+            histogram = row["value"]
+            for bound, cumulative in histogram["buckets"].items():
+                lines.append(
+                    f"{metric}_bucket"
+                    f"{_prom_labels(row['labels'], {'le': bound})} {cumulative}"
+                )
+            lines.append(
+                f"{metric}_sum{_prom_labels(row['labels'])} {histogram['sum']:g}"
+            )
+            lines.append(
+                f"{metric}_count{_prom_labels(row['labels'])} {histogram['count']}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics(path: str | Path, registry: MetricsRegistry) -> Path:
+    """Write the registry to ``path``; format chosen by extension.
+
+    ``.prom`` / ``.txt`` get Prometheus text, anything else JSON.
+    """
+    path = Path(path)
+    if path.suffix in (".prom", ".txt"):
+        path.write_text(to_prometheus(registry))
+    else:
+        path.write_text(json.dumps(to_json(registry), indent=2, sort_keys=True))
+    return path

@@ -1,0 +1,67 @@
+"""Lightweight span tracing over the metrics registry.
+
+``with trace("parse.decode"): ...`` times the block and folds the duration
+into the histogram series of the same name (so spans and explicit
+``observe`` calls share one exporter path).  Durations come from
+``time.perf_counter`` unless the installed registry carries a ``clock``
+(any ``now() -> float`` object, e.g. the netsim
+:class:`~repro.netsim.clock.SimClock`), in which case spans measure
+*virtual* time -- the crawl's multi-month schedule traces in milliseconds
+of real time with the simulated durations intact.
+
+With no registry installed, :func:`trace` returns a shared no-op span:
+entering and exiting it does two method calls and nothing else.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.obs import metrics as _metrics
+
+
+class Span:
+    """One timed block; records ``<name>`` seconds on exit."""
+
+    __slots__ = ("registry", "name", "labels", "_now", "_start", "seconds")
+
+    def __init__(self, registry, name: str, labels: dict[str, str]) -> None:
+        self.registry = registry
+        self.name = name
+        self.labels = labels
+        clock = registry.clock
+        self._now = perf_counter if clock is None else clock.now
+        self._start = 0.0
+        self.seconds: float | None = None
+
+    def __enter__(self) -> "Span":
+        self._start = self._now()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.seconds = self._now() - self._start
+        self.registry.observe(self.name, self.seconds, **self.labels)
+
+
+class _NoopSpan:
+    """Shared do-nothing span for the uninstrumented fast path."""
+
+    __slots__ = ()
+    seconds = None
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+def trace(name: str, **labels: str):
+    """A context manager timing its block into histogram ``name``."""
+    registry = _metrics._REGISTRY
+    if registry is None:
+        return NOOP_SPAN
+    return Span(registry, name, labels)

@@ -1,14 +1,18 @@
 """WHOIS parsers: the paper's statistical parser and the baselines it beats.
 
+All four implement the unified :class:`Parser` protocol --
+``parse(record) -> ParsedRecord`` plus a bulk ``parse_many`` -- so the
+survey, gateway, and evaluation code program against one contract:
+
 - :class:`WhoisParser` -- the two-level CRF parser (Section 3), the paper's
-  contribution.
+  contribution; ``parse_many`` runs the batched survey-scale pipeline.
 - :class:`RuleBasedParser` -- the hand-crafted rule base used for ground
   truth, with the "roll-back" needed by the Figure 2/3 comparison
   (Sections 4.2, 5.1).
 - :class:`TemplateParser` -- a deft-whois-style per-registrar template
   parser with a crisp failure signal (Section 2.3).
 - :class:`SimpleRegexParser` -- a pythonwhois-style generic rule parser
-  (Section 2.3).
+  (Section 2.3); its historical flat result survives as ``parse_simple``.
 """
 
 from repro.parser.active import (
@@ -16,15 +20,19 @@ from repro.parser.active import (
     rank_by_uncertainty,
     select_for_labeling,
 )
+from repro.parser.api import Parser, ParserBase
 from repro.parser.fields import ParsedRecord, parse_whois_date
 from repro.parser.rules import RuleBasedParser
-from repro.parser.simple import SimpleRegexParser
+from repro.parser.simple import SimpleParseResult, SimpleRegexParser
 from repro.parser.statistical import WhoisParser
 from repro.parser.templates import TemplateMissingError, TemplateParser
 
 __all__ = [
     "ParsedRecord",
+    "Parser",
+    "ParserBase",
     "RuleBasedParser",
+    "SimpleParseResult",
     "SimpleRegexParser",
     "TemplateMissingError",
     "TemplateParser",

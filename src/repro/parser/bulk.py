@@ -70,6 +70,12 @@ class LineEncoder:
             str, tuple[tuple[int, ...], tuple[int, ...], int, str | None]
         ] = {}
         self._ctx: dict[str, tuple[int, ...]] = {}
+        #: cumulative cache accounting (plain ints on the hot path; the
+        #: bulk parser drains deltas into ``repro.obs`` per batch)
+        self.hits = 0
+        self.misses = 0
+        self._drained_hits = 0
+        self._drained_misses = 0
         obs_vocab, edge_vocab = index.obs_vocab, index.edge_vocab
         # Layout-marker ids, resolved once.  A marker absent from the
         # vocabulary encodes to nothing, exactly as FeatureIndex.encode
@@ -85,6 +91,7 @@ class LineEncoder:
     ) -> tuple[tuple[int, ...], tuple[int, ...], int, str | None]:
         profile = self._lines.get(line)
         if profile is None:
+            self.misses += 1
             raw = self._profiles.get(line)
             if raw is None:
                 obs, edge = self.featurizer.line_attributes(line)
@@ -107,7 +114,23 @@ class LineEncoder:
             )
             if len(self._lines) < self.cache_size:
                 self._lines[line] = profile
+        else:
+            self.hits += 1
         return profile
+
+    @property
+    def hit_rate(self) -> float:
+        """Cumulative cache hit rate over every line encoded so far."""
+        seen = self.hits + self.misses
+        return self.hits / seen if seen else 0.0
+
+    def drain_cache_stats(self) -> tuple[int, int]:
+        """(hits, misses) accrued since the previous drain."""
+        hits = self.hits - self._drained_hits
+        misses = self.misses - self._drained_misses
+        self._drained_hits = self.hits
+        self._drained_misses = self.misses
+        return hits, misses
 
     def _ctx_ids(self, head: str) -> tuple[int, ...]:
         """Encoded ``CTX:<head>`` (+ ``CTX4:`` prefix) attributes."""

@@ -25,6 +25,7 @@ import re
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+from repro.parser.api import ParserBase
 from repro.parser.fields import ParsedRecord, assemble_record
 from repro.whois.records import LabeledRecord, WhoisRecord, is_labelable
 from repro.whois.text import (
@@ -469,7 +470,7 @@ class _RuleEngine:
         return assignments
 
 
-class RuleBasedParser:
+class RuleBasedParser(ParserBase):
     """The paper's rule-based comparison parser.
 
     An unfitted parser uses the *full* rule base (the authors' final,

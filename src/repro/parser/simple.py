@@ -16,6 +16,16 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 
+from repro.parser.api import ParserBase
+from repro.parser.fields import ParsedRecord, parse_whois_date
+from repro.whois.records import LabeledRecord, WhoisRecord
+
+_DOMAIN_PATTERNS: tuple[re.Pattern, ...] = (
+    re.compile(r"^\s*Domain Name\s*\.*:?\s*\.*\s*(?P<v>\S+)\s*$",
+               re.IGNORECASE | re.MULTILINE),
+    re.compile(r"^\s*domain:\s*(?P<v>\S+)\s*$", re.IGNORECASE | re.MULTILINE),
+)
+
 _REGISTRANT_PATTERNS: tuple[re.Pattern, ...] = (
     re.compile(r"^\s*Registrant Name\s*\.*:?\s*\.*\s*(?P<v>.+?)\s*$",
                re.IGNORECASE | re.MULTILINE),
@@ -69,10 +79,20 @@ class SimpleParseResult:
         return self.registrant_name is not None
 
 
-class SimpleRegexParser:
-    """Generic regex extraction over raw WHOIS text."""
+class SimpleRegexParser(ParserBase):
+    """Generic regex extraction over raw WHOIS text.
 
-    def parse(self, text: str) -> SimpleParseResult:
+    :meth:`parse` follows the unified :class:`~repro.parser.api.Parser`
+    protocol (any record form in, :class:`ParsedRecord` out);
+    :meth:`parse_simple` is the historical flat result for callers that
+    want the raw matched strings.
+    """
+
+    @staticmethod
+    def _text(record: WhoisRecord | LabeledRecord | str) -> str:
+        return record if isinstance(record, str) else record.text
+
+    def parse_simple(self, text: str) -> SimpleParseResult:
         result = SimpleParseResult()
         result.registrant_name = self._first(_REGISTRANT_PATTERNS, text)
         result.registrant_org = self._first(_ORG_PATTERNS, text)
@@ -85,6 +105,27 @@ class SimpleRegexParser:
             if match:
                 setattr(result, name, match.group("v"))
         return result
+
+    def parse(self, record: WhoisRecord | LabeledRecord | str) -> ParsedRecord:
+        text = self._text(record)
+        simple = self.parse_simple(text)
+        domain = self._first(_DOMAIN_PATTERNS, text)
+        registrant = {
+            key: value
+            for key, value in (
+                ("name", simple.registrant_name),
+                ("org", simple.registrant_org),
+                ("email", simple.registrant_email),
+            )
+            if value is not None
+        }
+        return ParsedRecord(
+            domain=domain.lower() if domain else None,
+            registrar=simple.registrar,
+            created=parse_whois_date(simple.created) if simple.created else None,
+            expires=parse_whois_date(simple.expires) if simple.expires else None,
+            registrant=registrant,
+        )
 
     @staticmethod
     def _first(patterns: tuple[re.Pattern, ...], text: str) -> str | None:
@@ -113,7 +154,7 @@ class SimpleRegexParser:
             if gold is None:
                 continue
             checked += 1
-            got = self.parse(record.text).registrant_name
+            got = self.parse_simple(record.text).registrant_name
             if got and got.lower().strip() in gold.lower():
                 correct += 1
         return correct / checked if checked else 0.0

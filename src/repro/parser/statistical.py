@@ -16,8 +16,10 @@ from typing import Iterable, Sequence as TypingSequence
 
 import numpy as np
 
+from repro import obs
 from repro.crf.features import Sequence
 from repro.crf.model import ChainCRF
+from repro.parser.api import ParserBase
 from repro.parser.fields import ParsedRecord, assemble_record
 from repro.whois.features import FeaturizerConfig, WhoisFeaturizer
 from repro.whois.labels import BLOCK_LABELS, REGISTRANT_LABELS
@@ -83,7 +85,7 @@ def _registrant_segments(
     return segments
 
 
-class WhoisParser:
+class WhoisParser(ParserBase):
     """Two-level statistical WHOIS parser.
 
     Parameters mirror the paper's setup: an L2-regularized CRF per level,
@@ -180,11 +182,13 @@ class WhoisParser:
             lexicon.add_texts(record.text for record in records)
             self.featurizer.lexicon = lexicon.freeze(self._unk_min_count)
         sequences, labels = self._block_dataset(records)
-        self.block_crf.fit(sequences, labels)
+        with obs.trace("train.fit_seconds", level="block"):
+            self.block_crf.fit(sequences, labels)
         if self.registrant_crf is not None:
             reg_seqs, reg_labels = self._registrant_dataset(records)
             if reg_seqs:
-                self.registrant_crf.fit(reg_seqs, reg_labels)
+                with obs.trace("train.fit_seconds", level="registrant"):
+                    self.registrant_crf.fit(reg_seqs, reg_labels)
         self._trained_on = len(records)
         self._bulk_encoders = None
         return self
@@ -372,21 +376,26 @@ class WhoisParser:
         """
         records = list(records)
         if jobs > 1 and len(records) >= 2 * jobs:
-            return self._map_sharded(_label_shard, records, jobs, chunk_size)
+            with obs.trace("parse.sharded_seconds", jobs=str(jobs)):
+                return self._map_sharded(
+                    _label_shard, records, jobs, chunk_size
+                )
         block_encoder, registrant_encoder = self._encoders()
         lines_per: list[list[str]] = []
         encoded = []
-        for record in records:
-            lines: list[str] = []
-            encoded.append(
-                block_encoder.encode_record(
-                    self._raw_lines(record), collect=lines
+        with obs.trace("parse.encode_seconds", level="block"):
+            for record in records:
+                lines: list[str] = []
+                encoded.append(
+                    block_encoder.encode_record(
+                        self._raw_lines(record), collect=lines
+                    )
                 )
+                lines_per.append(lines)
+        with obs.trace("parse.decode_seconds", level="block"):
+            blocks_per = self.block_crf.predict_many(
+                encoded, chunk_size=chunk_size
             )
-            lines_per.append(lines)
-        blocks_per = self.block_crf.predict_many(
-            encoded, chunk_size=chunk_size
-        )
         subs_per: list[list[str | None]] = [
             [None] * len(lines) for lines in lines_per
         ]
@@ -394,23 +403,53 @@ class WhoisParser:
             # Corpus-wide gather: one batch over every registrant segment.
             spans: list[tuple[int, int]] = []  # (record, start)
             segments = []
-            for r, blocks in enumerate(blocks_per):
-                for start, end in _block_runs(blocks, "registrant"):
-                    spans.append((r, start))
-                    segments.append(
-                        registrant_encoder.encode_lines(
-                            lines_per[r][start:end]
+            with obs.trace("parse.encode_seconds", level="registrant"):
+                for r, blocks in enumerate(blocks_per):
+                    for start, end in _block_runs(blocks, "registrant"):
+                        spans.append((r, start))
+                        segments.append(
+                            registrant_encoder.encode_lines(
+                                lines_per[r][start:end]
+                            )
                         )
-                    )
-            sub_labels = self.registrant_crf.predict_many(
-                segments, chunk_size=chunk_size
-            )
+            with obs.trace("parse.decode_seconds", level="registrant"):
+                sub_labels = self.registrant_crf.predict_many(
+                    segments, chunk_size=chunk_size
+                )
             for (r, start), subs in zip(spans, sub_labels):
                 subs_per[r][start:start + len(subs)] = subs
+        self._flush_bulk_metrics(len(records))
         return [
             list(zip(lines, blocks, subs))
             for lines, blocks, subs in zip(lines_per, blocks_per, subs_per)
         ]
+
+    def _flush_bulk_metrics(self, n_records: int) -> None:
+        """Drain LineEncoder cache accounting into the installed registry.
+
+        The encoders count hits/misses as plain ints on the hot path;
+        this folds the per-batch deltas (and the cumulative hit rate)
+        into ``repro.obs`` once per bulk call.  No registry, no work.
+        """
+        registry = obs.active()
+        if registry is None or self._bulk_encoders is None:
+            return
+        block_encoder, registrant_encoder = self._bulk_encoders
+        for encoder, level in (
+            (block_encoder, "block"),
+            (registrant_encoder, "registrant"),
+        ):
+            if encoder is None:
+                continue
+            hits, misses = encoder.drain_cache_stats()
+            if hits:
+                registry.inc("parse.line_cache.hits", hits, level=level)
+            if misses:
+                registry.inc("parse.line_cache.misses", misses, level=level)
+            registry.set_gauge(
+                "parse.line_cache.hit_rate", encoder.hit_rate, level=level
+            )
+        registry.observe("parse.batch_records", n_records)
 
     def parse_many(
         self,
@@ -429,13 +468,13 @@ class WhoisParser:
         """
         records = list(records)
         if jobs > 1 and len(records) >= 2 * jobs:
-            return self._map_sharded(_parse_shard, records, jobs, chunk_size)
-        return [
-            self._assemble(labeled)
-            for labeled in self.label_lines_many(
-                records, chunk_size=chunk_size
-            )
-        ]
+            with obs.trace("parse.sharded_seconds", jobs=str(jobs)):
+                return self._map_sharded(
+                    _parse_shard, records, jobs, chunk_size
+                )
+        labeled_many = self.label_lines_many(records, chunk_size=chunk_size)
+        with obs.trace("parse.assemble_seconds"):
+            return [self._assemble(labeled) for labeled in labeled_many]
 
     # ------------------------------------------------------------------
     # Introspection / persistence

@@ -15,6 +15,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.parser.api import ParserBase
+from repro.parser.fields import ParsedRecord, assemble_record
 from repro.whois.records import LabeledRecord, WhoisRecord, is_labelable
 from repro.whois.text import split_title_value, tokenize
 
@@ -71,8 +73,16 @@ class Template:
         return labels
 
 
-class TemplateParser:
-    """Per-registrar template parser with deft-whois failure semantics."""
+class TemplateParser(ParserBase):
+    """Per-registrar template parser with deft-whois failure semantics.
+
+    Conforms to the unified :class:`~repro.parser.api.Parser` protocol:
+    :meth:`parse` returns a :class:`ParsedRecord` when a template matches
+    and raises :class:`TemplateMissingError` /
+    :class:`TemplateMismatchError` otherwise -- template parsing *is*
+    its crisp failure signal, so raw text without a registrar identity
+    fails loudly rather than guessing.
+    """
 
     def __init__(self) -> None:
         self.templates: dict[str, Template] = {}
@@ -106,10 +116,12 @@ class TemplateParser:
         )
         return covered / len(records)
 
-    def predict_blocks(
-        self, record: WhoisRecord | LabeledRecord, registrar: str | None = None
-    ) -> list[str]:
-        """Labels for each line; raises on missing template or drifted format."""
+    def _apply(
+        self,
+        record: WhoisRecord | LabeledRecord | str,
+        registrar: str | None,
+    ) -> tuple[list[str], list[tuple[str, str | None]]]:
+        """Resolve the template and label every labelable line."""
         if registrar is None:
             if not isinstance(record, LabeledRecord) or record.registrar is None:
                 raise TemplateMissingError(
@@ -120,13 +132,38 @@ class TemplateParser:
         template = self.templates.get(registrar)
         if template is None:
             raise TemplateMissingError(registrar)
-        raw = (
-            record.raw_lines
-            if isinstance(record, LabeledRecord)
-            else record.lines
-        )
+        if isinstance(record, str):
+            raw = record.splitlines()
+        elif isinstance(record, LabeledRecord):
+            raw = record.raw_lines
+        else:
+            raw = record.lines
         lines = [ln for ln in raw if is_labelable(ln)]
-        return [block for block, _sub in template.apply(lines)]
+        return lines, template.apply(lines)
+
+    def predict_blocks(
+        self, record: WhoisRecord | LabeledRecord, registrar: str | None = None
+    ) -> list[str]:
+        """Labels for each line; raises on missing template or drifted format."""
+        _, labels = self._apply(record, registrar)
+        return [block for block, _sub in labels]
+
+    def parse(
+        self,
+        record: WhoisRecord | LabeledRecord | str,
+        registrar: str | None = None,
+    ) -> ParsedRecord:
+        """Structured fields via the registrar's template (Parser protocol).
+
+        ``registrar`` overrides the identity lookup for raw-text inputs
+        (in a real deployment it arrives with the thin record).
+        """
+        lines, labels = self._apply(record, registrar)
+        blocks = [block for block, _sub in labels]
+        subs = [
+            sub or "other" for block, sub in labels if block == "registrant"
+        ]
+        return assemble_record(lines, blocks, subs)
 
     def try_parse(
         self, record: LabeledRecord

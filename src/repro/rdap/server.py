@@ -1,57 +1,219 @@
 """An RDAP gateway over legacy WHOIS.
 
-:class:`RdapGateway` holds the trained statistical parser and a source of
-raw thick records (a crawl result set or a live query function); lookups
-return validated RDAP JSON.  This is the concrete payoff of learning to
-parse WHOIS: structured, schema-stable answers over the unstructured
-legacy corpus, without waiting for registries to migrate.
+:class:`RdapGateway` holds a trained parser (anything satisfying the
+:class:`~repro.parser.api.Parser` protocol) and a source of raw thick
+records (a crawl result set or a live query function); lookups return
+validated RDAP JSON.  This is the concrete payoff of learning to parse
+WHOIS: structured, schema-stable answers over the unstructured legacy
+corpus, without waiting for registries to migrate.
+
+The gateway is the serving tier of the production story, so it carries
+the serving-tier conveniences: a bounded LRU response cache (WHOIS
+records change on the order of days; gateway traffic repeats heavily),
+a bulk :meth:`lookup_many` that rides the parser's batched path, and
+``repro.obs`` instrumentation (lookup counts, latencies, cache hit
+rates, error codes).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Callable
+from collections import OrderedDict
+from time import perf_counter
+from typing import TYPE_CHECKING, Callable, Sequence
 
-from repro.parser.statistical import WhoisParser
+from repro import obs
 from repro.rdap.convert import parsed_to_rdap
 from repro.rdap.schema import validate_rdap
+
+if TYPE_CHECKING:
+    from repro.parser.api import Parser
 
 
 class DomainNotFound(KeyError):
     """No WHOIS record available for this domain."""
 
 
+_STATUS_PHRASES = {
+    400: "Bad Request",
+    404: "Not Found",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+}
+
+
+def _status_for(exc: BaseException | None) -> int:
+    if exc is None or isinstance(exc, DomainNotFound):
+        return 404
+    return 500
+
+
 class RdapGateway:
-    """domain -> validated RDAP JSON, via the statistical parser."""
+    """domain -> validated RDAP JSON, via a WHOIS parser.
+
+    ``cache_size`` > 0 enables a bounded LRU cache of validated
+    responses, keyed by lowercased domain; 0 (the default) disables
+    caching entirely, so every lookup re-fetches and re-parses.
+    """
 
     def __init__(
         self,
-        parser: WhoisParser,
+        parser: "Parser",
         fetch_whois: Callable[[str], "str | None"],
+        *,
+        cache_size: int = 0,
     ) -> None:
         self.parser = parser
         self._fetch = fetch_whois
         self.lookups = 0
+        self.cache_size = cache_size
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._cache: "OrderedDict[str, dict]" = OrderedDict()
 
-    def lookup(self, domain: str) -> dict:
-        """RDAP domain object for ``domain``; raises DomainNotFound."""
-        self.lookups += 1
-        text = self._fetch(domain.lower())
-        if text is None:
-            raise DomainNotFound(domain)
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+
+    def _cache_get(self, key: str) -> "dict | None":
+        if not self.cache_size:
+            return None
+        payload = self._cache.get(key)
+        if payload is not None:
+            self._cache.move_to_end(key)
+            self.cache_hits += 1
+            obs.inc("rdap.cache.hits")
+        else:
+            self.cache_misses += 1
+            obs.inc("rdap.cache.misses")
+        return payload
+
+    def _cache_put(self, key: str, payload: dict) -> None:
+        if not self.cache_size:
+            return
+        self._cache[key] = payload
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def _build(self, domain: str, text: str) -> dict:
+        """Parse one thick record and validate the RDAP rendering."""
         parsed = self.parser.parse(text)
         payload = parsed_to_rdap(domain, parsed).to_json()
         validate_rdap(payload)
         return payload
 
+    def lookup(self, domain: str) -> dict:
+        """RDAP domain object for ``domain``; raises DomainNotFound."""
+        self.lookups += 1
+        obs.inc("rdap.lookups")
+        key = domain.lower()
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached
+        start = perf_counter()
+        try:
+            text = self._fetch(key)
+            if text is None:
+                raise DomainNotFound(domain)
+            payload = self._build(domain, text)
+        except Exception as exc:
+            obs.inc("rdap.errors", code=str(_status_for(exc)))
+            raise
+        obs.observe("rdap.lookup_seconds", perf_counter() - start)
+        self._cache_put(key, payload)
+        return payload
+
+    def lookup_many(self, domains: Sequence[str], *, jobs: int = 1) -> list[dict]:
+        """Bulk :meth:`lookup`, parsed on the parser's batched path.
+
+        Returns exactly ``[self.lookup(d) for d in domains]`` -- same
+        payloads in the same order, cache consulted and filled the same
+        way, and :class:`DomainNotFound` raised for the first domain (in
+        input order) without a record -- but every uncached record goes
+        through one ``parse_many`` call, sharded over ``jobs`` worker
+        processes when the parser supports it.
+        """
+        domains = list(domains)
+        self.lookups += len(domains)
+        obs.inc("rdap.lookups", len(domains))
+        payloads: list[dict | None] = [None] * len(domains)
+        #: uncached key -> indices awaiting its payload, in input order.
+        #: Duplicates of an uncached domain are parsed once and fanned
+        #: out, exactly as a lookup() loop would hit the cache on the
+        #: second occurrence.
+        pending: "OrderedDict[str, list[int]]" = OrderedDict()
+        for i, domain in enumerate(domains):
+            key = domain.lower()
+            if key in pending:
+                pending[key].append(i)
+                continue
+            cached = self._cache_get(key)
+            if cached is not None:
+                payloads[i] = cached
+            else:
+                pending[key] = [i]
+        texts: list[str] = []
+        for key, indices in pending.items():
+            text = self._fetch(key)
+            if text is None:
+                obs.inc("rdap.errors", code="404")
+                raise DomainNotFound(domains[indices[0]])
+            texts.append(text)
+        if texts:
+            start = perf_counter()
+            parsed_records = self.parser.parse_many(texts, jobs=jobs)
+            for (key, indices), parsed in zip(pending.items(), parsed_records):
+                domain = domains[indices[0]]
+                try:
+                    payload = parsed_to_rdap(domain, parsed).to_json()
+                    validate_rdap(payload)
+                except Exception as exc:
+                    obs.inc("rdap.errors", code=str(_status_for(exc)))
+                    raise
+                self._cache_put(key, payload)
+                for i in indices:
+                    payloads[i] = payload
+            obs.observe("rdap.lookup_many_seconds", perf_counter() - start)
+        return payloads
+
+    # ------------------------------------------------------------------
+    # HTTP-shaped responses
+    # ------------------------------------------------------------------
+
     def lookup_json(self, domain: str) -> str:
         return json.dumps(self.lookup(domain), indent=2)
 
-    def error_json(self, domain: str, status: int = 404) -> str:
-        """An RFC 7483 error response body."""
+    def error_json(
+        self,
+        domain: str,
+        status: int | None = None,
+        *,
+        exc: BaseException | None = None,
+    ) -> str:
+        """An RFC 7483 error response body.
+
+        The error code, title, and description derive from the actual
+        exception when one is given: :class:`DomainNotFound` renders the
+        404 shape, anything else (a parse crash, a validation failure)
+        the 500 shape with the exception's message.  An explicit
+        ``status`` overrides the derived code.
+        """
+        if status is None:
+            status = _status_for(exc)
+        title = _STATUS_PHRASES.get(status, type(exc).__name__ if exc else "Error")
+        if exc is None or isinstance(exc, DomainNotFound):
+            description = f"no WHOIS record for {domain}"
+        else:
+            description = f"{type(exc).__name__}: {exc}"
         return json.dumps({
             "rdapConformance": ["rdap_level_0"],
             "errorCode": status,
-            "title": "Not Found",
-            "description": [f"no WHOIS record for {domain}"],
+            "title": title,
+            "description": [description],
         })

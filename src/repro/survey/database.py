@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from datetime import date
 from typing import Callable, Iterable
 
+from repro import obs
 from repro.parser.fields import ParsedRecord
 from repro.survey.normalize import (
     canonical_country,
@@ -87,6 +88,11 @@ class SurveyDatabase:
             blacklisted=blacklisted,
         )
         self.entries.append(entry)
+        obs.inc("survey.rows", blacklisted="true" if blacklisted else "false")
+        if privacy is not None:
+            obs.inc("survey.private_rows")
+        if entry.country is None:
+            obs.inc("survey.unknown_country_rows")
         return entry
 
     @classmethod
@@ -135,6 +141,36 @@ class SurveyDatabase:
         return db
 
     @classmethod
+    def from_parsed_crawl(
+        cls,
+        parsed_crawl: Iterable,
+        *,
+        blacklisted_domains: set[str] | None = None,
+    ) -> "SurveyDatabase":
+        """Ingest a :class:`~repro.netsim.crawler.ParsedCrawl`.
+
+        Accepts anything yielding ``(crawl result, ParsedRecord)`` pairs;
+        the registrar named by each thin record serves as a hint when the
+        thick record's own registrar line is missing -- the two-step
+        thin -> thick data flow of Section 4.1.
+        """
+        from repro.datagen.thin import extract_registrar
+
+        db = cls()
+        blacklisted = blacklisted_domains or set()
+        with obs.trace("survey.build_seconds"):
+            for result, parsed in parsed_crawl:
+                thin_text = getattr(result, "thin_text", None)
+                hint = extract_registrar(thin_text) if thin_text else None
+                db.add_parsed(
+                    result.domain,
+                    parsed,
+                    registrar_hint=hint,
+                    blacklisted=result.domain in blacklisted,
+                )
+        return db
+
+    @classmethod
     def from_crawl_bulk(
         cls,
         results: Iterable,
@@ -152,25 +188,17 @@ class SurveyDatabase:
         parser; this path is how the Section 6 survey scales to a full
         zone crawl.
         """
-        from repro.datagen.thin import extract_registrar
+        from repro.netsim.crawler import ParsedCrawl
 
         kept = [
             result for result in results
             if getattr(result, "thick_text", None) is not None
         ]
         parsed_records = parse_many([r.thick_text for r in kept])
-        db = cls()
-        blacklisted = blacklisted_domains or set()
-        for result, parsed in zip(kept, parsed_records):
-            thin_text = getattr(result, "thin_text", None)
-            hint = extract_registrar(thin_text) if thin_text else None
-            db.add_parsed(
-                result.domain,
-                parsed,
-                registrar_hint=hint,
-                blacklisted=result.domain in blacklisted,
-            )
-        return db
+        return cls.from_parsed_crawl(
+            ParsedCrawl(results=tuple(kept), parsed=tuple(parsed_records)),
+            blacklisted_domains=blacklisted_domains,
+        )
 
     # ------------------------------------------------------------------
     # Filters

@@ -133,6 +133,68 @@ def test_cli_parse_from_stdin(tmp_path, capsys, monkeypatch):
     assert output["domain"] == record.domain
 
 
+def test_cli_metrics_out(tmp_path, capsys):
+    """--metrics-out writes pipeline metrics alongside each command."""
+    corpus_path = tmp_path / "corpus.jsonl"
+    model_path = tmp_path / "model"
+    crawl_path = tmp_path / "crawl.jsonl"
+    main(["generate", str(corpus_path), "--count", "50", "--seed", "4"])
+
+    train_metrics = tmp_path / "train-metrics.json"
+    assert main(["train", str(corpus_path), str(model_path),
+                 "--metrics-out", str(train_metrics)]) == 0
+    trained = json.loads(train_metrics.read_text())
+    assert "train.iterations" in trained["counters"]
+    assert "train.loss" in trained["gauges"]
+
+    crawl_metrics = tmp_path / "crawl-metrics.json"
+    assert main(["crawl", str(crawl_path), "--domains", "80", "--seed", "4",
+                 "--metrics-out", str(crawl_metrics)]) == 0
+    crawled = json.loads(crawl_metrics.read_text())
+    assert "crawler.queries" in crawled["counters"]
+    assert "crawler.query_seconds" in crawled["histograms"]
+    # Simulated-clock span: the crawl takes whole virtual seconds even
+    # though it replays in milliseconds of wall time.
+    zone_span = crawled["histograms"]["crawl.zone_seconds"][0]["value"]
+    assert zone_span["sum"] > 1.0
+
+    survey_metrics = tmp_path / "survey-metrics.prom"
+    capsys.readouterr()
+    assert main(["survey", str(model_path), str(crawl_path),
+                 "--metrics-out", str(survey_metrics)]) == 0
+    prom = survey_metrics.read_text()
+    assert "# TYPE parse_line_cache_hits counter" in prom
+    assert "parse_decode_seconds_bucket" in prom
+
+    # No --metrics-out: no registry installed, no file written.
+    capsys.readouterr()
+    assert main(["survey", str(model_path), str(crawl_path)]) == 0
+
+
+def test_cli_rdap_lookup(tmp_path, capsys):
+    corpus_path = tmp_path / "corpus.jsonl"
+    model_path = tmp_path / "model"
+    crawl_path = tmp_path / "crawl.jsonl"
+    main(["generate", str(corpus_path), "--count", "50", "--seed", "5"])
+    main(["train", str(corpus_path), str(model_path)])
+    main(["crawl", str(crawl_path), "--domains", "60", "--seed", "5"])
+    with crawl_path.open() as handle:
+        thick = [json.loads(line) for line in handle]
+    domain = next(row["domain"] for row in thick if row.get("thick_text"))
+
+    capsys.readouterr()
+    assert main(["rdap", str(model_path), str(crawl_path), domain]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["objectClassName"] == "domain"
+    assert payload["ldhName"] == domain
+
+    capsys.readouterr()
+    assert main(["rdap", str(model_path), str(crawl_path),
+                 "no-such-domain.com"]) == 1
+    error = json.loads(capsys.readouterr().out)
+    assert error["errorCode"] == 404
+
+
 def test_cli_requires_command():
     with pytest.raises(SystemExit):
         main([])

@@ -179,16 +179,34 @@ def test_simple_parser_handles_kv_format():
         "Registrant Name: John Smith\n"
         "Registrant Email: j@example.com\n"
     )
-    result = SimpleRegexParser().parse(text)
+    result = SimpleRegexParser().parse_simple(text)
     assert result.registrant_name == "John Smith"
     assert result.registrant_email == "j@example.com"
     assert result.registrar == "GoDaddy.com, LLC"
     assert result.created == "2014-03-05"
 
 
+def test_simple_parser_protocol_parse_returns_parsed_record():
+    from datetime import date
+
+    text = (
+        "Domain Name: EXAMPLE.COM\n"
+        "Registrar: GoDaddy.com, LLC\n"
+        "Creation Date: 2014-03-05\n"
+        "Registrant Name: John Smith\n"
+        "Registrant Email: j@example.com\n"
+    )
+    parsed = SimpleRegexParser().parse(text)
+    assert parsed.domain == "example.com"
+    assert parsed.registrant_name == "John Smith"
+    assert parsed.registrant.get("email") == "j@example.com"
+    assert parsed.registrar == "GoDaddy.com, LLC"
+    assert parsed.created == date(2014, 3, 5)
+
+
 def test_simple_parser_handles_owner_format():
     text = "domain: x.com\nowner: Hans Mueller\ne-mail: h@web.de\n"
-    result = SimpleRegexParser().parse(text)
+    result = SimpleRegexParser().parse_simple(text)
     assert result.registrant_name == "Hans Mueller"
 
 
@@ -200,7 +218,7 @@ def test_simple_parser_misses_block_format():
         "   John Smith\n"
         "   1 Main St\n"
     )
-    result = SimpleRegexParser().parse(text)
+    result = SimpleRegexParser().parse_simple(text)
     assert result.registrant_name is None
 
 

@@ -151,6 +151,118 @@ def test_gateway_not_found(world):
     assert error["errorCode"] == 404
 
 
+def test_gateway_lookup_many_matches_lookup_loop(world):
+    """Bulk lookups must be bit-identical to a loop of lookup() calls."""
+    generator, corpus, parser = world
+    records = {r.domain: r.text for r in corpus[120:]}
+    domains = [r.domain for r in corpus[120:135]]
+    # Duplicates and mixed case exercise the dedup/fan-out path.
+    domains = domains + [domains[0].upper(), domains[3]]
+
+    loop_gateway = RdapGateway(parser, records.get, cache_size=32)
+    loop_payloads = [loop_gateway.lookup(d) for d in domains]
+
+    bulk_gateway = RdapGateway(parser, records.get, cache_size=32)
+    bulk_payloads = bulk_gateway.lookup_many(domains)
+
+    assert bulk_payloads == loop_payloads
+    assert bulk_gateway.lookups == loop_gateway.lookups
+    assert sorted(bulk_gateway._cache) == sorted(loop_gateway._cache)
+
+
+def test_gateway_lookup_many_not_found_in_input_order(world):
+    *_, parser = world
+    gateway = RdapGateway(parser, lambda domain: None)
+    with pytest.raises(DomainNotFound) as excinfo:
+        gateway.lookup_many(["first-missing.com", "second-missing.com"])
+    assert "first-missing.com" in str(excinfo.value)
+
+
+def test_gateway_lru_cache_hits_and_eviction(world):
+    generator, corpus, parser = world
+    records = {r.domain: r.text for r in corpus[120:]}
+    fetches = []
+
+    def counted_fetch(domain):
+        fetches.append(domain)
+        return records.get(domain)
+
+    gateway = RdapGateway(parser, counted_fetch, cache_size=2)
+    a, b, c = (corpus[i].domain for i in (120, 121, 122))
+
+    gateway.lookup(a)
+    gateway.lookup(a)  # cache hit: no second fetch
+    assert fetches == [a]
+    assert gateway.cache_hits == 1 and gateway.cache_misses == 1
+
+    gateway.lookup(b)
+    gateway.lookup(a)  # refreshes a's recency
+    gateway.lookup(c)  # evicts b, the least recently used
+    gateway.lookup(b)  # must re-fetch, evicting a
+    assert fetches == [a, b, c, b]
+    assert set(gateway._cache) == {b, c}
+
+
+def test_gateway_cache_disabled_by_default(world):
+    generator, corpus, parser = world
+    records = {r.domain: r.text for r in corpus[120:]}
+    fetches = []
+
+    def counted_fetch(domain):
+        fetches.append(domain)
+        return records.get(domain)
+
+    gateway = RdapGateway(parser, counted_fetch)
+    domain = corpus[123].domain
+    gateway.lookup(domain)
+    gateway.lookup(domain)
+    assert fetches == [domain, domain]
+    assert gateway.cache_hits == 0 and gateway.cache_misses == 0
+
+
+def test_error_json_derived_from_exception(world):
+    *_, parser = world
+    gateway = RdapGateway(parser, lambda domain: None)
+    not_found = json.loads(
+        gateway.error_json("x.com", exc=DomainNotFound("x.com"))
+    )
+    assert not_found["errorCode"] == 404
+    assert not_found["title"] == "Not Found"
+    assert "x.com" in not_found["description"][0]
+
+    crash = json.loads(
+        gateway.error_json("y.com", exc=ValueError("parse exploded"))
+    )
+    assert crash["errorCode"] == 500
+    assert crash["title"] == "Internal Server Error"
+    assert "ValueError: parse exploded" in crash["description"][0]
+
+    override = json.loads(gateway.error_json("z.com", status=429))
+    assert override["errorCode"] == 429
+    assert override["title"] == "Too Many Requests"
+
+
+def test_gateway_emits_obs_metrics(world):
+    from repro import obs
+
+    generator, corpus, parser = world
+    records = {r.domain: r.text for r in corpus[120:]}
+    domains = [r.domain for r in corpus[125:130]]
+    registry = obs.MetricsRegistry()
+    with obs.use(registry):
+        gateway = RdapGateway(parser, records.get, cache_size=4)
+        gateway.lookup(domains[0])
+        gateway.lookup(domains[0])
+        gateway.lookup_many(domains)
+        with pytest.raises(DomainNotFound):
+            gateway.lookup("missing.com")
+    assert registry.counter_value("rdap.lookups") == 2 + len(domains) + 1
+    assert registry.counter_value("rdap.cache.hits") >= 2
+    assert registry.counter_value("rdap.errors", code="404") == 1
+    assert registry.histogram("rdap.lookup_seconds").count >= 1
+    assert registry.histogram("rdap.lookup_many_seconds").count == 1
+
+
 def test_gateway_agreement_with_ground_truth(world):
     """Gateway output must match native RDAP from the registry's own data."""
     generator, _, parser = world
