@@ -98,14 +98,30 @@ def _cmd_parse(args: argparse.Namespace) -> int:
 
 
 def _cmd_crawl(args: argparse.Namespace) -> int:
+    from repro.resilience import BreakerPolicy, RetryPolicy
+
     generator = CorpusGenerator(CorpusConfig(seed=args.seed))
     zone, registrations = generator.zone(args.domains)
-    internet, clock, _truth = build_com_internet(generator, zone, registrations)
+    internet, clock, _truth = build_com_internet(
+        generator, zone, registrations,
+        faults=args.fault_profile, fault_seed=args.fault_seed,
+    )
     registry = obs.active()
     if registry is not None:
         # Spans during the crawl measure *simulated* seconds.
         registry.clock = clock
-    crawler = WhoisCrawler(internet)
+    crawler = WhoisCrawler(
+        internet,
+        retry_policy=(
+            RetryPolicy.from_json(args.retry_policy)
+            if args.retry_policy else None
+        ),
+        breaker=(
+            BreakerPolicy() if args.breaker == "default"
+            else BreakerPolicy.from_json(args.breaker) if args.breaker
+            else None
+        ),
+    )
     with obs.trace("crawl.zone_seconds"):
         results = crawler.crawl(zone)
     if registry is not None:
@@ -113,17 +129,28 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     stats = crawler.stats
     with Path(args.output).open("w", encoding="utf-8") as handle:
         for result in results:
-            handle.write(json.dumps({
+            row = {
                 "domain": result.domain,
                 "status": result.status,
                 "registrar_server": result.registrar_server,
                 "thick_text": result.thick_text,
-            }) + "\n")
+            }
+            if result.error is not None:
+                row["error"] = result.error.to_payload()
+            handle.write(json.dumps(row) + "\n")
     print(f"crawled {stats.total} domains in simulated {clock.now():,.0f}s: "
           f"{stats.ok} thick ({stats.thick_coverage:.1%}), "
           f"{stats.no_match} no-match, "
           f"{stats.thin_only + stats.failed} failed "
           f"({stats.failure_rate:.1%}); saved to {args.output}")
+    if stats.error_counts:
+        taxonomy = ", ".join(
+            f"{code}={count}"
+            for code, count in sorted(stats.error_counts.items())
+        )
+        print(f"failures by cause: {taxonomy}")
+    if stats.breaker_skips:
+        print(f"circuit breaker shed {stats.breaker_skips} queries")
     return 0
 
 
@@ -132,15 +159,32 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     with Path(args.crawl).open("r", encoding="utf-8") as handle:
         rows = [json.loads(line) for line in handle]
     rows = [row for row in rows if row.get("thick_text")]
+    db = SurveyDatabase()
+    if args.quarantine:
+        from repro.resilience import RecordGate
+
+        gate = RecordGate(min_mean_confidence=args.min_confidence)
+        kept = []
+        for row in rows:
+            error = gate.inspect(row["domain"], row["thick_text"], parser)
+            if error is None:
+                kept.append(row)
+            else:
+                db.add_quarantined(row["domain"], row["thick_text"], error)
+        rows = kept
     # The survey is the paper's bulk workload: parse the whole crawl in
     # one parse_many call (sharded across --jobs processes).
     parsed_records = parser.parse_many(
         [row["thick_text"] for row in rows], jobs=args.jobs
     )
-    db = SurveyDatabase()
     for row, parsed in zip(rows, parsed_records):
         db.add_parsed(row["domain"], parsed)
-    print(f"parsed {len(db)} records\n")
+    print(f"parsed {len(db)} records")
+    if db.quarantine:
+        counts = ", ".join(f"{code}={n}" for code, n
+                           in sorted(db.quarantine_counts().items()))
+        print(f"quarantined {len(db.quarantine)} records: {counts}")
+    print()
     print(format_table(top_registrant_countries(db),
                        title="Top registrant countries (Table 3)",
                        key_header="Country"))
@@ -251,6 +295,22 @@ def build_arg_parser() -> argparse.ArgumentParser:
     crawl.add_argument("output", help="output JSONL path")
     crawl.add_argument("--domains", type=int, default=2000)
     crawl.add_argument("--seed", type=int, default=0)
+    crawl.add_argument(
+        "--fault-profile", default=None, metavar="NAME|PATH",
+        help="inject faults: a named profile (none, default_hostile, "
+             "flapping, degraded_zoo) or a FaultProfile JSON file",
+    )
+    crawl.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for the deterministic fault plan")
+    crawl.add_argument(
+        "--retry-policy", default=None, metavar="PATH",
+        help="RetryPolicy JSON (base_delay, multiplier, max_delay, jitter)",
+    )
+    crawl.add_argument(
+        "--breaker", default=None, metavar="PATH|default",
+        help="enable per-server circuit breaking: BreakerPolicy JSON, "
+             "or 'default' for the stock policy",
+    )
     add_metrics_out(crawl)
     crawl.set_defaults(func=_cmd_crawl)
 
@@ -259,6 +319,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
     survey.add_argument("crawl", help="crawl JSONL from the crawl command")
     survey.add_argument("--jobs", type=int, default=1,
                        help="parser worker processes")
+    survey.add_argument("--quarantine", action="store_true",
+                        help="gate records before parsing; reject garbled/"
+                             "truncated ones into the quarantine table")
+    survey.add_argument("--min-confidence", type=float, default=None,
+                        help="with --quarantine: also reject records whose "
+                             "mean parser marginal falls below this")
     add_metrics_out(survey)
     survey.set_defaults(func=_cmd_survey)
 

@@ -1,0 +1,178 @@
+"""The shared error taxonomy.
+
+Every failure the pipeline can report -- a crawl attempt that timed out,
+a thick record the parser refuses to trust, an RDAP lookup for a domain
+we never crawled -- derives from :class:`ReproError` and carries a
+stable machine-readable ``code`` plus an HTTP-analog ``http_status``.
+The crawler raises these internally instead of threading status strings
+through return values, and :meth:`repro.rdap.server.RdapGateway.error_json`
+serializes them, so crawl failures and gateway failures speak one
+language (``error_payload`` is the canonical wire shape for both).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "CircuitOpen",
+    "CrawlError",
+    "DomainNotFound",
+    "GarbledRecord",
+    "NoReferral",
+    "RecordMissing",
+    "RateLimited",
+    "ReproError",
+    "Reset",
+    "Timeout",
+    "TransientServerError",
+    "Truncated",
+    "error_payload",
+]
+
+
+class ReproError(Exception):
+    """Base class for every typed failure in the pipeline.
+
+    Subclasses pin ``code`` (a stable taxonomy slug, the thing metrics
+    and databases key on) and ``http_status`` (the RDAP/HTTP analog the
+    gateway serializes).
+    """
+
+    code: str = "error"
+    http_status: int = 500
+
+    def to_payload(self) -> dict[str, Any]:
+        """The canonical serialization of this error (one taxonomy for
+        crawl failures, quarantine reasons, and RDAP error bodies)."""
+        return {
+            "code": self.code,
+            "type": type(self).__name__,
+            "status": self.http_status,
+            "detail": str(self),
+        }
+
+
+class CrawlError(ReproError):
+    """A WHOIS crawl attempt failed in a classified way.
+
+    Carries the server and domain involved plus how many attempts were
+    spent, so failure accounting (Section 4.1's ~7.5%) can be broken
+    down by cause rather than lumped into one "failed" bucket.
+    """
+
+    code = "crawl_error"
+    http_status = 502
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        server: str | None = None,
+        domain: str | None = None,
+        attempts: int = 0,
+    ) -> None:
+        super().__init__(message or self.code)
+        self.server = server
+        self.domain = domain
+        self.attempts = attempts
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = super().to_payload()
+        payload["server"] = self.server
+        payload["domain"] = self.domain
+        payload["attempts"] = self.attempts
+        return payload
+
+
+class Timeout(CrawlError):
+    """The server never answered within our patience (or the connection
+    silently dropped -- the dominant real-WHOIS failure mode)."""
+
+    code = "timeout"
+    http_status = 504
+
+
+class Reset(CrawlError):
+    """The connection was actively reset mid-exchange."""
+
+    code = "reset"
+    http_status = 502
+
+
+class Truncated(CrawlError):
+    """A thick record arrived cut off mid-stream."""
+
+    code = "truncated"
+    http_status = 502
+
+
+class RateLimited(CrawlError):
+    """The server refused service (limit exceeded, error banner, or the
+    empty responses Section 4.1 describes)."""
+
+    code = "rate_limited"
+    http_status = 429
+
+
+class NoReferral(CrawlError):
+    """The thin record names no registrar WHOIS server to follow."""
+
+    code = "no_referral"
+    http_status = 502
+
+
+class RecordMissing(CrawlError):
+    """The registry knows the domain but its registrar's server does not
+    (stale referral, migrated sponsorship)."""
+
+    code = "record_missing"
+    http_status = 502
+
+
+class GarbledRecord(CrawlError):
+    """The response decoded to garbage: empty body, mojibake, binary."""
+
+    code = "garbled_record"
+    http_status = 502
+
+
+class TransientServerError(CrawlError):
+    """A 5xx-analog failure the server itself labeled temporary."""
+
+    code = "transient_error"
+    http_status = 502
+
+
+class CircuitOpen(CrawlError):
+    """The crawler's own circuit breaker refused to query the server."""
+
+    code = "circuit_open"
+    http_status = 503
+
+
+class DomainNotFound(ReproError, KeyError):
+    """No WHOIS record available for this domain (the RDAP 404)."""
+
+    code = "domain_not_found"
+    http_status = 404
+
+    def __str__(self) -> str:  # KeyError quotes its argument; undo that.
+        return Exception.__str__(self)
+
+
+def error_payload(exc: BaseException) -> dict[str, Any]:
+    """Serialize any exception through the taxonomy.
+
+    :class:`ReproError` instances render their own payload; foreign
+    exceptions get the generic 500 shape so one code path can serialize
+    anything that escapes the pipeline.
+    """
+    if isinstance(exc, ReproError):
+        return exc.to_payload()
+    return {
+        "code": "internal_error",
+        "type": type(exc).__name__,
+        "status": 500,
+        "detail": f"{type(exc).__name__}: {exc}",
+    }

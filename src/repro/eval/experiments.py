@@ -269,6 +269,11 @@ def crawl_and_survey(
     n_dbl: int = 800,
     seed: int = 0,
     jobs: int = 1,
+    fault_profile=None,
+    fault_seed: int = 0,
+    retry_policy=None,
+    breaker=None,
+    gate=None,
 ) -> tuple[CrawlStats, SurveyDatabase, WhoisParser]:
     """End-to-end pipeline: crawl the zone, parse, build the database.
 
@@ -277,17 +282,36 @@ def crawl_and_survey(
     per-record loop, at survey throughput.  DBL-listed registrations are
     appended to the survey database directly (the blacklist join of
     Section 6.4).
+
+    Resilience knobs: ``fault_profile`` (a name from
+    :data:`repro.netsim.faults.PROFILES`, a JSON path, or a
+    ``FaultProfile``) injects a hostile internet; ``retry_policy`` and
+    ``breaker`` tune the crawler's recovery; ``gate`` (a
+    :class:`~repro.resilience.RecordGate`, created by default whenever
+    faults are on) quarantines thick records the parser rejects instead
+    of counting them as ok.
     """
+    from repro.resilience.quarantine import RecordGate
+
     generator = CorpusGenerator(CorpusConfig(seed=seed))
     train = generator.labeled_corpus(n_train)
     parser = make_parser(train)
 
     zone, registrations = generator.zone(n_domains)
-    internet, _clock, _truth = build_com_internet(generator, zone, registrations)
-    crawler = WhoisCrawler(internet)
+    internet, _clock, _truth = build_com_internet(
+        generator, zone, registrations,
+        faults=fault_profile, fault_seed=fault_seed,
+    )
+    crawler = WhoisCrawler(
+        internet, retry_policy=retry_policy, breaker=breaker
+    )
     results = crawler.crawl(zone)
 
-    parsed_crawl = WhoisCrawler.parse_results(results, parser, jobs=jobs)
+    if gate is None and fault_profile is not None:
+        gate = RecordGate()
+    parsed_crawl = WhoisCrawler.parse_results(
+        results, parser, jobs=jobs, gate=gate, stats=crawler.stats
+    )
     db = SurveyDatabase.from_parsed_crawl(parsed_crawl)
     dbl_records = [
         generator.render(registration)

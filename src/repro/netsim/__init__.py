@@ -12,6 +12,8 @@ unpublished thresholds.  This package provides:
 - :mod:`repro.netsim.servers` -- thin registry and thick registrar servers;
 - :mod:`repro.netsim.internet` -- the collection of servers reachable by
   hostname;
+- :mod:`repro.netsim.faults` -- seedable fault injection (timeouts, resets,
+  garbled/truncated records, flap schedules) over that internet;
 - :mod:`repro.netsim.crawler` -- the two-step (thin -> thick) crawler with
   dynamic rate-limit inference and multi-vantage retry;
 - :mod:`repro.netsim.tcp` -- a real asyncio TCP server/client speaking the
@@ -24,6 +26,13 @@ from repro.netsim.crawler import (
     CrawlStats,
     ParsedCrawl,
     WhoisCrawler,
+)
+from repro.netsim.faults import (
+    PROFILES,
+    FaultPlan,
+    FaultProfile,
+    FlapSchedule,
+    resolve_profile,
 )
 from repro.netsim.internet import SimulatedInternet, build_com_internet
 from repro.netsim.protocol import (
@@ -43,9 +52,14 @@ from repro.netsim.servers import (
 __all__ = [
     "CrawlResult",
     "CrawlStats",
+    "FaultPlan",
+    "FaultProfile",
+    "FlapSchedule",
     "MAX_QUERY_LENGTH",
+    "PROFILES",
     "ParsedCrawl",
     "QueryOutcome",
+    "resolve_profile",
     "RateLimiter",
     "RegistrarServer",
     "RegistryServer",

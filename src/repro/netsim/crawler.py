@@ -6,66 +6,250 @@ that server for the thick record.  Rate limits are "rarely published
 publicly", so the crawler uses the paper's "simple dynamic inference
 technique": it tracks its query rate per server, and when a server stops
 responding with valid data it infers the rate was the culprit, records the
-limit, and subsequently queries well under it.  Queries are retried from
-three different vantage points (source IPs on different machines) before a
-request is marked as failed.
+limit, and subsequently queries well under it.
+
+Failure handling is typed and policy-driven: every failed fetch carries a
+:class:`~repro.errors.CrawlError` (the legacy status string survives as a
+derived property), vantage escalation follows a
+:class:`~repro.resilience.Hedge` schedule (default: the paper's three
+vantage points), transport faults back off under a
+:class:`~repro.resilience.RetryPolicy`, and an optional per-server
+:class:`~repro.resilience.CircuitBreaker` sheds load from servers that
+have gone dark.
 """
 
 from __future__ import annotations
 
+import warnings
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
 from repro import obs
 from repro.datagen.thin import extract_referral
 from repro.datagen.zone import ZoneFile
+from repro.errors import (
+    CircuitOpen,
+    CrawlError,
+    NoReferral,
+    RateLimited,
+    RecordMissing,
+    Reset,
+    Timeout,
+    TransientServerError,
+)
 from repro.netsim.internet import SimulatedInternet
 from repro.netsim.servers import QueryOutcome, Response
+from repro.resilience.policies import (
+    BreakerPolicy,
+    CircuitBreaker,
+    Hedge,
+    RetryPolicy,
+)
 
 if TYPE_CHECKING:
     from repro.parser.api import Parser
     from repro.parser.fields import ParsedRecord
+    from repro.resilience.quarantine import (
+        Quarantine,
+        QuarantinedRecord,
+        RecordGate,
+    )
+
+#: Transport-level outcomes retried under the RetryPolicy (no rate-limit
+#: inference: the server did not refuse us, the network failed us).
+_TRANSIENT_OUTCOMES = {
+    QueryOutcome.TIMEOUT,
+    QueryOutcome.RESET,
+    QueryOutcome.TRANSIENT,
+}
+
+_ERROR_FOR_OUTCOME = {
+    QueryOutcome.TIMEOUT: Timeout,
+    QueryOutcome.RESET: Reset,
+    QueryOutcome.TRANSIENT: TransientServerError,
+    QueryOutcome.DROPPED: Timeout,
+    QueryOutcome.RATE_LIMITED: RateLimited,
+    QueryOutcome.ERROR: RateLimited,
+}
 
 
 @dataclass(frozen=True)
 class CrawlResult:
-    """Outcome of crawling one domain."""
+    """Outcome of crawling one domain.
+
+    The legacy ``status`` string ("ok" | "no_match" | "thin_only" |
+    "failed") is now *derived* from what was actually fetched and the
+    typed ``error`` (if any) -- construct results from data, read status
+    for compatibility.
+    """
 
     domain: str
-    status: str  # "ok" | "no_match" | "thin_only" | "failed"
     thin_text: str | None = None
     thick_text: str | None = None
     registrar_server: str | None = None
+    error: CrawlError | None = None
+    no_match: bool = False
+
+    @property
+    def status(self) -> str:
+        if self.no_match:
+            return "no_match"
+        if self.thick_text is not None:
+            return "ok"
+        if self.thin_text is not None:
+            return "thin_only"
+        return "failed"
 
     @property
     def has_thick(self) -> bool:
         return self.thick_text is not None
 
+    @property
+    def error_code(self) -> str | None:
+        return self.error.code if self.error is not None else None
 
-@dataclass
+
+#: Statuses CrawlStats tracks; "quarantined" is assigned after the fact
+#: when the record gate rejects a fetched thick record.
+_STATUSES = ("ok", "no_match", "thin_only", "failed", "quarantined")
+
+
 class CrawlStats:
-    """Aggregate crawl accounting (the Section 4.1 numbers)."""
+    """Aggregate crawl accounting (the Section 4.1 numbers).
 
-    total: int = 0
-    ok: int = 0
-    no_match: int = 0
-    thin_only: int = 0
-    failed: int = 0
-    queries_sent: int = 0
-    rate_limit_events: int = 0
-    inferred_intervals: dict[str, float] = field(default_factory=dict)
+    Statuses are tracked per domain: re-recording a domain (a retried
+    crawl, or a later quarantine of its thick record) *moves* it between
+    buckets instead of double-counting it, so ``failure_rate`` stays a
+    fraction of distinct existing domains.  The legacy int fields
+    (``ok``, ``no_match``, ``thin_only``, ``failed``, ``total``) are
+    read-only views; assigning to them still works but is deprecated.
+    """
+
+    def __init__(self) -> None:
+        self.queries_sent: int = 0
+        self.rate_limit_events: int = 0
+        self.inferred_intervals: dict[str, float] = {}
+        #: crawl failures by CrawlError code (events, not domains)
+        self.error_counts: Counter[str] = Counter()
+        #: breaker-denied queries (load shed), by server
+        self.breaker_skips: int = 0
+        self._status_by_domain: dict[str, str] = {}
+        self._status_counts: Counter[str] = Counter()
+
+    # -- recording ------------------------------------------------------
+
+    def record(self, result: CrawlResult) -> None:
+        """Account one crawl result, replacing any earlier status for
+        the same domain (the double-count guard)."""
+        self._set_status(result.domain, result.status)
+        if result.error is not None:
+            self.error_counts[result.error.code] += 1
+
+    def record_quarantine(self, domain: str, error: CrawlError) -> None:
+        """Move a previously-ok domain into the quarantined bucket."""
+        self._set_status(domain, "quarantined")
+        self.error_counts[error.code] += 1
+
+    def _set_status(self, domain: str, status: str) -> None:
+        previous = self._status_by_domain.get(domain)
+        if previous is not None:
+            self._status_counts[previous] -= 1
+        self._status_by_domain[domain] = status
+        self._status_counts[status] += 1
+
+    # -- legacy int fields, derived (assignment deprecated) -------------
+
+    def _count(self, status: str) -> int:
+        return self._status_counts[status]
+
+    def _override(self, status: str, value: int) -> None:
+        warnings.warn(
+            f"direct mutation of CrawlStats.{status} is deprecated; "
+            "use CrawlStats.record(result) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        # Honor the write: detach the bucket from per-domain tracking.
+        self._status_counts[status] = value
+
+    @property
+    def ok(self) -> int:
+        return self._count("ok")
+
+    @ok.setter
+    def ok(self, value: int) -> None:
+        self._override("ok", value)
+
+    @property
+    def no_match(self) -> int:
+        return self._count("no_match")
+
+    @no_match.setter
+    def no_match(self, value: int) -> None:
+        self._override("no_match", value)
+
+    @property
+    def thin_only(self) -> int:
+        return self._count("thin_only")
+
+    @thin_only.setter
+    def thin_only(self, value: int) -> None:
+        self._override("thin_only", value)
+
+    @property
+    def failed(self) -> int:
+        return self._count("failed")
+
+    @failed.setter
+    def failed(self, value: int) -> None:
+        self._override("failed", value)
+
+    @property
+    def quarantined(self) -> int:
+        return self._count("quarantined")
+
+    @property
+    def total(self) -> int:
+        return sum(self._status_counts.values())
+
+    @total.setter
+    def total(self, value: int) -> None:
+        warnings.warn(
+            "direct mutation of CrawlStats.total is deprecated and has no "
+            "effect; total derives from recorded statuses",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+
+    # -- the Section 4.1 ratios ----------------------------------------
 
     @property
     def thick_coverage(self) -> float:
-        """Fraction of zone domains with a thick record (paper: >90%)."""
+        """Fraction of zone domains with a *trusted* thick record
+        (paper: >90%); quarantined records do not count."""
         return self.ok / self.total if self.total else 0.0
 
     @property
+    def thick_fetch_rate(self) -> float:
+        """Fraction with a thick record fetched at all, trusted or
+        quarantined."""
+        total = self.total
+        return (self.ok + self.quarantined) / total if total else 0.0
+
+    @property
     def failure_rate(self) -> float:
-        """Fraction of (existing) domains whose thick fetch failed after all
-        retries (paper: ~7.5%)."""
+        """Fraction of (existing) domains whose thick fetch failed after
+        all retries (paper: ~7.5%).  Per-domain status tracking
+        guarantees a domain counted thin_only that later fails outright
+        moves between the buckets instead of being counted in both."""
         denominator = self.total - self.no_match
         return (self.thin_only + self.failed) / denominator if denominator else 0.0
+
+    def __repr__(self) -> str:
+        counts = ", ".join(f"{s}={self._count(s)}" for s in _STATUSES)
+        return (f"CrawlStats({counts}, queries_sent={self.queries_sent}, "
+                f"rate_limit_events={self.rate_limit_events})")
 
 
 @dataclass
@@ -79,7 +263,16 @@ class _ServerState:
 
 
 class WhoisCrawler:
-    """Crawl a zone against a :class:`SimulatedInternet`."""
+    """Crawl a zone against a :class:`SimulatedInternet`.
+
+    ``retry_policy`` shapes the backoff after transport faults
+    (timeouts, resets, 5xx-analogs); the default reproduces the legacy
+    fixed ``penalty_guess`` wait.  ``hedge`` shapes vantage escalation;
+    the default reproduces the paper's one-attempt-per-vantage schedule
+    over ``retries`` attempts.  ``breaker`` (a
+    :class:`~repro.resilience.BreakerPolicy`) enables per-server circuit
+    breaking; None (the default) disables it.
+    """
 
     def __init__(
         self,
@@ -90,6 +283,9 @@ class WhoisCrawler:
         retries: int = 3,
         max_wait: float = 30.0,
         penalty_guess: float = 60.0,
+        retry_policy: RetryPolicy | None = None,
+        hedge: Hedge | None = None,
+        breaker: BreakerPolicy | None = None,
     ) -> None:
         if not source_ips:
             raise ValueError("need at least one source IP")
@@ -100,6 +296,12 @@ class WhoisCrawler:
         self.retries = retries
         self.max_wait = max_wait
         self.penalty_guess = penalty_guess
+        self.retry_policy = retry_policy or RetryPolicy(
+            base_delay=penalty_guess, multiplier=1.0
+        )
+        self.hedge = hedge or Hedge(max_attempts=retries)
+        self.breaker_policy = breaker
+        self._breakers: dict[str, CircuitBreaker] = {}
         self._servers: dict[str, _ServerState] = {}
         self.stats = CrawlStats()
 
@@ -110,14 +312,37 @@ class WhoisCrawler:
     def _state(self, host: str) -> _ServerState:
         return self._servers.setdefault(host, _ServerState())
 
-    def _paced_query(self, host: str, query: str) -> Response | None:
-        """Query ``host``, pacing below its inferred limit, retrying across
-        vantage points.  Returns None when every attempt failed."""
+    def _breaker(self, host: str) -> CircuitBreaker | None:
+        if self.breaker_policy is None:
+            return None
+        breaker = self._breakers.get(host)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.breaker_policy, self.clock, server=host
+            )
+            self._breakers[host] = breaker
+        return breaker
+
+    def _paced_query(self, host: str, query: str, *, domain: str) -> Response:
+        """Query ``host``, pacing below its inferred limit, escalating
+        across vantage points per the hedge schedule.
+
+        Returns a valid response or raises the :class:`CrawlError`
+        describing the final failure.
+        """
         state = self._state(host)
+        breaker = self._breaker(host)
         attempts = 0
-        for ip in self.source_ips:
-            if attempts >= self.retries:
+        last_error: CrawlError | None = None
+        for ip in self.hedge.plan(self.source_ips):
+            if attempts >= self.hedge.max_attempts:
                 break
+            if breaker is not None and not breaker.allow():
+                self.stats.breaker_skips += 1
+                raise CircuitOpen(
+                    f"circuit open for {host}", server=host, domain=domain,
+                    attempts=attempts,
+                )
             now = self.clock.now()
             allowed = max(state.next_allowed.get(ip, 0.0), now)
             if allowed - now > self.max_wait:
@@ -138,9 +363,28 @@ class WhoisCrawler:
             state.next_allowed[ip] = self.clock.now() + state.interval
             if response.is_valid:
                 state.hits += 1
+                if breaker is not None:
+                    breaker.record_success()
                 if attempts > 1:
                     obs.inc("crawler.vantage_retries", attempts - 1, server=host)
                 return response
+            if breaker is not None:
+                breaker.record_failure()
+            error_cls = _ERROR_FOR_OUTCOME.get(response.outcome, RateLimited)
+            last_error = error_cls(
+                f"{response.outcome.value} from {host} for {domain!r}",
+                server=host, domain=domain, attempts=attempts,
+            )
+            obs.inc("crawler.attempt_failures", server=host,
+                    code=last_error.code)
+            if response.outcome in _TRANSIENT_OUTCOMES:
+                # Transport fault: the server did not refuse us.  Back
+                # off this vantage per the retry policy, no inference.
+                delay = self.retry_policy.delay(attempts - 1, key=host)
+                state.next_allowed[ip] = self.clock.now() + delay
+                obs.inc("resilience.retries", server=host,
+                        code=last_error.code)
+                continue
             # Invalid data: infer we hit the limit, slow down and back off.
             self.stats.rate_limit_events += 1
             state.trips += 1
@@ -152,30 +396,54 @@ class WhoisCrawler:
             )
             state.next_allowed[ip] = self.clock.now() + self.penalty_guess
         obs.inc("crawler.exhausted_queries", server=host)
-        return None
+        if last_error is not None:
+            raise last_error
+        raise RateLimited(
+            f"every vantage point backed off beyond {self.max_wait}s "
+            f"for {host}",
+            server=host, domain=domain, attempts=attempts,
+        )
 
     # ------------------------------------------------------------------
     # Crawling
     # ------------------------------------------------------------------
 
     def crawl_domain(self, domain: str) -> CrawlResult:
-        thin = self._paced_query(self.registry_host, f"domain {domain}")
-        if thin is None:
-            return CrawlResult(domain, "failed")
+        try:
+            thin = self._paced_query(
+                self.registry_host, f"domain {domain}", domain=domain
+            )
+        except CrawlError as exc:
+            return CrawlResult(domain, error=exc)
         if thin.outcome is QueryOutcome.NO_MATCH:
-            return CrawlResult(domain, "no_match", thin_text=thin.text)
+            return CrawlResult(domain, thin_text=thin.text, no_match=True)
         referral = extract_referral(thin.text)
         if referral is None:
-            return CrawlResult(domain, "thin_only", thin_text=thin.text)
-        thick = self._paced_query(referral, domain)
-        if thick is None or thick.outcome is not QueryOutcome.OK:
             return CrawlResult(
-                domain, "thin_only", thin_text=thin.text,
-                registrar_server=referral,
+                domain, thin_text=thin.text,
+                error=NoReferral(
+                    f"thin record for {domain} names no registrar WHOIS "
+                    "server",
+                    server=self.registry_host, domain=domain,
+                ),
+            )
+        try:
+            thick = self._paced_query(referral, domain, domain=domain)
+        except CrawlError as exc:
+            return CrawlResult(
+                domain, thin_text=thin.text, registrar_server=referral,
+                error=exc,
+            )
+        if thick.outcome is not QueryOutcome.OK:
+            return CrawlResult(
+                domain, thin_text=thin.text, registrar_server=referral,
+                error=RecordMissing(
+                    f"{referral} has no record for {domain}",
+                    server=referral, domain=domain,
+                ),
             )
         return CrawlResult(
             domain,
-            "ok",
             thin_text=thin.text,
             thick_text=thick.text,
             registrar_server=referral,
@@ -188,16 +456,10 @@ class WhoisCrawler:
         for domain in zone:
             result = self.crawl_domain(domain)
             results.append(result)
-            self.stats.total += 1
+            self.stats.record(result)
             obs.inc("crawler.results", status=result.status)
-            if result.status == "ok":
-                self.stats.ok += 1
-            elif result.status == "no_match":
-                self.stats.no_match += 1
-            elif result.status == "thin_only":
-                self.stats.thin_only += 1
-            else:
-                self.stats.failed += 1
+            if result.error is not None:
+                obs.inc("crawler.errors", code=result.error.code)
         obs.set_gauge("crawler.crawl_sim_seconds", self.clock.now() - start)
         return results
 
@@ -207,6 +469,9 @@ class WhoisCrawler:
         parser: "Parser",
         *,
         jobs: int = 1,
+        gate: "RecordGate | None" = None,
+        quarantine: "Quarantine | None" = None,
+        stats: "CrawlStats | None" = None,
     ) -> "ParsedCrawl":
         """Parse every crawled thick record on the parser's bulk path.
 
@@ -215,13 +480,46 @@ class WhoisCrawler:
         parse across processes when the parser supports it.  The
         returned :class:`ParsedCrawl` keeps the thick-carrying results
         and their parses aligned, in crawl order.
+
+        With a :class:`~repro.resilience.RecordGate` installed, records
+        the gate rejects (garbled, truncated, low-confidence) are routed
+        to ``quarantine`` (one is created if needed) and surface on the
+        result's ``quarantined`` tuple instead of the parse stream;
+        ``stats``, when given, re-accounts those domains from ``ok`` to
+        ``quarantined``.
         """
+        from repro.resilience.quarantine import Quarantine
+
         thick = [result for result in results if result.has_thick]
+        quarantined: list[QuarantinedRecord] = []
+        if gate is not None:
+            if quarantine is None:
+                quarantine = Quarantine()
+            admitted = []
+            for result in thick:
+                error = gate.inspect_text(result.domain, result.thick_text)
+                if error is None:
+                    error = gate.inspect_confidence(
+                        result.domain, result.thick_text, parser
+                    )
+                if error is None:
+                    admitted.append(result)
+                    continue
+                quarantined.append(
+                    quarantine.add(result.domain, result.thick_text, error)
+                )
+                if stats is not None:
+                    stats.record_quarantine(result.domain, error)
+            thick = admitted
         with obs.trace("crawler.parse_results_seconds"):
             parsed = parser.parse_many(
                 [result.thick_text for result in thick], jobs=jobs
             )
-        return ParsedCrawl(results=tuple(thick), parsed=tuple(parsed))
+        return ParsedCrawl(
+            results=tuple(thick),
+            parsed=tuple(parsed),
+            quarantined=tuple(quarantined),
+        )
 
 
 @dataclass(frozen=True)
@@ -230,10 +528,13 @@ class ParsedCrawl:
 
     Iterating yields ``(CrawlResult, ParsedRecord)`` pairs in crawl
     order -- the shape :meth:`SurveyDatabase.from_parsed_crawl` ingests.
+    ``quarantined`` carries the records the gate rejected, when
+    :meth:`WhoisCrawler.parse_results` ran with one.
     """
 
     results: tuple[CrawlResult, ...]
     parsed: "tuple[ParsedRecord, ...]"
+    quarantined: "tuple[QuarantinedRecord, ...]" = ()
 
     def __post_init__(self) -> None:
         if len(self.results) != len(self.parsed):

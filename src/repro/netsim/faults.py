@@ -1,0 +1,268 @@
+"""Deterministic fault injection for the simulated internet.
+
+The paper's crawl is defined by failure -- servers that silently stop
+answering, truncated thick records, unpublished limits -- yet a clean
+simulation only exercises the happy path.  :class:`FaultProfile`
+describes a hostile mix (timeout/reset/garble rates, flap schedules) and
+:class:`FaultPlan` turns it into a *seeded, replayable* sequence of
+per-query fault decisions: the decision for query *n* against host *h*
+depends only on ``(seed, h, n)`` and the simulated clock, so two crawls
+with the same seed replay byte-identically.
+
+:class:`~repro.netsim.internet.SimulatedInternet` consults the plan in
+``query``; with no plan installed the fault path costs one ``if`` and
+nothing else (fault injection disabled is a true no-op).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+
+#: Fault kinds, in the order their rates stack when one query draws.
+CONNECTION_FAULTS = ("timeout", "reset", "transient")
+RESPONSE_FAULTS = ("truncate", "garble", "empty")
+FAULT_KINDS = CONNECTION_FAULTS + RESPONSE_FAULTS
+
+
+@dataclass(frozen=True)
+class FlapSchedule:
+    """A server that is periodically dark: down for ``downtime`` seconds
+    out of every ``period``, offset by ``phase`` (all on the SimClock)."""
+
+    period: float = 600.0
+    downtime: float = 120.0
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0 or not 0 <= self.downtime <= self.period:
+            raise ValueError("flap schedule needs 0 <= downtime <= period")
+
+    def is_down(self, now: float) -> bool:
+        return (now - self.phase) % self.period < self.downtime
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Rates and parameters of one hostile-internet mix.
+
+    Rates are per-query probabilities; they stack (a query first draws a
+    connection-level fault, then -- if the response was OK -- a
+    response-corruption fault).  ``flap_fraction`` of non-exempt servers
+    get a :class:`FlapSchedule` (chosen deterministically per hostname).
+    """
+
+    name: str = "custom"
+    timeout_rate: float = 0.0
+    reset_rate: float = 0.0
+    transient_rate: float = 0.0
+    truncate_rate: float = 0.0
+    garble_rate: float = 0.0
+    empty_rate: float = 0.0
+    timeout_seconds: float = 10.0
+    flap_fraction: float = 0.0
+    flap: FlapSchedule = field(default_factory=FlapSchedule)
+    #: hosts never faulted (e.g. keep the thin registry clean so a flap
+    #: there does not black-hole the whole crawl)
+    exempt_hosts: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("timeout_rate", "reset_rate", "transient_rate",
+                     "truncate_rate", "garble_rate", "empty_rate",
+                     "flap_fraction"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must be a probability")
+
+    @property
+    def is_noop(self) -> bool:
+        return (
+            self.timeout_rate == self.reset_rate == self.transient_rate
+            == self.truncate_rate == self.garble_rate == self.empty_rate
+            == self.flap_fraction == 0.0
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultProfile":
+        data = dict(data)
+        if "flap" in data and isinstance(data["flap"], dict):
+            data["flap"] = FlapSchedule(**data["flap"])
+        if "exempt_hosts" in data:
+            data["exempt_hosts"] = tuple(data["exempt_hosts"])
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown fault profile keys: {sorted(unknown)}")
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, source: str | Path) -> "FaultProfile":
+        """Load a profile from a JSON file path or literal JSON text."""
+        text = str(source)
+        if not text.lstrip().startswith("{"):
+            text = Path(source).read_text(encoding="utf-8")
+        return cls.from_dict(json.loads(text))
+
+
+_REGISTRY_HOST = "whois.verisign-grs.com"
+
+#: Named profiles the CLI and tests reference.
+PROFILES: dict[str, FaultProfile] = {
+    "none": FaultProfile(name="none"),
+    # The acceptance mix: timeouts + resets + 5% garbled thick records.
+    "default_hostile": FaultProfile(
+        name="default_hostile",
+        timeout_rate=0.03,
+        reset_rate=0.02,
+        garble_rate=0.05,
+        timeout_seconds=10.0,
+        exempt_hosts=(_REGISTRY_HOST,),
+    ),
+    # Registrars that are periodically dark -- the circuit-breaker workload.
+    "flapping": FaultProfile(
+        name="flapping",
+        timeout_rate=0.01,
+        flap_fraction=0.5,
+        flap=FlapSchedule(period=300.0, downtime=150.0),
+        timeout_seconds=10.0,
+        exempt_hosts=(_REGISTRY_HOST,),
+    ),
+    # Everything at once: the kitchen-sink chaos mix.
+    "degraded_zoo": FaultProfile(
+        name="degraded_zoo",
+        timeout_rate=0.02,
+        reset_rate=0.02,
+        transient_rate=0.03,
+        truncate_rate=0.03,
+        garble_rate=0.03,
+        empty_rate=0.02,
+        exempt_hosts=(_REGISTRY_HOST,),
+    ),
+}
+
+
+def resolve_profile(spec: "str | FaultProfile | None") -> "FaultProfile | None":
+    """A profile from a name in :data:`PROFILES`, a JSON path/text, or an
+    already-built :class:`FaultProfile` (None passes through)."""
+    if spec is None or isinstance(spec, FaultProfile):
+        return spec
+    if spec in PROFILES:
+        return PROFILES[spec]
+    return FaultProfile.from_json(spec)
+
+
+class FaultPlan:
+    """The seeded decision sequence for one simulated-internet run.
+
+    Decisions are a pure function of ``(seed, hostname, per-host query
+    index)`` plus the clock for flap windows, so a crawl replays
+    identically under the same seed regardless of wall time.
+    """
+
+    def __init__(self, profile: FaultProfile, *, seed: int = 0) -> None:
+        self.profile = profile
+        self.seed = seed
+        self._counts: dict[str, int] = {}
+        self._flappers: dict[str, FlapSchedule | None] = {}
+        self.injected: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+
+    def reset(self) -> None:
+        """Forget per-run state (query counters); the decision function
+        itself is stateless, so a reset plan replays from the start."""
+        self._counts.clear()
+        self.injected = {kind: 0 for kind in FAULT_KINDS}
+
+    # -- deterministic draws -------------------------------------------
+
+    def _rng(self, hostname: str, index: int) -> random.Random:
+        return random.Random(f"{self.seed}|{hostname}|{index}")
+
+    def flap_schedule(self, hostname: str) -> FlapSchedule | None:
+        """This host's flap schedule, or None; decided once per host."""
+        if hostname not in self._flappers:
+            profile = self.profile
+            schedule: FlapSchedule | None = None
+            if (profile.flap_fraction > 0
+                    and hostname not in profile.exempt_hosts):
+                draw = random.Random(f"{self.seed}|flap|{hostname}")
+                if draw.random() < profile.flap_fraction:
+                    # Desynchronize flappers so the whole tail is never
+                    # dark at once.
+                    schedule = replace(
+                        self.profile.flap,
+                        phase=draw.uniform(0, self.profile.flap.period),
+                    )
+            self._flappers[hostname] = schedule
+        return self._flappers[hostname]
+
+    def next_fault(self, hostname: str, now: float) -> str | None:
+        """The fault (if any) for this host's next query.
+
+        Advances the per-host query counter; one of
+        ``timeout | reset | transient | truncate | garble | empty`` or
+        None for a clean query.
+        """
+        profile = self.profile
+        index = self._counts.get(hostname, 0)
+        self._counts[hostname] = index + 1
+        if hostname in profile.exempt_hosts:
+            return None
+        schedule = self.flap_schedule(hostname)
+        if schedule is not None and schedule.is_down(now):
+            self.injected["timeout"] += 1
+            return "timeout"
+        draw = self._rng(hostname, index).random()
+        cumulative = 0.0
+        for kind, rate in (
+            ("timeout", profile.timeout_rate),
+            ("reset", profile.reset_rate),
+            ("transient", profile.transient_rate),
+            ("truncate", profile.truncate_rate),
+            ("garble", profile.garble_rate),
+            ("empty", profile.empty_rate),
+        ):
+            cumulative += rate
+            if draw < cumulative:
+                self.injected[kind] += 1
+                return kind
+        return None
+
+    # -- response corruption -------------------------------------------
+
+    def corrupt(self, hostname: str, kind: str, text: str) -> str:
+        """Deterministically corrupt an OK response per the fault kind."""
+        index = self._counts.get(hostname, 0)  # post-increment: stable key
+        rng = self._rng(hostname, f"corrupt|{index}")
+        if kind == "empty":
+            return ""
+        if kind == "truncate":
+            if len(text) < 8:
+                return ""
+            # Cut mid-record, off any line boundary, like a dropped
+            # connection mid-stream would.
+            cut = rng.randrange(len(text) // 4, (3 * len(text)) // 4)
+            return text[:cut].rstrip("\n")
+        if kind == "garble":
+            return _garble(text, rng)
+        raise ValueError(f"not a response fault: {kind!r}")
+
+
+def _garble(text: str, rng: random.Random) -> str:
+    """Mojibake/binary damage: splice replacement characters, NULs, and
+    high-byte soup into the record, the way a wrong-charset decode or a
+    binary blob on the wire reads."""
+    if not text:
+        return "�\x00�"
+    chars = list(text)
+    n_splices = max(3, len(chars) // 40)
+    for _ in range(n_splices):
+        at = rng.randrange(len(chars))
+        junk = rng.choice((
+            "�" * rng.randint(1, 4),
+            "".join(chr(rng.randint(0x80, 0xFF)) for _ in range(4)),
+            "\x00" * 2,
+            "\x01\x02\x03",
+        ))
+        chars[at] = junk
+    return "".join(chars)

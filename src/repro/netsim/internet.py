@@ -7,6 +7,7 @@ from repro.datagen.registrars import REGISTRARS, RateLimitSpec
 from repro.datagen.registration import Registration
 from repro.datagen.zone import ZoneFile
 from repro.netsim.clock import SimClock
+from repro.netsim.faults import FaultPlan, FaultProfile, resolve_profile
 from repro.netsim.servers import (
     QueryOutcome,
     RegistrarServer,
@@ -21,11 +22,25 @@ _TAIL_SPEC = RateLimitSpec(limit=30, window=10.0, penalty=30.0)
 
 
 class SimulatedInternet:
-    """Hostname -> server routing, with simulated latency."""
+    """Hostname -> server routing, with simulated latency.
 
-    def __init__(self, clock: SimClock, *, latency: float = 0.05) -> None:
+    An optional :class:`~repro.netsim.faults.FaultPlan` injects
+    transport failures (timeouts, resets, 5xx-analogs, flap windows) and
+    response corruption (truncated/garbled/empty thick records) in a
+    seeded, replayable way.  With ``faults=None`` -- the default -- the
+    query path is byte-identical to a fault-free internet.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        *,
+        latency: float = 0.05,
+        faults: "FaultPlan | None" = None,
+    ) -> None:
         self.clock = clock
         self.latency = latency
+        self.faults = faults
         self.servers: dict[str, WhoisServer] = {}
 
     def add_server(self, server: WhoisServer) -> None:
@@ -35,11 +50,41 @@ class SimulatedInternet:
 
     def query(self, source_ip: str, hostname: str, query: str) -> Response:
         """Send one WHOIS query; advances the clock by the round-trip time."""
+        if self.faults is not None:
+            return self._faulty_query(source_ip, hostname, query)
         self.clock.advance(self.latency)
         server = self.servers.get(hostname)
         if server is None:
             return Response(QueryOutcome.DROPPED)
         return server.query(source_ip, query)
+
+    def _faulty_query(self, source_ip: str, hostname: str, query: str) -> Response:
+        """The fault-injected query path (plan installed)."""
+        plan = self.faults
+        fault = plan.next_fault(hostname, self.clock.now())
+        if fault == "timeout":
+            # The client hangs for its full timeout before giving up.
+            self.clock.advance(plan.profile.timeout_seconds)
+            return Response(QueryOutcome.TIMEOUT)
+        if fault == "reset":
+            self.clock.advance(self.latency)
+            return Response(QueryOutcome.RESET)
+        if fault == "transient":
+            self.clock.advance(self.latency)
+            return Response(
+                QueryOutcome.TRANSIENT,
+                "% Query failed: server busy, please try again later",
+            )
+        self.clock.advance(self.latency)
+        server = self.servers.get(hostname)
+        if server is None:
+            return Response(QueryOutcome.DROPPED)
+        response = server.query(source_ip, query)
+        if fault is not None and response.outcome is QueryOutcome.OK:
+            return Response(
+                QueryOutcome.OK, plan.corrupt(hostname, fault, response.text)
+            )
+        return response
 
 
 def build_com_internet(
@@ -49,6 +94,8 @@ def build_com_internet(
     *,
     clock: SimClock | None = None,
     unreliable_tail_rate: float = 0.10,
+    faults: "FaultPlan | FaultProfile | str | None" = None,
+    fault_seed: int = 0,
 ) -> tuple[SimulatedInternet, SimClock, dict[str, LabeledRecord]]:
     """Assemble registry + registrar servers for a synthetic com zone.
 
@@ -58,9 +105,16 @@ def build_com_internet(
     registrars drops most queries; together with pathologically strict
     limiters (Network Solutions, footnote 11) this produces the ~7.5%
     query-failure rate of Section 4.1.
+
+    ``faults`` optionally installs a fault-injection plan: a ready
+    :class:`FaultPlan`, a :class:`FaultProfile`, or a profile name/JSON
+    accepted by :func:`repro.netsim.faults.resolve_profile` (seeded with
+    ``fault_seed``).
     """
     clock = clock or SimClock()
-    internet = SimulatedInternet(clock)
+    if faults is not None and not isinstance(faults, FaultPlan):
+        faults = FaultPlan(resolve_profile(faults), seed=fault_seed)
+    internet = SimulatedInternet(clock, faults=faults)
     internet.add_server(RegistryServer(clock, registrations,
                                        expired=zone.expired))
 

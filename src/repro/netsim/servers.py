@@ -19,6 +19,12 @@ class QueryOutcome(str, Enum):
     RATE_LIMITED = "rate_limited"
     ERROR = "error"
     DROPPED = "dropped"  # connection timeout / no response at all
+    # Fault-injection outcomes (repro.netsim.faults): transport-level
+    # failures distinct from rate limiting, so the crawler can retry
+    # them without inferring a lower limit.
+    TIMEOUT = "timeout"  # connection hung until the client gave up
+    RESET = "reset"  # connection actively reset mid-exchange
+    TRANSIENT = "transient_error"  # 5xx-analog "busy, try again"
 
 
 @dataclass(frozen=True)

@@ -11,6 +11,7 @@ from __future__ import annotations
 import asyncio
 from typing import Awaitable, Callable
 
+from repro import errors
 from repro.netsim.protocol import (
     MAX_QUERY_LENGTH,
     ProtocolError,
@@ -83,12 +84,26 @@ class AsyncWhoisServer:
 async def whois_query(
     host: str, port: int, query: str, *, timeout: float = 10.0
 ) -> str:
-    """One WHOIS lookup over TCP; returns the full response text."""
+    """One WHOIS lookup over TCP; returns the full response text.
+
+    Transport failures surface through the shared taxonomy: a server
+    that never answers raises :class:`repro.errors.Timeout`, a reset
+    connection :class:`repro.errors.Reset`.
+    """
     reader, writer = await asyncio.open_connection(host, port)
     try:
         writer.write(frame_query(query))
         await writer.drain()
         data = await asyncio.wait_for(reader.read(), timeout=timeout)
+    except asyncio.TimeoutError as exc:
+        raise errors.Timeout(
+            f"no response from {host}:{port} within {timeout}s",
+            server=f"{host}:{port}",
+        ) from exc
+    except ConnectionResetError as exc:
+        raise errors.Reset(
+            f"connection to {host}:{port} reset", server=f"{host}:{port}"
+        ) from exc
     finally:
         writer.close()
         try:

@@ -23,16 +23,14 @@ from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro import obs
+from repro.errors import DomainNotFound, ReproError, error_payload
 from repro.rdap.convert import parsed_to_rdap
 from repro.rdap.schema import validate_rdap
 
 if TYPE_CHECKING:
     from repro.parser.api import Parser
 
-
-class DomainNotFound(KeyError):
-    """No WHOIS record available for this domain."""
-
+__all__ = ["DomainNotFound", "RdapGateway"]
 
 _STATUS_PHRASES = {
     400: "Bad Request",
@@ -40,12 +38,23 @@ _STATUS_PHRASES = {
     429: "Too Many Requests",
     500: "Internal Server Error",
     501: "Not Implemented",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
 def _status_for(exc: BaseException | None) -> int:
-    if exc is None or isinstance(exc, DomainNotFound):
+    """HTTP status for an exception, through the shared taxonomy.
+
+    :class:`~repro.errors.ReproError` subclasses -- crawl failures,
+    quarantine reasons, DomainNotFound -- carry their own status;
+    anything foreign is a 500.  No exception means "no record" (404).
+    """
+    if exc is None:
         return 404
+    if isinstance(exc, ReproError):
+        return exc.http_status
     return 500
 
 
@@ -198,22 +207,31 @@ class RdapGateway:
     ) -> str:
         """An RFC 7483 error response body.
 
-        The error code, title, and description derive from the actual
-        exception when one is given: :class:`DomainNotFound` renders the
-        404 shape, anything else (a parse crash, a validation failure)
-        the 500 shape with the exception's message.  An explicit
-        ``status`` overrides the derived code.
+        Errors serialize through the shared :mod:`repro.errors`
+        taxonomy: any :class:`~repro.errors.ReproError` -- a
+        :class:`DomainNotFound`, but equally a typed
+        :class:`~repro.errors.CrawlError` bubbling up from a live fetch
+        -- supplies its own HTTP-analog status and taxonomy code (echoed
+        in the body's ``reproErrorCode``); foreign exceptions (a parse
+        crash, a validation failure) render the 500 shape with the
+        exception's message.  An explicit ``status`` overrides the
+        derived code.
         """
         if status is None:
             status = _status_for(exc)
         title = _STATUS_PHRASES.get(status, type(exc).__name__ if exc else "Error")
         if exc is None or isinstance(exc, DomainNotFound):
             description = f"no WHOIS record for {domain}"
+        elif isinstance(exc, ReproError):
+            description = str(exc)
         else:
             description = f"{type(exc).__name__}: {exc}"
-        return json.dumps({
+        body = {
             "rdapConformance": ["rdap_level_0"],
             "errorCode": status,
             "title": title,
             "description": [description],
-        })
+        }
+        if exc is not None:
+            body["reproErrorCode"] = error_payload(exc)["code"]
+        return json.dumps(body)

@@ -14,7 +14,9 @@ from datetime import date
 from typing import Callable, Iterable
 
 from repro import obs
+from repro.errors import CrawlError
 from repro.parser.fields import ParsedRecord
+from repro.resilience.quarantine import QuarantinedRecord
 from repro.survey.normalize import (
     canonical_country,
     canonical_registrar,
@@ -46,10 +48,16 @@ class DomainEntry:
 
 
 class SurveyDatabase:
-    """An append-only collection of :class:`DomainEntry` rows."""
+    """An append-only collection of :class:`DomainEntry` rows.
+
+    Records the parser rejected live in a parallel ``quarantine`` table
+    (:class:`~repro.resilience.QuarantinedRecord` rows) -- first-class
+    and queryable, never silently dropped into the ``ok`` counts.
+    """
 
     def __init__(self) -> None:
         self.entries: list[DomainEntry] = []
+        self.quarantine: list[QuarantinedRecord] = []
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -94,6 +102,28 @@ class SurveyDatabase:
         if entry.country is None:
             obs.inc("survey.unknown_country_rows")
         return entry
+
+    def add_quarantined(
+        self, domain: str, text: str | None, error: CrawlError
+    ) -> QuarantinedRecord:
+        """File one rejected record in the quarantine table."""
+        record = QuarantinedRecord(domain=domain, text=text or "", error=error)
+        self.quarantine.append(record)
+        obs.inc("survey.quarantined_rows", reason=error.code)
+        return record
+
+    # -- quarantine queries --------------------------------------------
+
+    def quarantined_domains(self) -> list[str]:
+        return [record.domain for record in self.quarantine]
+
+    def quarantine_counts(self) -> dict[str, int]:
+        """Quarantined rows per taxonomy code (the coverage accounting
+        complement: fetched but untrusted)."""
+        counts: dict[str, int] = {}
+        for record in self.quarantine:
+            counts[record.reason] = counts.get(record.reason, 0) + 1
+        return counts
 
     @classmethod
     def from_parsed_records(
@@ -152,7 +182,9 @@ class SurveyDatabase:
         Accepts anything yielding ``(crawl result, ParsedRecord)`` pairs;
         the registrar named by each thin record serves as a hint when the
         thick record's own registrar line is missing -- the two-step
-        thin -> thick data flow of Section 4.1.
+        thin -> thick data flow of Section 4.1.  Records the parse-time
+        record gate quarantined (a ``quarantined`` attribute on the
+        input, when present) land in the database's quarantine table.
         """
         from repro.datagen.thin import extract_registrar
 
@@ -168,6 +200,8 @@ class SurveyDatabase:
                     registrar_hint=hint,
                     blacklisted=result.domain in blacklisted,
                 )
+            for record in getattr(parsed_crawl, "quarantined", ()):
+                db.add_quarantined(record.domain, record.text, record.error)
         return db
 
     @classmethod

@@ -1,0 +1,29 @@
+"""Shared test fixtures.
+
+Set ``REPRO_CHAOS_METRICS`` to a path to run the session with a
+``repro.obs`` registry installed and archive its metrics (JSON, plus a
+``.prom`` sibling) at exit -- the CI chaos job uses this to upload the
+resilience counters (``resilience.*``, ``crawler.*``) as an artifact.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(scope="session", autouse=True)
+def chaos_metrics():
+    path = os.environ.get("REPRO_CHAOS_METRICS")
+    if not path:
+        yield None
+        return
+    registry = obs.install(obs.MetricsRegistry())
+    yield registry
+    obs.uninstall()
+    obs.write_metrics(path, registry)
+    root, _ = os.path.splitext(path)
+    obs.write_metrics(root + ".prom", registry)
