@@ -1,0 +1,200 @@
+"""Online serving latency: micro-batching vs per-request decoding.
+
+The paper's parsing service fronts "heavy traffic from millions of
+users"; `repro.serve` answers with micro-batching (PR 1's batched
+Viterbi, applied online).  This bench is the serving tier's contract,
+and the CI `serving` job runs it in smoke mode:
+
+- at concurrency >= 32, the micro-batcher must beat a no-batching
+  server (``max_batch_size=1``, same seed and model) on p95 latency;
+- at concurrency 1 the batcher must be *invisible*: mean latency within
+  10% (plus a 2ms scheduler-noise floor) of direct ``parser.parse``
+  calls -- the tripwire that keeps the idle fast-path honest;
+- a model hot-swap under sustained load must complete with zero failed
+  and zero rejected requests.
+
+Scale with ``REPRO_BENCH_SERVE_REQUESTS`` / ``REPRO_BENCH_SERVE_CONC``
+on top of the usual ``REPRO_BENCH_TRAIN`` / ``REPRO_BENCH_TEST``.
+"""
+
+import asyncio
+import os
+import time
+
+from conftest import emit
+
+from repro.parser import WhoisParser
+from repro.serve import (
+    LatencyReport,
+    ModelRegistry,
+    ServeApp,
+    ServeConfig,
+    report_header,
+    run_load,
+)
+
+SERVE_REQUESTS = int(os.environ.get("REPRO_BENCH_SERVE_REQUESTS", 384))
+SERVE_CONC = int(os.environ.get("REPRO_BENCH_SERVE_CONC", 32))
+
+#: (report, batch occupancy) rows for the closing summary.
+_ROWS: list[tuple[LatencyReport, float]] = []
+
+
+async def _serve_load(
+    parser,
+    texts,
+    *,
+    name: str,
+    max_batch_size: int,
+    n_requests: int = SERVE_REQUESTS,
+    concurrency: int = SERVE_CONC,
+    swap_to: "WhoisParser | None" = None,
+) -> tuple[LatencyReport, float]:
+    """Stand up one ServeApp, drive it closed-loop, tear it down."""
+    models = ModelRegistry()
+    models.publish(parser)
+    app = ServeApp(
+        models,
+        config=ServeConfig(
+            max_batch_size=max_batch_size, queue_depth=4 * concurrency
+        ),
+    )
+    await app.start()
+
+    async def one_request(i: int):
+        return await app.parse_text(texts[i % len(texts)])
+
+    async def swap_midway():
+        if swap_to is not None:
+            await asyncio.sleep(0.05)
+            app.swap_model(swap_to)
+
+    load, _ = await asyncio.gather(
+        run_load(
+            one_request,
+            n_requests=n_requests,
+            concurrency=concurrency,
+            name=name,
+        ),
+        swap_midway(),
+    )
+    occupancy = app.parse_batcher.items / max(1, app.parse_batcher.batches)
+    await app.stop()
+    _ROWS.append((load, occupancy))
+    return load, occupancy
+
+
+def test_microbatching_beats_no_batching_on_p95(trained_parser, test_corpus):
+    """Same model, same traffic, concurrency >= 32: batching wins p95."""
+    texts = [record.text for record in test_corpus]
+    trained_parser.parse_many(texts)  # warm encoder caches for both arms
+
+    async def scenario():
+        batched = await _serve_load(
+            trained_parser, texts,
+            name=f"batched x{SERVE_CONC}", max_batch_size=32,
+        )
+        unbatched = await _serve_load(
+            trained_parser, texts,
+            name=f"batch=1 x{SERVE_CONC}", max_batch_size=1,
+        )
+        return batched, unbatched
+
+    (batched, occupancy), (unbatched, _) = asyncio.run(scenario())
+    emit(
+        f"Serving: micro-batched vs no-batching "
+        f"({SERVE_REQUESTS} requests, concurrency {SERVE_CONC})",
+        report_header() + "\n" + batched.row() + "\n" + unbatched.row()
+        + f"\n\nbatched occupancy: {occupancy:.1f} records/batch; "
+        f"p95 ratio: {unbatched.p95 / batched.p95:.1f}x",
+    )
+    assert batched.failures == 0 and unbatched.failures == 0
+    if SERVE_REQUESTS >= 128 and SERVE_CONC >= 32:
+        assert batched.p95 < unbatched.p95, (
+            f"micro-batching lost on p95: {batched.p95 * 1e3:.2f}ms vs "
+            f"{unbatched.p95 * 1e3:.2f}ms at concurrency {SERVE_CONC}"
+        )
+
+
+def test_concurrency1_latency_within_10pct_of_direct(
+    trained_parser, test_corpus
+):
+    """The CI tripwire: an idle server must not tax single requests.
+
+    A lone request on an idle batcher skips the ``max_wait_ms`` top-up
+    wait, so its cost over a direct ``parser.parse`` call is one queue
+    hop and one executor hop.  Budget: 10% plus a 2ms absolute floor
+    (sub-millisecond parses at smoke scales would otherwise flake on
+    scheduler noise).
+    """
+    texts = [record.text for record in test_corpus][
+        : max(32, min(SERVE_REQUESTS // 4, 128))
+    ]
+    trained_parser.parse_many(texts)  # warm caches for both arms
+    rounds = 3
+
+    def direct_mean() -> float:
+        best = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            for text in texts:
+                trained_parser.parse(text)
+            best = min(best, time.perf_counter() - started)
+        return best / len(texts)
+
+    async def served_mean() -> float:
+        best = float("inf")
+        for _ in range(rounds):
+            load, _ = await _serve_load(
+                trained_parser, texts,
+                name="serve x1", max_batch_size=32,
+                n_requests=len(texts), concurrency=1,
+            )
+            _ROWS.pop()  # keep the summary to the headline runs
+            assert load.failures == 0
+            best = min(best, load.mean)
+        return best
+
+    direct = direct_mean()
+    served = asyncio.run(served_mean())
+    overhead = served / direct - 1.0
+    emit(
+        f"Serving: concurrency-1 overhead vs direct parse() "
+        f"({len(texts)} requests, best of {rounds})",
+        f"{'direct parse()':<18} {direct * 1e3:>8.3f} ms/request\n"
+        f"{'via batcher':<18} {served * 1e3:>8.3f} ms/request\n"
+        f"{'overhead':<18} {overhead:>8.1%}",
+    )
+    assert served <= direct * 1.10 + 0.002, (
+        f"batcher adds {overhead:.1%} to concurrency-1 latency "
+        f"(budget: 10% + 2ms floor)"
+    )
+
+
+def test_hot_swap_under_load_drops_nothing(
+    trained_parser, train_corpus, test_corpus
+):
+    """Swap the active model mid-traffic; every request must succeed."""
+    replacement = WhoisParser(l2=0.1).fit(
+        train_corpus[: max(20, len(train_corpus) // 2)]
+    )
+    texts = [record.text for record in test_corpus]
+
+    load, occupancy = asyncio.run(
+        _serve_load(
+            trained_parser, texts,
+            name=f"hot-swap x{SERVE_CONC}", max_batch_size=32,
+            swap_to=replacement,
+        )
+    )
+    assert load.count == SERVE_REQUESTS
+    assert load.failures == 0, f"{load.failures} requests failed across swap"
+    assert load.rejected == 0, f"{load.rejected} requests shed across swap"
+
+    rows = "\n".join(
+        report.row() + f"   occupancy {occ:.1f}" for report, occ in _ROWS
+    )
+    emit(
+        "Serving summary (p50/p95/p99 per run)",
+        report_header() + "\n" + rows,
+    )

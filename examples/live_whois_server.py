@@ -1,5 +1,10 @@
-"""Serve WHOIS over real TCP (RFC 3912) on localhost and parse live
-responses with the trained model.
+"""Serve WHOIS online through `repro.serve` and measure it under load.
+
+Stands up one `ServeApp` -- micro-batching scheduler, admission control,
+model registry -- with both wire faces enabled (RFC 3912 on an ephemeral
+port, HTTP alongside), queries it over real TCP, then drives it with the
+closed-loop load generator and prints the latency report, including a
+model hot-swap mid-traffic.
 
 Run:  python examples/live_whois_server.py
 """
@@ -7,29 +12,72 @@ Run:  python examples/live_whois_server.py
 import asyncio
 
 from repro.datagen import CorpusConfig, CorpusGenerator
-from repro.netsim.tcp import AsyncWhoisServer, whois_query
+from repro.netsim.tcp import whois_query
 from repro.parser import WhoisParser
+from repro.serve import (
+    ModelRegistry,
+    ServeApp,
+    ServeConfig,
+    report_header,
+    run_load,
+)
 
 
 async def main() -> None:
     generator = CorpusGenerator(CorpusConfig(seed=33))
     corpus = generator.labeled_corpus(120)
-    parser = WhoisParser(l2=0.1).fit(corpus[:100])
+    models = ModelRegistry()
+    models.publish(WhoisParser(l2=0.1).fit(corpus[:100]))
 
-    # Stand up a thick WHOIS server backed by 20 held-out records.
+    # 20 held-out records back the port-43 and RDAP lookups.
     records = {record.domain: record.text for record in corpus[100:]}
-    async with AsyncWhoisServer(records.get) as server:
-        print(f"WHOIS server listening on 127.0.0.1:{server.port} "
-              f"({len(records)} records)\n")
-        for domain in list(records)[:5]:
-            text = await whois_query("127.0.0.1", server.port, domain)
-            parsed = parser.parse(text)
-            registrant = parsed.registrant_name or parsed.registrant_org
-            print(f"{domain:<22} registrar={parsed.registrar!s:<28} "
-                  f"registrant={registrant}")
-        missing = await whois_query("127.0.0.1", server.port, "nope.example")
-        print(f"\nunknown domain -> {missing!r}")
-        print(f"server answered {server.queries_served} queries")
+    app = ServeApp(
+        models,
+        records.get,
+        config=ServeConfig(max_batch_size=16, max_wait_ms=2.0),
+    )
+    await app.start(whois_port=0, http_port=0)
+    print(f"WHOIS serving on 127.0.0.1:{app.whois_port}, "
+          f"HTTP on 127.0.0.1:{app.http_port} ({len(records)} records)\n")
+
+    # --- RFC 3912 queries: raw record in the back, parsed record out.
+    for domain in list(records)[:5]:
+        text = await whois_query("127.0.0.1", app.whois_port, domain)
+        fields = dict(
+            line.split(": ", 1) for line in text.splitlines() if ": " in line
+        )
+        print(f"{domain:<22} registrar={fields.get('Registrar')!s:<28} "
+              f"registrant={fields.get('Registrant Name')}")
+    missing = await whois_query("127.0.0.1", app.whois_port, "nope.example")
+    print(f"\nunknown domain -> {missing!r}\n")
+
+    # --- The load generator: concurrent /parse traffic with a hot-swap
+    # in the middle.  Every request must succeed across the swap.
+    texts = [record.text for record in corpus[100:]]
+    replacement = WhoisParser(l2=0.1).fit(corpus[:60])  # trained off-path
+
+    async def one_request(i: int):
+        return await app.parse_text(texts[i % len(texts)], client="demo")
+
+    async def swap_soon():
+        await asyncio.sleep(0.05)
+        version = app.swap_model(replacement)
+        print(f"... hot-swapped to {version} under load\n")
+
+    load, _ = await asyncio.gather(
+        run_load(one_request, n_requests=200, concurrency=16, name="parse x16"),
+        swap_soon(),
+    )
+    print(report_header())
+    print(load.row())
+    print(f"\nbatches executed: {app.parse_batcher.batches} "
+          f"(mean occupancy "
+          f"{app.parse_batcher.items / app.parse_batcher.batches:.1f} "
+          f"records/batch); zero failed requests across the swap: "
+          f"{load.failures == 0}")
+
+    await app.stop()
+    print("server drained and stopped cleanly")
 
 
 if __name__ == "__main__":

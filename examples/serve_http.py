@@ -1,0 +1,48 @@
+"""Curl-able quickstart for the HTTP serving tier.
+
+Trains a small model, starts `repro.serve` on localhost:8043, and prints
+the curl commands to poke every endpoint.  Ctrl-C shuts down gracefully.
+
+Run:  python examples/serve_http.py [PORT]
+"""
+
+import asyncio
+import sys
+
+from repro.datagen import CorpusConfig, CorpusGenerator
+from repro.parser import WhoisParser
+from repro.serve import ModelRegistry, ServeApp, ServeConfig
+
+
+async def main(port: int) -> None:
+    generator = CorpusGenerator(CorpusConfig(seed=11))
+    corpus = generator.labeled_corpus(100)
+    models = ModelRegistry()
+    models.publish(WhoisParser(l2=0.1).fit(corpus[:80]))
+    records = {record.domain: record.text for record in corpus[80:]}
+
+    app = ServeApp(models, records.get, config=ServeConfig())
+    await app.start(http_port=port)
+    base = f"http://127.0.0.1:{app.http_port}"
+    sample = corpus[80].domain
+    print(f"serving {models.current_version} on {base} -- try:\n")
+    print(f"  curl {base}/healthz")
+    print(f"  curl {base}/readyz")
+    print(f"  curl {base}/rdap/domain/{sample}")
+    print(f"  curl --data-binary @some_record.txt {base}/parse")
+    print(f"  curl {base}/metrics | grep serve_")
+    print("\nCtrl-C to stop.")
+    try:
+        await asyncio.Event().wait()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await app.stop()
+        print(f"\nserved {app.admission.admitted} requests; stopped cleanly")
+
+
+if __name__ == "__main__":
+    try:
+        asyncio.run(main(int(sys.argv[1]) if len(sys.argv) > 1 else 8043))
+    except KeyboardInterrupt:
+        pass

@@ -8,6 +8,7 @@ Subcommands mirror the paper's workflow:
 - ``crawl``     run the simulated com crawl and save the thick records
 - ``survey``    build the Section 6 tables from crawled records
 - ``rdap``      serve RDAP lookups over crawled records
+- ``serve``     run the online serving tier (micro-batching, port 43 + HTTP)
 - ``eval``      line/document error of a saved model on a labeled corpus
 
 ``train``, ``parse``, ``crawl``, ``survey``, and ``rdap`` accept
@@ -60,16 +61,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _parsed_to_json(parsed) -> dict:
-    return {
-        "domain": parsed.domain,
-        "registrar": parsed.registrar,
-        "created": parsed.created.isoformat() if parsed.created else None,
-        "updated": parsed.updated.isoformat() if parsed.updated else None,
-        "expires": parsed.expires.isoformat() if parsed.expires else None,
-        "statuses": parsed.statuses,
-        "name_servers": parsed.name_servers,
-        "registrant": parsed.registrant,
-    }
+    return parsed.to_jsonable()
 
 
 def _cmd_parse(args: argparse.Namespace) -> int:
@@ -203,12 +195,7 @@ def _cmd_rdap(args: argparse.Namespace) -> int:
     from repro.rdap.server import DomainNotFound, RdapGateway
 
     parser = WhoisParser.load(args.model)
-    with Path(args.crawl).open("r", encoding="utf-8") as handle:
-        records = {
-            row["domain"].lower(): row["thick_text"]
-            for row in map(json.loads, handle)
-            if row.get("thick_text")
-        }
+    records = _load_crawl_records(args.crawl)
     gateway = RdapGateway(parser, records.get, cache_size=args.cache_size)
     status = 0
     bodies = []
@@ -220,6 +207,73 @@ def _cmd_rdap(args: argparse.Namespace) -> int:
             status = 1
     print(json.dumps(bodies[0] if len(bodies) == 1 else bodies, indent=2))
     return status
+
+
+def _load_crawl_records(path: str | None) -> dict[str, str]:
+    if path is None:
+        return {}
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return {
+            row["domain"].lower(): row["thick_text"]
+            for row in map(json.loads, handle)
+            if row.get("thick_text")
+        }
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ModelRegistry, ServeApp, ServeConfig
+
+    models = ModelRegistry(args.model_dir)
+    if not models.has_active:
+        print(f"no model versions under {args.model_dir}; "
+              f"run `repro train` or publish one first", file=sys.stderr)
+        return 1
+    records = _load_crawl_records(args.crawl)
+    app = ServeApp(
+        models,
+        records.get,
+        config=ServeConfig(
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            queue_depth=args.queue_depth,
+            rate_limit=args.rate_limit,
+        ),
+    )
+
+    async def serve() -> None:
+        await app.start(
+            host=args.host,
+            http_port=args.http_port,
+            whois_port=args.whois_port,
+        )
+        print(f"serving model {models.current_version} "
+              f"({len(records)} records)")
+        if app.http_port is not None:
+            print(f"  http:  http://{args.host}:{app.http_port}  "
+                  f"(/parse, /rdap/domain/<name>, /healthz, /metrics)")
+        if app.whois_port is not None:
+            print(f"  whois: {args.host}:{app.whois_port}  (RFC 3912)")
+        try:
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:
+                await asyncio.Event().wait()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await app.stop()
+            print(f"served {app.admission.admitted} requests "
+                  f"({app.admission.rejected} shed); "
+                  f"{app.parse_batcher.batches + app.rdap_batcher.batches} "
+                  f"batches")
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("interrupted; shut down cleanly", file=sys.stderr)
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -339,6 +393,33 @@ def build_arg_parser() -> argparse.ArgumentParser:
                       help="LRU response cache entries (0 disables)")
     add_metrics_out(rdap)
     rdap.set_defaults(func=_cmd_rdap)
+
+    serve = sub.add_parser(
+        "serve", help="serve the parser and RDAP gateway online"
+    )
+    serve.add_argument("--model-dir", required=True,
+                       help="model registry directory (versioned, or a "
+                            "plain `repro train` output)")
+    serve.add_argument("--crawl", default=None,
+                       help="crawl JSONL backing /rdap and port-43 lookups")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--http-port", type=int, default=8043,
+                       help="HTTP port (0 for ephemeral)")
+    serve.add_argument("--whois-port", type=int, default=None,
+                       help="also serve RFC 3912 on this port (0 ephemeral)")
+    serve.add_argument("--max-batch-size", type=int, default=32,
+                       help="micro-batch size cap")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="micro-batch top-up wait under load")
+    serve.add_argument("--queue-depth", type=int, default=256,
+                       help="admission bound on in-flight requests")
+    serve.add_argument("--rate-limit", type=int, default=None,
+                       help="per-client requests/second (netsim.ratelimit "
+                            "semantics; unset disables)")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="serve for this many seconds, then exit "
+                            "(default: until interrupted)")
+    serve.set_defaults(func=_cmd_serve)
 
     report = sub.add_parser(
         "report", help="regenerate every table/figure into one markdown file"

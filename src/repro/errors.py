@@ -20,6 +20,7 @@ __all__ = [
     "DomainNotFound",
     "GarbledRecord",
     "NoReferral",
+    "Overloaded",
     "RecordMissing",
     "RateLimited",
     "ReproError",
@@ -27,6 +28,7 @@ __all__ = [
     "Timeout",
     "TransientServerError",
     "Truncated",
+    "Unavailable",
     "error_payload",
 ]
 
@@ -148,6 +150,22 @@ class CircuitOpen(CrawlError):
     """The crawler's own circuit breaker refused to query the server."""
 
     code = "circuit_open"
+    http_status = 503
+
+
+class Overloaded(ReproError):
+    """The serving tier shed this request: queue depth or in-flight work
+    exceeded the admission limits (the load-shedding 503)."""
+
+    code = "overloaded"
+    http_status = 503
+
+
+class Unavailable(ReproError):
+    """The serving tier is not accepting requests (shutting down, or no
+    model published yet)."""
+
+    code = "unavailable"
     http_status = 503
 
 

@@ -86,6 +86,23 @@ class ParsedRecord:
     #: every line grouped by its first-level block label
     blocks: dict[str, list[str]] = field(default_factory=dict)
 
+    def to_jsonable(self) -> dict:
+        """A JSON-serializable view (dates as ISO strings).
+
+        The one wire shape shared by ``repro parse`` output and the
+        serving tier's ``/parse`` endpoint.
+        """
+        return {
+            "domain": self.domain,
+            "registrar": self.registrar,
+            "created": self.created.isoformat() if self.created else None,
+            "updated": self.updated.isoformat() if self.updated else None,
+            "expires": self.expires.isoformat() if self.expires else None,
+            "statuses": self.statuses,
+            "name_servers": self.name_servers,
+            "registrant": self.registrant,
+        }
+
     @property
     def registrant_name(self) -> str | None:
         return self.registrant.get("name")

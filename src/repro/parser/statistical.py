@@ -451,6 +451,24 @@ class WhoisParser(ParserBase):
             )
         registry.observe("parse.batch_records", n_records)
 
+    def encoder_cache_totals(self) -> tuple[int, int]:
+        """Cumulative ``(hits, misses)`` across the bulk line encoders.
+
+        Unlike :meth:`LineEncoder.drain_cache_stats` -- whose deltas
+        :meth:`_flush_bulk_metrics` consumes per batch -- the totals here
+        are monotonic for the life of the encoders, so an online consumer
+        (the ``/metrics`` endpoint of :mod:`repro.serve`) can sync its own
+        counters against them without racing the per-batch drain.
+        """
+        if self._bulk_encoders is None:
+            return (0, 0)
+        hits = misses = 0
+        for encoder in self._bulk_encoders:
+            if encoder is not None:
+                hits += encoder.hits
+                misses += encoder.misses
+        return (hits, misses)
+
     def parse_many(
         self,
         records: TypingSequence[WhoisRecord | LabeledRecord | str],
@@ -489,6 +507,16 @@ class WhoisParser(ParserBase):
         return self.block_crf.top_transition_features(k)
 
     def save(self, path: str | Path) -> None:
+        """Persist everything inference needs: both CRFs, the featurizer
+        configuration, and the frozen UNK lexicon (when one was built).
+
+        A loaded parser is prediction-equivalent to the original --
+        ``parse_many`` over any corpus produces identical records -- which
+        is what the serving tier's model registry
+        (:mod:`repro.serve.models`) relies on for hot-swap and rollback.
+        """
+        from dataclasses import asdict
+
         path = Path(path)
         path.mkdir(parents=True, exist_ok=True)
         self.block_crf.save(path / "block")
@@ -496,6 +524,12 @@ class WhoisParser(ParserBase):
             "trained_on": self._trained_on,
             "has_second_level": self.registrant_crf is not None
             and self.registrant_crf.is_fitted,
+            "featurizer_config": asdict(self.featurizer.config),
+            "lexicon": (
+                sorted(self.featurizer.lexicon.vocabulary)
+                if self.featurizer.lexicon is not None
+                else None
+            ),
         }
         if meta["has_second_level"]:
             self.registrant_crf.save(path / "registrant")
@@ -505,7 +539,18 @@ class WhoisParser(ParserBase):
     def load(cls, path: str | Path) -> "WhoisParser":
         path = Path(path)
         meta = json.loads((path / "parser.json").read_text())
-        parser = cls()
+        config = meta.get("featurizer_config")
+        parser = cls(
+            featurizer_config=(
+                FeaturizerConfig(**config) if config is not None else None
+            )
+        )
+        if meta.get("lexicon") is not None:
+            from repro.whois.lexicon import Lexicon
+
+            parser.featurizer.lexicon = Lexicon.from_vocabulary(
+                meta["lexicon"]
+            )
         parser.block_crf = ChainCRF.load(path / "block")
         if meta["has_second_level"]:
             parser.registrant_crf = ChainCRF.load(path / "registrant")

@@ -106,6 +106,15 @@ class RdapGateway:
         while len(self._cache) > self.cache_size:
             self._cache.popitem(last=False)
 
+    def clear_cache(self) -> None:
+        """Drop every cached response.
+
+        The serving tier calls this when the parser behind the gateway is
+        hot-swapped: cached payloads were rendered by the *old* model and
+        would otherwise outlive it.
+        """
+        self._cache.clear()
+
     # ------------------------------------------------------------------
     # Lookups
     # ------------------------------------------------------------------
@@ -190,6 +199,71 @@ class RdapGateway:
                     payloads[i] = payload
             obs.observe("rdap.lookup_many_seconds", perf_counter() - start)
         return payloads
+
+    def try_lookup_many(
+        self, domains: Sequence[str], *, jobs: int = 1
+    ) -> "list[dict | ReproError]":
+        """Per-domain :meth:`lookup` results that never raise.
+
+        Each slot holds either the validated RDAP payload or the typed
+        :class:`~repro.errors.ReproError` that lookup would have raised
+        for that domain (:class:`DomainNotFound` for missing records; a
+        render/validation crash becomes a generic 500-shaped
+        :class:`~repro.errors.ReproError`).  One bad domain therefore
+        cannot sink the rest of the batch -- the contract the serving
+        tier's micro-batcher fans results out under.  Uncached records
+        still parse in a single ``parse_many`` call.
+        """
+        domains = list(domains)
+        self.lookups += len(domains)
+        obs.inc("rdap.lookups", len(domains))
+        results: "list[dict | ReproError | None]" = [None] * len(domains)
+        pending: "OrderedDict[str, list[int]]" = OrderedDict()
+        for i, domain in enumerate(domains):
+            key = domain.lower()
+            if key in pending:
+                pending[key].append(i)
+                continue
+            cached = self._cache_get(key)
+            if cached is not None:
+                results[i] = cached
+            else:
+                pending[key] = [i]
+        texts: dict[str, str] = {}
+        for key, indices in pending.items():
+            text = self._fetch(key)
+            if text is None:
+                obs.inc("rdap.errors", code="404")
+                error = DomainNotFound(domains[indices[0]])
+                for i in indices:
+                    results[i] = error
+            else:
+                texts[key] = text
+        if texts:
+            start = perf_counter()
+            parsed_records = self.parser.parse_many(
+                list(texts.values()), jobs=jobs
+            )
+            for key, parsed in zip(texts, parsed_records):
+                indices = pending[key]
+                domain = domains[indices[0]]
+                try:
+                    payload = parsed_to_rdap(domain, parsed).to_json()
+                    validate_rdap(payload)
+                except Exception as exc:
+                    obs.inc("rdap.errors", code=str(_status_for(exc)))
+                    error = (
+                        exc if isinstance(exc, ReproError)
+                        else ReproError(f"{type(exc).__name__}: {exc}")
+                    )
+                    for i in indices:
+                        results[i] = error
+                    continue
+                self._cache_put(key, payload)
+                for i in indices:
+                    results[i] = payload
+            obs.observe("rdap.lookup_many_seconds", perf_counter() - start)
+        return results
 
     # ------------------------------------------------------------------
     # HTTP-shaped responses

@@ -1,0 +1,55 @@
+"""Online serving: micro-batching, admission control, model hot-swap.
+
+The north-star system serves "heavy traffic from millions of users";
+this package is its front door.  One :class:`ServeApp` process exposes
+the trained parser and the RDAP gateway over two wire faces -- RFC 3912
+on port 43 and a minimal HTTP API (``/parse``, ``/rdap/domain/<name>``,
+``/healthz``, ``/readyz``, ``/metrics``) -- with three serving-tier
+mechanisms underneath:
+
+- :class:`MicroBatcher` coalesces concurrent single requests into
+  ``parse_many`` batches, converting PR 1's offline batched-Viterbi win
+  into online tail-latency wins (``benchmarks/bench_serving.py``);
+- :class:`AdmissionController` bounds in-flight work and per-client
+  rates, shedding load with typed :mod:`repro.errors` rejections;
+- :class:`ModelRegistry` versions parser snapshots and hot-swaps the
+  active one atomically behind the batcher, with rollback.
+
+>>> import asyncio
+>>> from repro.datagen import CorpusGenerator
+>>> from repro.serve import ModelRegistry, ServeApp
+>>> corpus = CorpusGenerator(seed=0).labeled_corpus(50)
+>>> from repro.parser import WhoisParser
+>>> models = ModelRegistry()
+>>> _ = models.publish(WhoisParser().fit(corpus))
+>>> async def demo():
+...     app = await ServeApp(models).start()
+...     try:
+...         parsed = await app.parse_text(corpus[0].text)
+...     finally:
+...         await app.stop()
+...     return parsed.domain == corpus[0].domain
+>>> asyncio.run(demo())
+True
+"""
+
+from repro.serve.admission import AdmissionController, WallClock
+from repro.serve.app import ServeApp, ServeConfig, render_parsed_whois
+from repro.serve.batcher import MicroBatcher
+from repro.serve.http import HttpFrontend
+from repro.serve.loadgen import LatencyReport, report_header, run_load
+from repro.serve.models import ModelRegistry
+
+__all__ = [
+    "AdmissionController",
+    "HttpFrontend",
+    "LatencyReport",
+    "MicroBatcher",
+    "ModelRegistry",
+    "ServeApp",
+    "ServeConfig",
+    "WallClock",
+    "render_parsed_whois",
+    "report_header",
+    "run_load",
+]

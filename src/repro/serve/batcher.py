@@ -1,0 +1,224 @@
+"""The micro-batching scheduler of the online serving tier.
+
+PR 1 made the *offline* bulk path fast: ``WhoisParser.parse_many``
+decodes a batch of records ~7x faster than a per-record loop, because
+batched Viterbi amortizes the dense numpy recursions and the memoizing
+:class:`~repro.parser.bulk.LineEncoder` collapses repeated lines.  An
+online server receives *single* requests, so without coalescing every
+request pays the per-record price.  :class:`MicroBatcher` converts the
+offline win into an online tail-latency win: concurrent requests are
+gathered into one ``parse_many``-shaped call and the results fanned back
+out to the per-request futures.
+
+Batching policy (the ``max_batch_size`` / ``max_wait_ms`` knobs):
+
+- One consumer task owns one execution slot.  While a batch is decoding
+  (in the default thread-pool executor, so the event loop keeps
+  accepting connections), new arrivals accumulate in the queue; the next
+  batch scoops them all.  Under sustained concurrency this *natural
+  batching* fills batches without any added waiting.
+- After taking the first item of a batch, the consumer drains every
+  immediately-available item up to ``max_batch_size``.
+- A timed top-up wait of at most ``max_wait_ms`` happens only when the
+  batcher is *warm* -- the previous batch held more than one item, or
+  submitted-but-unserved requests are known to exist.  A lone request on
+  an idle server therefore executes immediately: enabling the batcher
+  must not tax single-request latency (the CI tripwire in
+  ``benchmarks/bench_serving.py`` holds it to <10%).
+
+The batch function runs with whatever model is current *at execution
+time*, which is what makes the model registry's hot-swap atomic: batches
+in flight finish on the old model, the next batch picks up the new one,
+and no request is ever dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Sequence
+
+from repro import errors, obs
+
+__all__ = ["MicroBatcher"]
+
+#: queue sentinel that tells the consumer task to exit
+_STOP = object()
+
+
+class MicroBatcher:
+    """Coalesce awaited single items into batched calls.
+
+    Parameters
+    ----------
+    batch_fn:
+        ``list[item] -> list[result]``, called off the event loop in the
+        default executor.  One result per item, in order; a result that
+        is a ``BaseException`` instance is raised to that item's waiter
+        (so one poisoned item cannot sink its batch-mates).
+    max_batch_size:
+        Hard cap on items per call.
+    max_wait_ms:
+        Upper bound on the warm-path top-up wait (see module docstring).
+    name:
+        Label for the ``serve.batch.*`` metrics this batcher emits.
+    """
+
+    def __init__(
+        self,
+        batch_fn: Callable[[list], Sequence],
+        *,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        name: str = "parse",
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        self._batch_fn = batch_fn
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.name = name
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._task: asyncio.Task | None = None
+        self._stopping = False
+        self._pending = 0          # submitted and not yet resolved
+        self._last_batch_size = 0  # warmth signal for the top-up wait
+        self.batches = 0
+        self.items = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "MicroBatcher":
+        """Spawn the consumer task on the running loop."""
+        if self._task is None:
+            self._stopping = False
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name=f"microbatcher-{self.name}"
+            )
+        return self
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain in-flight work, reject queued work.
+
+        The batch currently executing (if any) completes and its waiters
+        receive their results; items still queued are rejected with a
+        typed :class:`~repro.errors.Unavailable`; subsequent
+        :meth:`submit` calls are rejected the same way.
+        """
+        self._stopping = True
+        while not self._queue.empty():
+            entry = self._queue.get_nowait()
+            if entry is _STOP:
+                continue
+            _item, future = entry
+            self._reject(future)
+        self._queue.put_nowait(_STOP)
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+    def _reject(self, future: asyncio.Future) -> None:
+        if not future.done():
+            obs.inc("serve.rejected", batcher=self.name, code="unavailable")
+            future.set_exception(
+                errors.Unavailable(f"{self.name} batcher is shutting down")
+            )
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    async def submit(self, item: Any) -> Any:
+        """Enqueue one item and await its result."""
+        if self._stopping or self._task is None:
+            raise errors.Unavailable(
+                f"{self.name} batcher is not accepting requests"
+            )
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending += 1
+        self._queue.put_nowait((item, future))
+        obs.set_gauge("serve.queue_depth", self._queue.qsize(),
+                      batcher=self.name)
+        try:
+            return await future
+        finally:
+            self._pending -= 1
+
+    # ------------------------------------------------------------------
+    # The consumer task
+    # ------------------------------------------------------------------
+
+    def _warm(self, gathered: int) -> bool:
+        """Whether a timed top-up wait is worth the latency."""
+        return self._last_batch_size > 1 or self._pending > gathered
+
+    async def _gather(self) -> list | None:
+        """Collect the next batch; None when the stop sentinel arrives."""
+        entry = await self._queue.get()
+        if entry is _STOP:
+            return None
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        batch = [entry]
+        deadline = started + self.max_wait_ms / 1000.0
+        while len(batch) < self.max_batch_size:
+            try:
+                entry = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                remaining = deadline - loop.time()
+                if remaining <= 0 or not self._warm(len(batch)):
+                    break
+                try:
+                    entry = await asyncio.wait_for(
+                        self._queue.get(), remaining
+                    )
+                except asyncio.TimeoutError:
+                    break
+            if entry is _STOP:
+                # Re-post so the outer loop sees it after this batch.
+                self._queue.put_nowait(_STOP)
+                break
+            batch.append(entry)
+        obs.observe("serve.batch_gather_seconds", loop.time() - started,
+                    batcher=self.name)
+        return batch
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = await self._gather()
+            if batch is None:
+                return
+            self._last_batch_size = len(batch)
+            self.batches += 1
+            self.items += len(batch)
+            obs.observe("serve.batch_size", len(batch), batcher=self.name)
+            items = [item for item, _ in batch]
+            started = loop.time()
+            try:
+                results = await loop.run_in_executor(
+                    None, self._batch_fn, items
+                )
+                if len(results) != len(items):
+                    raise RuntimeError(
+                        f"batch_fn returned {len(results)} results "
+                        f"for {len(items)} items"
+                    )
+            except BaseException as exc:  # noqa: BLE001 -- fanned out below
+                for _item, future in batch:
+                    if not future.done():
+                        future.set_exception(exc)
+                continue
+            finally:
+                obs.observe("serve.batch_exec_seconds",
+                            loop.time() - started, batcher=self.name)
+            for (_item, future), result in zip(batch, results):
+                if future.done():
+                    continue
+                if isinstance(result, BaseException):
+                    future.set_exception(result)
+                else:
+                    future.set_result(result)

@@ -1,0 +1,137 @@
+"""Closed-loop load generation and latency reporting for the serving tier.
+
+The serving claims worth making are *distributional*: micro-batching is
+sold on p95/p99 at concurrency, not on mean throughput, and a hot-swap
+is only "zero-downtime" if no request in a sustained run fails.
+:func:`run_load` drives an async submit function with ``concurrency``
+closed-loop workers and returns a :class:`LatencyReport` with the
+quantiles, error counts, and throughput; ``benchmarks/bench_serving.py``
+builds its acceptance gates on top.
+
+The submit function is whatever face of the server the experiment
+targets: ``app.parse_text`` directly (measuring the batcher, not the
+socket stack), an HTTP client coroutine, or a port-43 query -- the
+harness only awaits it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable
+
+from repro import errors
+
+__all__ = ["LatencyReport", "report_header", "run_load"]
+
+
+@dataclass
+class LatencyReport:
+    """Latencies (seconds) and failure accounting for one load run."""
+
+    name: str
+    elapsed_seconds: float = 0.0
+    latencies: list[float] = field(default_factory=list)
+    #: typed rejections (Overloaded/RateLimited/Unavailable) by code
+    rejections: dict[str, int] = field(default_factory=dict)
+    #: non-ReproError failures, which a healthy run has none of
+    failures: int = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def rejected(self) -> int:
+        return sum(self.rejections.values())
+
+    @property
+    def throughput(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.count / self.elapsed_seconds
+
+    @property
+    def mean(self) -> float:
+        return sum(self.latencies) / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank ``q``-quantile of the completed-request latencies."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        rank = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[rank]
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def row(self) -> str:
+        """One aligned summary row (pairs with :func:`report_header`)."""
+        return (
+            f"{self.name:<26} {self.count:>6} {self.rejected:>7} "
+            f"{self.failures:>6} {self.throughput:>9.0f} "
+            f"{self.p50 * 1e3:>8.2f} {self.p95 * 1e3:>8.2f} "
+            f"{self.p99 * 1e3:>8.2f}"
+        )
+
+
+def report_header() -> str:
+    return (
+        f"{'run':<26} {'ok':>6} {'shed':>7} {'fail':>6} {'req/s':>9} "
+        f"{'p50ms':>8} {'p95ms':>8} {'p99ms':>8}"
+    )
+
+
+async def run_load(
+    submit: Callable[[int], Awaitable],
+    *,
+    n_requests: int,
+    concurrency: int,
+    name: str = "load",
+) -> LatencyReport:
+    """Drive ``submit`` with a closed loop of ``concurrency`` workers.
+
+    Each worker repeatedly takes the next request index, awaits
+    ``submit(i)``, and records the request's wall latency.  Typed
+    :class:`~repro.errors.ReproError` rejections are tallied by taxonomy
+    code (they are the *expected* face of admission control under
+    overload); any other exception counts as a failure.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    report = LatencyReport(name=name)
+    loop = asyncio.get_running_loop()
+    next_index = iter(range(n_requests))
+
+    async def worker() -> None:
+        for i in next_index:
+            started = loop.time()
+            try:
+                await submit(i)
+            except errors.ReproError as exc:
+                report.rejections[exc.code] = (
+                    report.rejections.get(exc.code, 0) + 1
+                )
+                continue
+            except Exception:  # noqa: BLE001 -- tallied, run continues
+                report.failures += 1
+                continue
+            report.latencies.append(loop.time() - started)
+
+    started = loop.time()
+    workers = max(1, min(concurrency, n_requests))
+    await asyncio.gather(*(worker() for _ in range(workers)))
+    report.elapsed_seconds = loop.time() - started
+    return report

@@ -1,0 +1,180 @@
+"""Versioned parser snapshots with atomic hot-swap and rollback.
+
+Section 5.3's maintainability story is a model that *keeps training*:
+when a registrar ships a new format, a handful of labeled records and a
+``partial_fit`` produce an adapted parser.  Online, that adapted model
+has to roll out without dropping the traffic the old one is serving.
+:class:`ModelRegistry` provides the mechanism:
+
+- :meth:`publish` snapshots a :class:`~repro.parser.WhoisParser` as a
+  numbered version (``v0001``, ``v0002``, ...), persisted under the
+  registry root via ``WhoisParser.save`` when a root is configured;
+- :meth:`activate` swaps which version is *current*.  The swap is one
+  attribute assignment -- atomic under both the event loop and the
+  executor threads running batches -- and the micro-batcher resolves
+  the current parser at batch-execution time, so in-flight batches
+  finish on the old model while the next batch picks up the new one.
+  Zero requests are dropped by a swap (asserted under sustained load in
+  ``benchmarks/bench_serving.py``);
+- :meth:`rollback` re-activates the previously-active version, the
+  escape hatch when a freshly adapted model misbehaves in production.
+
+On disk a registry root holds one subdirectory per version plus an
+``ACTIVE`` pointer file, so a restarted server resumes serving the same
+version.  A plain ``repro train`` output directory (a bare
+``WhoisParser.save``) is also accepted and wrapped as a single-version
+registry.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro import errors, obs
+from repro.parser.statistical import WhoisParser
+
+__all__ = ["ModelRegistry"]
+
+_ACTIVE_FILE = "ACTIVE"
+
+
+class ModelRegistry:
+    """Versioned :class:`WhoisParser` snapshots, one of them active.
+
+    With ``root=None`` the registry is purely in-memory (tests, demos);
+    with a directory, every publish persists and activation survives
+    restarts.
+    """
+
+    def __init__(self, root: "str | Path | None" = None) -> None:
+        self.root = Path(root) if root is not None else None
+        self._parsers: dict[str, WhoisParser] = {}
+        self._versions: list[str] = []
+        self._active: "tuple[str, WhoisParser] | None" = None
+        self._history: list[str] = []  # activation order, for rollback
+        if self.root is not None:
+            self._scan()
+
+    # ------------------------------------------------------------------
+    # Disk layout
+    # ------------------------------------------------------------------
+
+    def _scan(self) -> None:
+        """Adopt an existing on-disk registry (or bare model) if present."""
+        if not self.root.exists():
+            return
+        if (self.root / "parser.json").exists():
+            # A bare `repro train` model directory: wrap it as v0001,
+            # loaded lazily on first activation.
+            self._versions = ["v0001"]
+            self._bare = True
+            self.activate("v0001")
+            return
+        self._bare = False
+        self._versions = sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and (entry / "parser.json").exists()
+        )
+        pointer = self.root / _ACTIVE_FILE
+        if pointer.exists():
+            version = pointer.read_text().strip()
+            if version in self._versions:
+                self.activate(version)
+        elif self._versions:
+            self.activate(self._versions[-1])
+
+    def _version_path(self, version: str) -> Path:
+        if getattr(self, "_bare", False):
+            return self.root
+        return self.root / version
+
+    def _load(self, version: str) -> WhoisParser:
+        parser = self._parsers.get(version)
+        if parser is None:
+            if self.root is None:
+                raise KeyError(version)
+            parser = WhoisParser.load(self._version_path(version))
+            self._parsers[version] = parser
+        return parser
+
+    # ------------------------------------------------------------------
+    # Publishing and activation
+    # ------------------------------------------------------------------
+
+    def versions(self) -> list[str]:
+        return list(self._versions)
+
+    def publish(
+        self,
+        parser: WhoisParser,
+        *,
+        activate: bool = True,
+    ) -> str:
+        """Snapshot ``parser`` as the next version; optionally activate."""
+        next_number = 1 + max(
+            (int(v[1:]) for v in self._versions if v[1:].isdigit()),
+            default=0,
+        )
+        version = f"v{next_number:04d}"
+        if self.root is not None and not getattr(self, "_bare", False):
+            parser.save(self.root / version)
+        self._parsers[version] = parser
+        self._versions.append(version)
+        obs.inc("serve.model_published")
+        if activate or self._active is None:
+            self.activate(version)
+        return version
+
+    def activate(self, version: str) -> None:
+        """Make ``version`` current.  Atomic: one reference assignment."""
+        if version not in self._versions:
+            raise KeyError(f"unknown model version {version!r}")
+        parser = self._load(version)
+        self._active = (version, parser)
+        self._history.append(version)
+        if self.root is not None and not getattr(self, "_bare", False):
+            self.root.mkdir(parents=True, exist_ok=True)
+            (self.root / _ACTIVE_FILE).write_text(version + "\n")
+        obs.inc("serve.model_swaps")
+        obs.set_gauge(
+            "serve.model_version",
+            int(version[1:]) if version[1:].isdigit() else -1,
+        )
+
+    def rollback(self) -> str:
+        """Re-activate the previously-active version and return it."""
+        if len(self._history) < 2:
+            raise errors.Unavailable("no earlier model version to roll back to")
+        previous = self._history[-2]
+        # Collapse the history so repeated rollbacks keep walking back.
+        self._history = self._history[:-2]
+        self.activate(previous)
+        return previous
+
+    # ------------------------------------------------------------------
+    # The serving-side view
+    # ------------------------------------------------------------------
+
+    @property
+    def has_active(self) -> bool:
+        return self._active is not None
+
+    def current(self) -> tuple[str, WhoisParser]:
+        """The active ``(version, parser)`` pair.
+
+        Raises :class:`~repro.errors.Unavailable` when nothing has been
+        published -- the server's ``/readyz`` maps this to 503.
+        """
+        active = self._active
+        if active is None:
+            raise errors.Unavailable("no model version published")
+        return active
+
+    @property
+    def current_version(self) -> str:
+        return self.current()[0]
+
+    @property
+    def current_parser(self) -> WhoisParser:
+        return self.current()[1]

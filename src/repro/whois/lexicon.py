@@ -31,6 +31,17 @@ class Lexicon:
         for text in texts:
             self.add_text(text)
 
+    @classmethod
+    def from_vocabulary(cls, words: Iterable[str]) -> "Lexicon":
+        """A frozen lexicon over an explicit vocabulary (no counts).
+
+        This is the deserialization path: a saved parser stores only the
+        frozen vocabulary, not the training-corpus frequencies.
+        """
+        lexicon = cls()
+        lexicon._vocab = frozenset(words)
+        return lexicon
+
     def freeze(self, min_count: int = 1) -> "Lexicon":
         """Trim words below ``min_count`` and freeze the vocabulary."""
         if min_count < 1:

@@ -7,6 +7,7 @@ import pytest
 from repro.datagen import CorpusGenerator
 from repro.datagen.corpus import CorpusConfig
 from repro.parser import WhoisParser
+from repro.whois.features import FeaturizerConfig
 from repro.parser.fields import (
     assemble_record,
     parse_whois_date,
@@ -219,6 +220,41 @@ def test_save_load_roundtrip(tmp_path, trained):
     record = corpus[0]
     assert clone.predict_blocks(record) == parser.predict_blocks(record)
     assert clone.parse(record.text).domain == record.domain
+
+
+def test_save_load_roundtrip_parse_many_equivalence(tmp_path, trained):
+    """A reloaded parser is bit-equivalent on the whole bulk path."""
+    parser, _, test = trained
+    parser.save(tmp_path / "model")
+    clone = WhoisParser.load(tmp_path / "model")
+    texts = [record.text for record in test]
+    assert clone.parse_many(texts) == parser.parse_many(texts)
+
+
+def test_save_load_preserves_featurizer_config_and_lexicon(tmp_path):
+    """Non-default feature switches and the UNK lexicon survive a save.
+
+    Serving loads models from disk (`repro serve --model-dir`), so a
+    round trip must reproduce the featurization exactly -- a parser
+    reloaded with default switches would silently emit different
+    attributes and mispredict.
+    """
+    gen = CorpusGenerator(CorpusConfig(seed=77))
+    corpus = gen.labeled_corpus(40)
+    config = FeaturizerConfig(prefixes=False, plain_words=False)
+    parser = WhoisParser(
+        featurizer_config=config, unk_min_count=2, l2=0.1
+    ).fit(corpus[:30])
+    parser.save(tmp_path / "model")
+    clone = WhoisParser.load(tmp_path / "model")
+    assert clone.featurizer.config == config
+    assert clone.featurizer.lexicon is not None
+    assert (
+        clone.featurizer.lexicon.vocabulary
+        == parser.featurizer.lexicon.vocabulary
+    )
+    for record in corpus[30:]:
+        assert clone.predict_blocks(record) == parser.predict_blocks(record)
 
 
 def test_top_features_expose_table1_view(trained):
