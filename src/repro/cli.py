@@ -9,7 +9,11 @@ Subcommands mirror the paper's workflow:
 - ``survey``    build the Section 6 tables from crawled records
 - ``rdap``      serve RDAP lookups over crawled records
 - ``serve``     run the online serving tier (micro-batching, port 43 + HTTP)
+- ``maintain``  run the §5.3 maintenance loop over a record stream
 - ``eval``      line/document error of a saved model on a labeled corpus
+
+A hidden ``docs-cli`` subcommand regenerates ``docs/CLI.md`` from this
+argparse tree (``--check`` verifies freshness in CI).
 
 ``train``, ``parse``, ``crawl``, ``survey``, and ``rdap`` accept
 ``--metrics-out PATH``: the command runs with a fresh ``repro.obs``
@@ -276,6 +280,89 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_maintain(args: argparse.Namespace) -> int:
+    from repro.pipeline import (
+        CorpusOracle,
+        MaintenanceConfig,
+        MaintenanceLoop,
+        PendingOracle,
+    )
+    from repro.serve import ModelRegistry
+
+    models = ModelRegistry(args.model_dir)
+    if not models.has_active:
+        print(f"no model versions under {args.model_dir}; "
+              f"run `repro train` or publish one first", file=sys.stderr)
+        return 1
+    oracle = (
+        CorpusOracle(load_corpus(args.labels)) if args.labels
+        else PendingOracle()
+    )
+    loop = MaintenanceLoop(
+        models,
+        oracle,
+        replay=load_corpus(args.replay) if args.replay else (),
+        holdout=load_corpus(args.holdout) if args.holdout else (),
+        config=MaintenanceConfig(
+            min_confidence=args.min_confidence,
+            min_cluster_size=args.min_cluster_size,
+            replay_size=args.replay_size,
+            max_regression=args.max_regression,
+            activate=not args.no_activate,
+        ),
+    )
+    with Path(args.stream).open("r", encoding="utf-8") as handle:
+        rows = [json.loads(line) for line in handle]
+    report = loop.process(
+        (row["domain"], row["thick_text"])
+        for row in rows if row.get("thick_text")
+    )
+    print(f"observed {report.records_seen} records "
+          f"({report.quarantined} quarantined): "
+          f"{len(report.alerts)} drift alerts, "
+          f"{len(report.label_requests)} labels requested")
+    for event in report.events:
+        line = f"  [{event.kind}] {event.family_id}: {event.detail}"
+        if event.version is not None:
+            line += f" ({event.version})"
+        print(line)
+    pending = getattr(oracle, "pending", [])
+    if pending:
+        print(f"{len(pending)} label request(s) pending")
+    if args.requests_out:
+        with Path(args.requests_out).open("w", encoding="utf-8") as handle:
+            for request in report.label_requests:
+                handle.write(json.dumps({
+                    "family_id": request.family_id,
+                    "domain": request.domain,
+                    "min_confidence": request.min_confidence,
+                    "text": request.text,
+                }) + "\n")
+        print(f"wrote {len(report.label_requests)} label requests "
+              f"to {args.requests_out}")
+    if report.activated_versions:
+        print(f"active model is now {models.current_version}")
+    return 0
+
+
+def _cmd_docs_cli(args: argparse.Namespace) -> int:
+    from repro.docsgen import check_cli_doc, cli_doc_path, render_cli_markdown
+
+    if args.check:
+        fresh, path = check_cli_doc(args.root)
+        if not fresh:
+            print(f"{path} is stale; regenerate with "
+                  f"`python -m repro docs-cli`", file=sys.stderr)
+            return 1
+        print(f"{path} is up to date")
+        return 0
+    path = cli_doc_path(args.root)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_cli_markdown(), encoding="utf-8")
+    print(f"wrote {path}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.reportgen import ReportScale, generate_report
 
@@ -420,6 +507,50 @@ def build_arg_parser() -> argparse.ArgumentParser:
                        help="serve for this many seconds, then exit "
                             "(default: until interrupted)")
     serve.set_defaults(func=_cmd_serve)
+
+    maintain = sub.add_parser(
+        "maintain", help="run the maintenance loop over a record stream"
+    )
+    maintain.add_argument("--model-dir", required=True,
+                          help="model registry directory (versioned, or a "
+                               "plain `repro train` output); retrained "
+                               "versions are published back here")
+    maintain.add_argument("--stream", required=True,
+                          help="crawl JSONL to stream through the loop")
+    maintain.add_argument("--replay", default=None,
+                          help="labeled JSONL of past training records "
+                               "(seeds known formats, replayed on retrain)")
+    maintain.add_argument("--holdout", default=None,
+                          help="labeled JSONL gating rollout: candidates "
+                               "that regress on it are not activated")
+    maintain.add_argument("--labels", default=None,
+                          help="labeled JSONL answering label requests "
+                               "(omit to queue requests for a human)")
+    maintain.add_argument("--requests-out", default=None, metavar="PATH",
+                          help="write label requests to PATH as JSONL")
+    maintain.add_argument("--min-confidence", type=float, default=0.90,
+                          help="line-marginal floor; records below it are "
+                               "drift candidates")
+    maintain.add_argument("--min-cluster-size", type=int, default=3,
+                          help="records a candidate family needs to alert")
+    maintain.add_argument("--replay-size", type=int, default=50,
+                          help="past records replayed during each retrain")
+    maintain.add_argument("--max-regression", type=float, default=0.002,
+                          help="held-out line-error increase still allowed "
+                               "to activate")
+    maintain.add_argument("--no-activate", action="store_true",
+                          help="publish retrained versions without "
+                               "activating them")
+    add_metrics_out(maintain)
+    maintain.set_defaults(func=_cmd_maintain)
+
+    docs_cli = sub.add_parser("docs-cli", help=argparse.SUPPRESS)
+    docs_cli.add_argument("--check", action="store_true",
+                          help="verify docs/CLI.md is current (exit 1 if "
+                               "stale) instead of rewriting it")
+    docs_cli.add_argument("--root", default=None,
+                          help="repository root (default: cwd)")
+    docs_cli.set_defaults(func=_cmd_docs_cli)
 
     report = sub.add_parser(
         "report", help="regenerate every table/figure into one markdown file"

@@ -28,7 +28,7 @@ from repro.crf.analysis import ModelSummary, model_summary, prune, top_weight_sh
 from repro.crf.batch import EncodedBatch, batch_nll_grad
 from repro.crf.decode import batch_marginals, batch_viterbi
 from repro.crf.model import ChainCRF
-from repro.crf.train import LBFGSTrainer, SGDTrainer, TrainLog
+from repro.crf.train import LBFGSTrainer, SGDTrainer, TrainLog, TrainerState
 
 __all__ = [
     "ChainCRF",
@@ -46,6 +46,7 @@ __all__ = [
     "SGDTrainer",
     "Sequence",
     "TrainLog",
+    "TrainerState",
     "edge_marginals",
     "log_backward",
     "log_forward",

@@ -18,7 +18,7 @@ from repro.crf.inference import (
     viterbi,
 )
 from repro.crf.objective import ParamView, sequence_potentials
-from repro.crf.train import LBFGSTrainer, SGDTrainer, TrainLog
+from repro.crf.train import LBFGSTrainer, SGDTrainer, TrainLog, TrainerState
 
 
 def _as_sequence(seq: Sequence | list[list[str]]) -> Sequence:
@@ -99,8 +99,18 @@ class ChainCRF:
         self,
         sequences: Iterable[Sequence | list[list[str]]],
         label_sequences: Iterable[TypingSequence[str]],
+        *,
+        resume: "TrainerState | None" = None,
+        checkpoint_every: int = 0,
+        on_checkpoint=None,
     ) -> "ChainCRF":
-        """Estimate parameters from labeled sequences (eq. (4))."""
+        """Estimate parameters from labeled sequences (eq. (4)).
+
+        ``resume`` / ``checkpoint_every`` / ``on_checkpoint`` forward to
+        the trainer (:mod:`repro.crf.train`), so a long cold train can
+        snapshot :class:`~repro.crf.train.TrainerState` objects and be
+        continued after an interruption.
+        """
         seqs = [_as_sequence(s) for s in sequences]
         labels = list(label_sequences)
         if len(seqs) != len(labels):
@@ -110,16 +120,23 @@ class ChainCRF:
                 raise ValueError(
                     f"sequence of length {len(seq)} has {len(lab)} labels"
                 )
-        self.index = FeatureIndex(
-            self._labels,
-            min_count=self._min_count,
-            min_edge_count=self._min_edge_count,
-        ).build(seqs)
+        if resume is None or self.index is None:
+            self.index = FeatureIndex(
+                self._labels,
+                min_count=self._min_count,
+                min_edge_count=self._min_edge_count,
+            ).build(seqs)
         dataset = [
             (self.index.encode(seq), self.index.encode_labels(lab))
             for seq, lab in zip(seqs, labels)
         ]
-        self.params, self.train_log = self._make_trainer().fit(dataset, self.index)
+        self.params, self.train_log = self._make_trainer().fit(
+            dataset,
+            self.index,
+            resume=resume,
+            checkpoint_every=checkpoint_every,
+            on_checkpoint=on_checkpoint,
+        )
         return self
 
     def partial_fit(
@@ -128,6 +145,9 @@ class ChainCRF:
         label_sequences: Iterable[TypingSequence[str]],
         *,
         replay: list[tuple[Sequence, TypingSequence[str]]] | None = None,
+        resume: "TrainerState | None" = None,
+        checkpoint_every: int = 0,
+        on_checkpoint=None,
     ) -> "ChainCRF":
         """Enlarge the model with new labeled examples (Section 5.3).
 
@@ -135,7 +155,11 @@ class ChainCRF:
         are kept as a warm start and training continues on the new examples
         plus an optional replay set of earlier examples.  This is the
         maintainability workflow the paper contrasts with hand-editing
-        rule bases.
+        rule bases.  ``checkpoint_every`` / ``on_checkpoint`` forward to
+        the trainer for mid-retrain :class:`~repro.crf.train.TrainerState`
+        snapshots, and ``resume`` continues an interrupted retrain of the
+        *same* examples from such a snapshot (index extension is
+        deterministic, so the snapshot's parameter vector lines up).
         """
         if self.index is None or self.params is None:
             raise RuntimeError("partial_fit() requires a fitted model")
@@ -155,6 +179,17 @@ class ChainCRF:
         new_view.trans[:] = old_view.trans
         new_view.edge[:old_n_edge] = old_view.edge
 
+        if resume is not None and resume.params.shape != new_params.shape:
+            # A snapshot from a different retrain (wrong dimensionality).
+            # Leave the model consistent with the already-extended index
+            # -- old weights kept, new features at zero -- so the caller
+            # can drop the snapshot and call partial_fit again.
+            self.params = new_params
+            raise ValueError(
+                f"resume snapshot has {resume.params.shape[0]} parameters, "
+                f"expected {new_params.shape[0]} after index extension"
+            )
+
         pairs: list[tuple[Sequence, TypingSequence[str]]] = list(zip(seqs, labels))
         if replay:
             pairs.extend(
@@ -165,7 +200,12 @@ class ChainCRF:
             for seq, lab in pairs
         ]
         self.params, self.train_log = self._make_trainer().fit(
-            dataset, old_index, initial=new_params
+            dataset,
+            old_index,
+            initial=None if resume is not None else new_params,
+            resume=resume,
+            checkpoint_every=checkpoint_every,
+            on_checkpoint=on_checkpoint,
         )
         return self
 

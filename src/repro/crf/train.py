@@ -8,13 +8,27 @@ both:
   over the exact batch objective; and
 - :class:`SGDTrainer` implements minibatch stochastic gradient descent with
   AdaGrad step sizes, useful when the corpus is large.
+
+Both trainers support the Section 5.3 maintenance workflow through two
+mechanisms:
+
+- **warm starts** -- ``initial=`` (or a :class:`TrainerState` via
+  ``resume=``) seeds optimization from an existing parameter vector, so
+  retraining on "corpus + one new labeled record" converges in a
+  fraction of the evaluations a cold start needs; and
+- **checkpoint/resume** -- ``checkpoint_every=`` / ``on_checkpoint=``
+  snapshot a :class:`TrainerState` mid-run, and ``resume=`` continues an
+  interrupted run from the snapshot (exactly, for SGD; from the saved
+  parameters with a fresh curvature history, for L-BFGS).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from pathlib import Path
 from time import perf_counter
+from typing import Callable
 
 import numpy as np
 from scipy.optimize import minimize
@@ -26,12 +40,58 @@ from repro.crf.objective import ParamView, sequence_nll_grad
 
 
 @dataclass
+class TrainerState:
+    """A resumable optimizer snapshot.
+
+    ``params`` is the parameter vector at snapshot time;
+    ``iterations_done`` counts completed optimizer iterations (L-BFGS)
+    or epochs (SGD); ``accumulated_sq`` carries the AdaGrad accumulator
+    so an SGD resume continues with the same effective step sizes.
+    """
+
+    params: np.ndarray
+    iterations_done: int = 0
+    accumulated_sq: "np.ndarray | None" = None
+
+    def save(self, path: "str | Path") -> Path:
+        """Persist the snapshot as one ``.npz`` file; returns the path."""
+        path = Path(path)
+        arrays = {
+            "params": self.params,
+            "iterations_done": np.asarray(self.iterations_done),
+        }
+        if self.accumulated_sq is not None:
+            arrays["accumulated_sq"] = self.accumulated_sq
+        np.savez_compressed(path, **arrays)
+        return path if path.suffix == ".npz" else path.with_suffix(".npz")
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "TrainerState":
+        with np.load(path) as data:
+            return cls(
+                params=data["params"],
+                iterations_done=int(data["iterations_done"]),
+                accumulated_sq=(
+                    data["accumulated_sq"]
+                    if "accumulated_sq" in data
+                    else None
+                ),
+            )
+
+
+#: Signature of the ``on_checkpoint`` hook both trainers accept.
+CheckpointHook = Callable[[TrainerState], None]
+
+
+@dataclass
 class TrainLog:
     """Objective values observed during training (one per evaluation/epoch)."""
 
     objective_values: list[float] = field(default_factory=list)
     n_iterations: int = 0
     converged: bool = False
+    #: final optimizer snapshot, resumable via the trainers' ``resume=``
+    final_state: "TrainerState | None" = None
 
     def record(self, value: float) -> None:
         self.objective_values.append(float(value))
@@ -58,9 +118,26 @@ class LBFGSTrainer:
         index: FeatureIndex,
         *,
         initial: np.ndarray | None = None,
+        resume: TrainerState | None = None,
+        checkpoint_every: int = 0,
+        on_checkpoint: CheckpointHook | None = None,
     ) -> tuple[np.ndarray, TrainLog]:
+        """Minimize the regularized NLL; returns ``(params, log)``.
+
+        ``resume`` warm-starts from a :class:`TrainerState` (parameters
+        carry over; the L-BFGS curvature history restarts) and deducts
+        its ``iterations_done`` from the iteration budget.  With
+        ``checkpoint_every > 0``, ``on_checkpoint`` receives a
+        :class:`TrainerState` every that many optimizer iterations.
+        """
         if not dataset:
             raise ValueError("cannot train on an empty dataset")
+        if resume is not None and initial is not None:
+            raise ValueError("pass initial= or resume=, not both")
+        done = 0
+        if resume is not None:
+            initial = resume.params
+            done = resume.iterations_done
         params = (
             np.zeros(index.n_features) if initial is None else initial.astype(float)
         )
@@ -91,14 +168,38 @@ class LBFGSTrainer:
                 )
             return nll, grad
 
+        completed = [done]
+
+        def callback(theta: np.ndarray) -> None:
+            completed[0] += 1
+            if (
+                checkpoint_every > 0
+                and on_checkpoint is not None
+                and completed[0] % checkpoint_every == 0
+            ):
+                on_checkpoint(
+                    TrainerState(
+                        params=np.array(theta, dtype=float),
+                        iterations_done=completed[0],
+                    )
+                )
+
         result = minimize(
             objective,
             params,
             jac=True,
             method="L-BFGS-B",
-            options={"maxiter": self.max_iterations, "ftol": self.tolerance},
+            callback=callback,
+            options={
+                "maxiter": max(1, self.max_iterations - done),
+                "ftol": self.tolerance,
+            },
         )
         log.converged = bool(result.success)
+        log.final_state = TrainerState(
+            params=np.array(result.x, dtype=float),
+            iterations_done=completed[0],
+        )
         return result.x, log
 
 
@@ -130,18 +231,43 @@ class SGDTrainer:
         index: FeatureIndex,
         *,
         initial: np.ndarray | None = None,
+        resume: TrainerState | None = None,
+        checkpoint_every: int = 0,
+        on_checkpoint: CheckpointHook | None = None,
     ) -> tuple[np.ndarray, TrainLog]:
+        """Run (the remaining) AdaGrad epochs; returns ``(params, log)``.
+
+        ``resume`` continues an interrupted run *exactly*: parameters,
+        the AdaGrad accumulator, and the shuffle stream all pick up
+        where the checkpoint left off, so interrupt-then-resume produces
+        the same model as an uninterrupted run over the same dataset.
+        With ``checkpoint_every > 0``, ``on_checkpoint`` receives a
+        :class:`TrainerState` every that many completed epochs.
+        """
         if not dataset:
             raise ValueError("cannot train on an empty dataset")
+        if resume is not None and initial is not None:
+            raise ValueError("pass initial= or resume=, not both")
         rng = random.Random(self.seed)
+        order = list(range(len(dataset)))
+        epochs_done = 0
+        if resume is not None:
+            epochs_done = resume.iterations_done
+            initial = resume.params
+            # Replay the shuffle stream so epoch e sees the same order it
+            # would have seen in an uninterrupted run.
+            for _ in range(epochs_done):
+                rng.shuffle(order)
         params = (
             np.zeros(index.n_features) if initial is None else initial.astype(float)
         )
-        accumulated_sq = np.full(index.n_features, 1e-8)
+        if resume is not None and resume.accumulated_sq is not None:
+            accumulated_sq = resume.accumulated_sq.astype(float).copy()
+        else:
+            accumulated_sq = np.full(index.n_features, 1e-8)
         log = TrainLog()
-        order = list(range(len(dataset)))
         n = len(dataset)
-        for _ in range(self.epochs):
+        for epoch in range(epochs_done, self.epochs):
             epoch_started = perf_counter()
             rng.shuffle(order)
             epoch_nll = 0.0
@@ -171,5 +297,22 @@ class SGDTrainer:
                     perf_counter() - epoch_started,
                     trainer="sgd",
                 )
+            if (
+                checkpoint_every > 0
+                and on_checkpoint is not None
+                and (epoch + 1) % checkpoint_every == 0
+            ):
+                on_checkpoint(
+                    TrainerState(
+                        params=params.copy(),
+                        iterations_done=epoch + 1,
+                        accumulated_sq=accumulated_sq.copy(),
+                    )
+                )
         log.converged = True
+        log.final_state = TrainerState(
+            params=params.copy(),
+            iterations_done=self.epochs,
+            accumulated_sq=accumulated_sq.copy(),
+        )
         return params, log

@@ -76,6 +76,21 @@ def select_for_labeling(
     return chosen[:k]
 
 
+def most_informative(
+    parser: WhoisParser,
+    records: Sequence[WhoisRecord | LabeledRecord | str],
+) -> int | None:
+    """Index of the single most-informative record, or None when empty.
+
+    This is the §5.3 labeling budget taken to its limit: the maintenance
+    loop (:mod:`repro.pipeline`) asks for exactly one label per detected
+    schema family, and this picks which record earns it -- the one whose
+    least-confident line the current model is most unsure about.
+    """
+    ranked = rank_by_uncertainty(parser, records)
+    return ranked[0].index if ranked else None
+
+
 def active_learning_round(
     parser: WhoisParser,
     pool: Sequence[LabeledRecord],

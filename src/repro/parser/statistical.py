@@ -170,8 +170,20 @@ class WhoisParser(ParserBase):
                 labels.append(subs)
         return sequences, labels
 
-    def fit(self, records: TypingSequence[LabeledRecord]) -> "WhoisParser":
-        """Estimate both CRFs from labeled records."""
+    def fit(
+        self,
+        records: TypingSequence[LabeledRecord],
+        *,
+        resume=None,
+        checkpoint_every: int = 0,
+        on_checkpoint=None,
+    ) -> "WhoisParser":
+        """Estimate both CRFs from labeled records.
+
+        ``resume`` / ``checkpoint_every`` / ``on_checkpoint`` thread the
+        crash-safe checkpoint machinery through to the first-level CRF
+        (the expensive one); see :meth:`repro.crf.ChainCRF.fit`.
+        """
         records = list(records)
         if not records:
             raise ValueError("cannot train on an empty corpus")
@@ -183,7 +195,13 @@ class WhoisParser(ParserBase):
             self.featurizer.lexicon = lexicon.freeze(self._unk_min_count)
         sequences, labels = self._block_dataset(records)
         with obs.trace("train.fit_seconds", level="block"):
-            self.block_crf.fit(sequences, labels)
+            self.block_crf.fit(
+                sequences,
+                labels,
+                resume=resume,
+                checkpoint_every=checkpoint_every,
+                on_checkpoint=on_checkpoint,
+            )
         if self.registrant_crf is not None:
             reg_seqs, reg_labels = self._registrant_dataset(records)
             if reg_seqs:
@@ -198,18 +216,32 @@ class WhoisParser(ParserBase):
         new_records: TypingSequence[LabeledRecord],
         *,
         replay: TypingSequence[LabeledRecord] = (),
+        resume=None,
+        checkpoint_every: int = 0,
+        on_checkpoint=None,
     ) -> "WhoisParser":
         """Enlarge the parser with newly labeled records (Section 5.3).
 
         ``replay`` is an optional sample of earlier training records mixed
         in so the enlarged model does not forget the original formats.
+        ``checkpoint_every`` / ``on_checkpoint`` forward to the first-level
+        trainer (the expensive one), snapshotting resumable
+        :class:`~repro.crf.train.TrainerState` objects mid-retrain -- the
+        mechanism :mod:`repro.pipeline.retrain` persists to disk.
         """
         new_records = list(new_records)
         if not new_records:
             return self
         sequences, labels = self._block_dataset(new_records)
         replay_pairs = list(zip(*self._block_dataset(replay))) if replay else None
-        self.block_crf.partial_fit(sequences, labels, replay=replay_pairs)
+        self.block_crf.partial_fit(
+            sequences,
+            labels,
+            replay=replay_pairs,
+            resume=resume,
+            checkpoint_every=checkpoint_every,
+            on_checkpoint=on_checkpoint,
+        )
         if self.registrant_crf is not None and self.registrant_crf.is_fitted:
             reg_seqs, reg_labels = self._registrant_dataset(new_records)
             if reg_seqs:

@@ -1,0 +1,71 @@
+"""Continuous parser maintenance: the paper's §5.3 loop as a subsystem.
+
+The WHOIS ecosystem does not stand still -- registrars redesign record
+layouts, new registrars appear, and a parser trained once decays.  The
+paper's answer (§5.3) is that the CRF parser is cheap to *maintain*: new
+formats are detectable from the model's own confidence, and one labeled
+example per format restores accuracy.  This package operationalizes that
+claim as a closed loop:
+
+``drift``
+    streaming detector clustering low-confidence records into candidate
+    schema families (format fingerprints + Jaccard similarity);
+``labeling``
+    active selection of the single most-informative record per family,
+    plus oracles that answer label requests (corpus-backed for
+    benchmarks, pending-queue for humans);
+``retrain``
+    warm-start incremental retraining with crash-safe
+    checkpoint/resume;
+``loop``
+    :class:`MaintenanceLoop` gluing the stages together with a
+    holdout-gated rollout into the serving registry (hot-swap on
+    success, rollback-by-not-activating on regression).
+
+``benchmarks/bench_maintainability_loop.py`` runs the whole loop against
+an unseen synthetic schema family; ``python -m repro maintain`` drives
+it from the command line.
+"""
+
+from repro.pipeline.drift import (
+    DriftAlert,
+    DriftCluster,
+    DriftDetector,
+    StreamRecord,
+    format_fingerprint,
+    jaccard,
+)
+from repro.pipeline.labeling import (
+    CorpusOracle,
+    LabelOracle,
+    LabelRequest,
+    PendingOracle,
+    select_exemplar,
+)
+from repro.pipeline.loop import (
+    LoopReport,
+    MaintenanceConfig,
+    MaintenanceEvent,
+    MaintenanceLoop,
+)
+from repro.pipeline.retrain import RetrainReport, WarmStartRetrainer
+
+__all__ = [
+    "CorpusOracle",
+    "DriftAlert",
+    "DriftCluster",
+    "DriftDetector",
+    "LabelOracle",
+    "LabelRequest",
+    "LoopReport",
+    "MaintenanceConfig",
+    "MaintenanceEvent",
+    "MaintenanceLoop",
+    "PendingOracle",
+    "RetrainReport",
+    "StreamRecord",
+    "WarmStartRetrainer",
+    "format_fingerprint",
+    "jaccard",
+    "select_exemplar",
+]

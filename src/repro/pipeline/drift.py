@@ -1,0 +1,301 @@
+"""Format-drift detection over live parse confidences.
+
+Section 5.3's maintainability claim presumes someone *notices* when a
+registrar ships a new record format.  At com scale nobody eyeballs the
+stream, but the parser itself emits the signal: a CRF trained without a
+format hedges on it, and its posterior marginals collapse exactly where
+the template is unfamiliar (the same signal the resilience layer's
+``RecordGate`` uses to spot truncation).
+
+:class:`DriftDetector` is the streaming monitor that turns that signal
+into actionable *family* alerts instead of a pile of individual
+low-confidence records:
+
+1. every record is reduced to a **format fingerprint** -- the set of
+   normalized field titles on its labelable lines, which is stable
+   within a registrar's template and distinctive across them;
+2. confident records register their fingerprints as *known formats*
+   (and the detector can be pre-seeded from the training corpus);
+3. low-confidence records whose fingerprint is far (low Jaccard
+   similarity) from every known format are clustered with each other,
+   greedily, by the same similarity; and
+4. when a cluster accumulates ``min_cluster_size`` members it raises a
+   :class:`DriftAlert` -- one alert per candidate schema family, not
+   one per record -- carrying the members so the active-labeling stage
+   can pick the single most-informative one.
+
+Everything is observable via ``repro.obs`` under ``pipeline.drift.*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.whois.records import is_labelable
+from repro.whois.text import split_title_value
+
+__all__ = [
+    "DriftAlert",
+    "DriftCluster",
+    "DriftDetector",
+    "StreamRecord",
+    "format_fingerprint",
+    "jaccard",
+]
+
+
+def format_fingerprint(text: str) -> frozenset[str]:
+    """The record's format signature: its normalized field titles.
+
+    Lines with a title/value separator contribute the lowercased title.
+    Separator-free lines (bare-value layouts) contribute their first
+    word marked with ``~`` when it is purely alphabetic -- those are
+    structural keywords like ``record``/``renewal``/``dns`` -- and a
+    coarse shape token otherwise (``~#`` digit-led, ``~*`` mixed), so
+    per-record content such as domains and street numbers does not make
+    two records of the same template look different.  The *set*
+    abstracts away field order and repetition, so records of the same
+    template fingerprint nearly identically even with optional fields
+    present or absent.
+    """
+    titles: set[str] = set()
+    for line in text.splitlines():
+        if not is_labelable(line):
+            continue
+        parts = split_title_value(line)
+        if parts is None:
+            words = line.split()
+            if not words:
+                continue
+            first = words[0]
+            if first.isalpha():
+                titles.add("~" + first.lower())
+            elif first[0].isdigit():
+                titles.add("~#")
+            else:
+                titles.add("~*")
+        else:
+            title = " ".join(parts[0].lower().split())
+            if title:
+                titles.add(title)
+    return frozenset(titles)
+
+
+def jaccard(a: frozenset[str], b: frozenset[str]) -> float:
+    """Jaccard similarity of two fingerprints (empty sets are disjoint)."""
+    if not a or not b:
+        return 0.0
+    return len(a & b) / len(a | b)
+
+
+@dataclass(frozen=True)
+class StreamRecord:
+    """One observed record with its confidence summary."""
+
+    domain: str
+    text: str
+    fingerprint: frozenset[str]
+    min_confidence: float
+    mean_confidence: float
+
+
+@dataclass
+class DriftCluster:
+    """A candidate new schema family accumulating low-confidence records."""
+
+    family_id: str
+    signature: frozenset[str]
+    members: list[StreamRecord] = field(default_factory=list)
+    alerted: bool = False
+
+    def add(self, record: StreamRecord) -> None:
+        self.members.append(record)
+        # Grow the signature so later records of the same template with
+        # extra optional fields still match the cluster.
+        self.signature = self.signature | record.fingerprint
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+@dataclass(frozen=True)
+class DriftAlert:
+    """A detected candidate schema family, raised once per cluster."""
+
+    family_id: str
+    members: tuple[StreamRecord, ...]
+
+    @property
+    def domains(self) -> tuple[str, ...]:
+        return tuple(member.domain for member in self.members)
+
+
+class DriftDetector:
+    """Streaming monitor clustering low-confidence records into families.
+
+    Parameters
+    ----------
+    min_confidence:
+        Records whose least-confident line's posterior is below this are
+        drift *candidates*; above it they are treated as handled and
+        their fingerprint becomes a known format.
+    min_cluster_size:
+        Members a cluster needs before it raises a :class:`DriftAlert`.
+        One garbled record is noise; several sharing a fingerprint are a
+        format.
+    known_threshold:
+        A candidate whose fingerprint has Jaccard similarity >= this to
+        any known format is attributed to that format (a hard record,
+        not a new family) and not clustered.
+    merge_threshold:
+        Candidates join the best existing cluster with similarity >=
+        this; otherwise they found a new cluster.
+    """
+
+    def __init__(
+        self,
+        *,
+        min_confidence: float = 0.90,
+        min_cluster_size: int = 3,
+        known_threshold: float = 0.6,
+        merge_threshold: float = 0.4,
+    ) -> None:
+        self.min_confidence = min_confidence
+        self.min_cluster_size = min_cluster_size
+        self.known_threshold = known_threshold
+        self.merge_threshold = merge_threshold
+        self._known: list[frozenset[str]] = []
+        self._resolved: list[frozenset[str]] = []
+        self.clusters: list[DriftCluster] = []
+        self._next_family = 1
+        self.records_seen = 0
+        self.low_confidence = 0
+
+    # ------------------------------------------------------------------
+    # Known formats
+    # ------------------------------------------------------------------
+
+    def register_known(self, texts) -> int:
+        """Seed known formats from record texts (e.g. the training corpus).
+
+        Accepts raw strings or anything with a ``text`` attribute
+        (:class:`~repro.whois.records.LabeledRecord`).  Returns how many
+        *distinct* fingerprints are now known.
+        """
+        for item in texts:
+            text = item if isinstance(item, str) else item.text
+            self._learn(format_fingerprint(text))
+        return len(self._known)
+
+    def _learn(self, fingerprint: frozenset[str]) -> None:
+        if fingerprint and not any(
+            jaccard(fingerprint, known) >= self.known_threshold
+            for known in self._known
+        ):
+            self._known.append(fingerprint)
+
+    def _is_known(self, fingerprint: frozenset[str]) -> bool:
+        # Resolved families are matched at the *merge* threshold, the
+        # same similarity that clustered their members in the first
+        # place -- a straggler that would have joined the cluster must
+        # be attributed to the (now retrained) family, not start a new
+        # one.
+        return any(
+            jaccard(fingerprint, known) >= self.known_threshold
+            for known in self._known
+        ) or any(
+            jaccard(fingerprint, signature) >= self.merge_threshold
+            for signature in self._resolved
+        )
+
+    # ------------------------------------------------------------------
+    # The stream
+    # ------------------------------------------------------------------
+
+    def observe(
+        self,
+        domain: str,
+        text: str,
+        confidences: "list[tuple[str, str, float]]",
+    ) -> DriftAlert | None:
+        """Feed one parsed record; returns an alert when a cluster matures.
+
+        ``confidences`` is the parser's ``line_confidences`` output:
+        ``(line, predicted block, posterior)`` triples.
+        """
+        self.records_seen += 1
+        obs.inc("pipeline.drift.records_seen")
+        if not confidences:
+            return None
+        probs = [p for _, _, p in confidences]
+        minimum = min(probs)
+        fingerprint = format_fingerprint(text)
+        if minimum >= self.min_confidence:
+            # Served confidently: whatever format this is, the model
+            # knows it.  Remember the fingerprint so stragglers with the
+            # same shape are attributed here rather than clustered.
+            self._learn(fingerprint)
+            return None
+        self.low_confidence += 1
+        obs.inc("pipeline.drift.low_confidence")
+        if self._is_known(fingerprint):
+            # A known format parsed badly -- damage or a hard record,
+            # the quarantine/active-learning path, not schema drift.
+            obs.inc("pipeline.drift.known_format_outliers")
+            return None
+        record = StreamRecord(
+            domain=domain,
+            text=text,
+            fingerprint=fingerprint,
+            min_confidence=minimum,
+            mean_confidence=sum(probs) / len(probs),
+        )
+        cluster = self._assign(record)
+        obs.set_gauge("pipeline.drift.open_clusters", len(self.clusters))
+        if not cluster.alerted and len(cluster) >= self.min_cluster_size:
+            cluster.alerted = True
+            obs.inc("pipeline.drift.alerts")
+            return DriftAlert(
+                family_id=cluster.family_id, members=tuple(cluster.members)
+            )
+        return None
+
+    def _assign(self, record: StreamRecord) -> DriftCluster:
+        best: DriftCluster | None = None
+        best_similarity = 0.0
+        for cluster in self.clusters:
+            similarity = jaccard(record.fingerprint, cluster.signature)
+            if similarity > best_similarity:
+                best, best_similarity = cluster, similarity
+        if best is not None and best_similarity >= self.merge_threshold:
+            best.add(record)
+            return best
+        cluster = DriftCluster(
+            family_id=f"family-{self._next_family:03d}",
+            signature=record.fingerprint,
+        )
+        self._next_family += 1
+        cluster.add(record)
+        self.clusters.append(cluster)
+        return cluster
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+
+    def resolve(self, family_id: str) -> None:
+        """Close a cluster after its family was labeled and retrained;
+        its signature becomes a known format.
+
+        Member fingerprints are registered individually as well as the
+        union signature: bare-value layouts carry some per-record tokens
+        even after shape normalization, and a straggler matches a
+        sibling record more closely than the token-diluted union.
+        """
+        for cluster in list(self.clusters):
+            if cluster.family_id == family_id:
+                self._resolved.append(cluster.signature)
+                for member in cluster.members:
+                    self._resolved.append(member.fingerprint)
+                self.clusters.remove(cluster)

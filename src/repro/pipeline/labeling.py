@@ -1,0 +1,116 @@
+"""Active label selection and labeling oracles for the maintenance loop.
+
+The paper's §5.3 cost model is "one labeled example per new format".
+When the drift detector raises a family alert, this module decides
+*which* record in the cluster earns that one label (the most-informative
+member under the current model, via :mod:`repro.parser.active`) and
+obtains the label from a :class:`LabelOracle`:
+
+- in production the oracle is a human queue -- :class:`PendingOracle`
+  models that by answering ``None`` and accumulating requests;
+- in benchmarks and tests ground truth is known, so
+  :class:`CorpusOracle` answers from a labeled corpus keyed by domain
+  (the ``repro.datagen`` truth, or any labeled JSONL).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol
+
+from repro import obs
+from repro.parser.active import most_informative
+from repro.parser.statistical import WhoisParser
+from repro.pipeline.drift import DriftAlert, StreamRecord
+from repro.whois.records import LabeledRecord
+
+__all__ = [
+    "CorpusOracle",
+    "LabelOracle",
+    "LabelRequest",
+    "PendingOracle",
+    "select_exemplar",
+]
+
+
+@dataclass(frozen=True)
+class LabelRequest:
+    """One record chosen for labeling, tagged with its candidate family."""
+
+    family_id: str
+    domain: str
+    text: str
+    min_confidence: float
+
+
+class LabelOracle(Protocol):
+    """Anything that can turn a label request into a labeled record."""
+
+    def label(self, request: LabelRequest) -> LabeledRecord | None:
+        """The ground-truth record, or None when labeling is deferred."""
+        ...
+
+
+class CorpusOracle:
+    """Answers label requests from a labeled corpus, keyed by domain.
+
+    This is the benchmark-mode oracle: the synthetic substrate knows the
+    true labels of every record it rendered, so the maintenance loop can
+    run closed-loop with zero humans while still paying the honest price
+    (exactly the requested labels, nothing more).
+    """
+
+    def __init__(self, records: Iterable[LabeledRecord]) -> None:
+        self._by_domain = {
+            record.domain.lower(): record for record in records
+        }
+        self.served: list[LabelRequest] = []
+
+    def __len__(self) -> int:
+        return len(self._by_domain)
+
+    def add(self, record: LabeledRecord) -> None:
+        self._by_domain[record.domain.lower()] = record
+
+    def label(self, request: LabelRequest) -> LabeledRecord | None:
+        record = self._by_domain.get(request.domain.lower())
+        if record is not None:
+            self.served.append(request)
+        return record
+
+
+class PendingOracle:
+    """The human-queue oracle: never answers, remembers what was asked.
+
+    ``pending`` is the labeling backlog an operator would work through;
+    the loop emits one entry per detected family, which is the paper's
+    claimed maintenance cost made inspectable.
+    """
+
+    def __init__(self) -> None:
+        self.pending: list[LabelRequest] = []
+
+    def label(self, request: LabelRequest) -> LabeledRecord | None:
+        self.pending.append(request)
+        return None
+
+
+def select_exemplar(
+    parser: WhoisParser, alert: DriftAlert
+) -> "tuple[StreamRecord, LabelRequest]":
+    """Pick the cluster member whose label teaches the model the most.
+
+    Re-ranks the cluster under the *current* model (confidences recorded
+    at observation time may predate a retrain) and returns the chosen
+    member plus the :class:`LabelRequest` describing it.
+    """
+    texts = [member.text for member in alert.members]
+    index = most_informative(parser, texts)
+    member = alert.members[index if index is not None else 0]
+    obs.inc("pipeline.labels_requested", family=alert.family_id)
+    return member, LabelRequest(
+        family_id=alert.family_id,
+        domain=member.domain,
+        text=member.text,
+        min_confidence=member.min_confidence,
+    )

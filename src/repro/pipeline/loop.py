@@ -1,0 +1,274 @@
+"""The closed §5.3 maintenance loop: detect → label → retrain → roll out.
+
+:class:`MaintenanceLoop` is the subsystem that keeps a deployed parser
+accurate as registrars invent new record formats, at the paper's claimed
+cost of **one labeled example per new format**:
+
+1. every served record flows through :meth:`observe`, which scores it
+   with the active model's posterior marginals (skipping structurally
+   garbled records via the resilience layer's ``RecordGate`` -- damage
+   is quarantine's problem, not drift's);
+2. the :class:`~repro.pipeline.drift.DriftDetector` clusters
+   low-confidence records into candidate schema families;
+3. on an alert, the single most-informative cluster member is sent to
+   the :class:`~repro.pipeline.labeling.LabelOracle`;
+4. a **copy** of the active parser is warm-start retrained on the one
+   new label (plus replay) by the
+   :class:`~repro.pipeline.retrain.WarmStartRetrainer`;
+5. the candidate is published to the
+   :class:`~repro.serve.models.ModelRegistry` *unactivated*, evaluated
+   on the held-out corpus, and only activated (hot-swapped, atomically,
+   zero dropped requests) if it does not regress; a candidate that
+   regresses is left published-but-inactive, which is the registry-level
+   rollback.
+
+Attach the loop to a live :class:`~repro.serve.app.ServeApp` via
+``app=`` and activation goes through ``app.swap_model`` so the RDAP
+cache is invalidated too.  ``python -m repro maintain`` drives the same
+loop from the command line over a crawl JSONL stream.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro import obs
+from repro.eval.metrics import evaluate_parser
+from repro.pipeline.drift import DriftAlert, DriftDetector
+from repro.pipeline.labeling import LabelOracle, LabelRequest, select_exemplar
+from repro.pipeline.retrain import RetrainReport, WarmStartRetrainer
+from repro.resilience.quarantine import RecordGate
+from repro.serve.models import ModelRegistry
+from repro.whois.records import LabeledRecord
+
+__all__ = ["MaintenanceConfig", "MaintenanceEvent", "MaintenanceLoop", "LoopReport"]
+
+
+@dataclass(frozen=True)
+class MaintenanceConfig:
+    """Tuning knobs for the maintenance loop."""
+
+    #: line-marginal floor below which a record counts as low-confidence
+    min_confidence: float = 0.90
+    #: low-confidence records a candidate family needs to raise an alert
+    min_cluster_size: int = 3
+    #: earlier training records replayed during each warm retrain
+    replay_size: int = 50
+    #: held-out line-error increase (absolute) a candidate may cost and
+    #: still be activated; anything worse is rejected
+    max_regression: float = 0.002
+    #: activate successful candidates (False: publish only, e.g. for a
+    #: canary stage driven elsewhere)
+    activate: bool = True
+
+
+@dataclass(frozen=True)
+class MaintenanceEvent:
+    """One loop decision, for the report/audit trail."""
+
+    kind: str  # drift_alert | label_pending | retrained | activated | rejected
+    family_id: str
+    detail: str = ""
+    version: "str | None" = None
+    retrain: "RetrainReport | None" = None
+    holdout_error_before: "float | None" = None
+    holdout_error_after: "float | None" = None
+
+
+@dataclass
+class LoopReport:
+    """Aggregated outcome of a stream run through the loop."""
+
+    records_seen: int = 0
+    quarantined: int = 0
+    events: list[MaintenanceEvent] = field(default_factory=list)
+    label_requests: list[LabelRequest] = field(default_factory=list)
+
+    @property
+    def alerts(self) -> list[MaintenanceEvent]:
+        return [e for e in self.events if e.kind == "drift_alert"]
+
+    @property
+    def activated_versions(self) -> list[str]:
+        return [e.version for e in self.events if e.kind == "activated"]
+
+    @property
+    def rejected_versions(self) -> list[str]:
+        return [e.version for e in self.events if e.kind == "rejected"]
+
+
+class MaintenanceLoop:
+    """Closed-loop parser maintenance over a stream of raw records.
+
+    Parameters
+    ----------
+    models:
+        The registry whose *active* parser serves traffic; retrained
+        candidates are published here.
+    oracle:
+        Where label requests go (:class:`CorpusOracle` in benchmarks,
+        :class:`PendingOracle` or a human queue in production).
+    replay:
+        Earlier training records; fingerprint-seeds the drift detector
+        as known formats and supplies the retrain replay sample.
+    holdout:
+        Labeled records for the activation gate.  Empty disables the
+        gate (candidates activate unconditionally).
+    app:
+        Optional live :class:`~repro.serve.app.ServeApp`; when given,
+        activation goes through ``app.swap_model``.
+    gate:
+        Structural admission test; records it rejects are counted as
+        quarantined and never reach the drift detector.
+    """
+
+    def __init__(
+        self,
+        models: ModelRegistry,
+        oracle: LabelOracle,
+        *,
+        replay: Sequence[LabeledRecord] = (),
+        holdout: Sequence[LabeledRecord] = (),
+        config: "MaintenanceConfig | None" = None,
+        app=None,
+        gate: "RecordGate | None" = None,
+    ) -> None:
+        self.models = models
+        self.oracle = oracle
+        self.config = config or MaintenanceConfig()
+        self.replay = list(replay)
+        self.holdout = list(holdout)
+        self.app = app
+        self.gate = gate if gate is not None else RecordGate()
+        self.detector = DriftDetector(
+            min_confidence=self.config.min_confidence,
+            min_cluster_size=self.config.min_cluster_size,
+        )
+        self.detector.register_known(self.replay)
+        self.retrainer = WarmStartRetrainer(replay_size=self.config.replay_size)
+        self.report = LoopReport()
+
+    # ------------------------------------------------------------------
+    # The stream
+    # ------------------------------------------------------------------
+
+    def observe(self, domain: str, text: str) -> "MaintenanceEvent | None":
+        """Feed one served record; may trigger the full loop iteration."""
+        self.report.records_seen += 1
+        if self.gate.inspect_text(domain, text) is not None:
+            self.report.quarantined += 1
+            obs.inc("pipeline.quarantined")
+            return None
+        parser = self.models.current_parser
+        confidences = parser.line_confidences(text)
+        alert = self.detector.observe(domain, text, confidences)
+        if alert is None:
+            return None
+        self.report.events.append(
+            MaintenanceEvent(
+                kind="drift_alert",
+                family_id=alert.family_id,
+                detail=f"{len(alert.members)} records, e.g. {alert.members[0].domain}",
+            )
+        )
+        return self._handle_alert(alert)
+
+    def process(
+        self, stream: Iterable["tuple[str, str] | str | LabeledRecord"]
+    ) -> LoopReport:
+        """Run the loop over a whole stream; items may be ``(domain,
+        text)`` pairs, raw texts, or labeled records (labels ignored)."""
+        for item in stream:
+            if isinstance(item, tuple):
+                domain, text = item
+            elif isinstance(item, LabeledRecord):
+                domain, text = item.domain, item.text
+            else:
+                domain, text = "", item
+            self.observe(domain, text)
+        return self.report
+
+    # ------------------------------------------------------------------
+    # One loop iteration past detection
+    # ------------------------------------------------------------------
+
+    def _handle_alert(self, alert: DriftAlert) -> MaintenanceEvent:
+        current = self.models.current_parser
+        _member, request = select_exemplar(current, alert)
+        self.report.label_requests.append(request)
+        labeled = self.oracle.label(request)
+        if labeled is None:
+            event = MaintenanceEvent(
+                kind="label_pending",
+                family_id=alert.family_id,
+                detail=f"awaiting label for {request.domain}",
+            )
+            self.report.events.append(event)
+            return event
+        return self._retrain_and_rollout(alert, labeled)
+
+    def _retrain_and_rollout(
+        self, alert: DriftAlert, labeled: LabeledRecord
+    ) -> MaintenanceEvent:
+        current = self.models.current_parser
+        error_before = self._holdout_error(current)
+        # Retrain a copy: the live model keeps serving until the swap,
+        # and a rejected candidate leaves no trace on it.
+        candidate = copy.deepcopy(current)
+        retrain = self.retrainer.retrain(
+            candidate, [labeled], replay=self.replay
+        )
+        error_after = self._holdout_error(candidate)
+        publish = self.app.swap_model if self.app is not None else (
+            lambda parser, activate=True: self.models.publish(
+                parser, activate=activate
+            )
+        )
+        if (
+            error_before is not None
+            and error_after is not None
+            and error_after - error_before > self.config.max_regression
+        ):
+            # Held-out accuracy regressed: publish for the audit trail
+            # but do not activate -- the active pointer never moves, so
+            # traffic keeps the good model (the pre-swap rollback).
+            version = publish(candidate, activate=False)
+            obs.inc("pipeline.rollbacks")
+            event = MaintenanceEvent(
+                kind="rejected",
+                family_id=alert.family_id,
+                version=version,
+                retrain=retrain,
+                detail=(
+                    f"holdout line error {error_before:.5f} -> "
+                    f"{error_after:.5f} exceeds tolerance"
+                ),
+                holdout_error_before=error_before,
+                holdout_error_after=error_after,
+            )
+            self.report.events.append(event)
+            return event
+        version = publish(candidate, activate=self.config.activate)
+        self.detector.resolve(alert.family_id)
+        self.replay.append(labeled)
+        obs.inc("pipeline.activations")
+        if error_after is not None:
+            obs.set_gauge("pipeline.holdout_line_error", error_after)
+        event = MaintenanceEvent(
+            kind="activated" if self.config.activate else "published",
+            family_id=alert.family_id,
+            version=version,
+            retrain=retrain,
+            detail=f"retrained on {labeled.domain}",
+            holdout_error_before=error_before,
+            holdout_error_after=error_after,
+        )
+        self.report.events.append(event)
+        return event
+
+    def _holdout_error(self, parser) -> "float | None":
+        if not self.holdout:
+            return None
+        return evaluate_parser(parser, self.holdout).line_error_rate

@@ -70,6 +70,11 @@ class RetryPolicy:
             raise ValueError("jitter must be in [0, 1)")
 
     def delay(self, attempt: int, *, key: str = "") -> float:
+        """Seconds to wait before retry number ``attempt`` (0-based).
+
+        ``key`` (typically the server name) seeds the jitter draw so
+        distinct servers desynchronize while replays stay identical.
+        """
         raw = min(self.max_delay, self.base_delay * self.multiplier ** attempt)
         if self.jitter:
             rng = random.Random(f"{self.seed}|{key}|{attempt}")
@@ -78,10 +83,12 @@ class RetryPolicy:
 
     @classmethod
     def from_dict(cls, data: dict) -> "RetryPolicy":
+        """Build from a mapping, rejecting unknown keys."""
         return _from_dict(cls, data)
 
     @classmethod
     def from_json(cls, source: str | Path) -> "RetryPolicy":
+        """Build from a JSON string or a path to a JSON file."""
         return cls.from_dict(_load_json(source))
 
 
@@ -106,16 +113,19 @@ class Hedge:
             raise ValueError("hedge needs at least one attempt")
 
     def plan(self, source_ips: Sequence[str]) -> Iterator[str]:
+        """Yield the source IP to use for each successive attempt slot."""
         for ip in source_ips:
             for _ in range(self.attempts_per_vantage):
                 yield ip
 
     @classmethod
     def from_dict(cls, data: dict) -> "Hedge":
+        """Build from a mapping, rejecting unknown keys."""
         return _from_dict(cls, data)
 
     @classmethod
     def from_json(cls, source: str | Path) -> "Hedge":
+        """Build from a JSON string or a path to a JSON file."""
         return cls.from_dict(_load_json(source))
 
 
@@ -135,10 +145,12 @@ class BreakerPolicy:
 
     @classmethod
     def from_dict(cls, data: dict) -> "BreakerPolicy":
+        """Build from a mapping, rejecting unknown keys."""
         return _from_dict(cls, data)
 
     @classmethod
     def from_json(cls, source: str | Path) -> "BreakerPolicy":
+        """Build from a JSON string or a path to a JSON file."""
         return cls.from_dict(_load_json(source))
 
 
@@ -157,6 +169,7 @@ class CircuitBreaker:
     HALF_OPEN = "half_open"
 
     def __init__(self, policy: BreakerPolicy, clock, *, server: str = "") -> None:
+        """Start closed; ``clock`` needs only a ``now() -> float``."""
         self.policy = policy
         self.clock = clock
         self.server = server
@@ -182,6 +195,12 @@ class CircuitBreaker:
         )
 
     def allow(self) -> bool:
+        """May the caller send a query to this server right now?
+
+        Counts a refused slot in ``skips``; an affirmative answer while
+        half-open reserves the single probe slot, so the caller must
+        follow up with :meth:`record_success` or :meth:`record_failure`.
+        """
         if self.state == self.OPEN:
             if self.clock.now() - self.opened_at >= self.policy.recovery_time:
                 self._transition(self.HALF_OPEN)
@@ -200,6 +219,7 @@ class CircuitBreaker:
         return True
 
     def record_success(self) -> None:
+        """Report a successful query; enough half-open successes close."""
         self.consecutive_failures = 0
         if self.state == self.HALF_OPEN:
             self._probe_in_flight = False
@@ -208,6 +228,7 @@ class CircuitBreaker:
                 self._transition(self.CLOSED)
 
     def record_failure(self) -> None:
+        """Report a failed query; threshold or a failed probe opens."""
         self.consecutive_failures += 1
         if self.state == self.HALF_OPEN:
             self._probe_in_flight = False

@@ -33,6 +33,7 @@ class QuarantinedRecord:
 
     @property
     def reason(self) -> str:
+        """The stable taxonomy code of the rejection error."""
         return self.error.code
 
 
@@ -49,15 +50,18 @@ class Quarantine:
         return iter(self.records)
 
     def add(self, domain: str, text: str, error: CrawlError) -> QuarantinedRecord:
+        """Store one rejection and return the quarantined record."""
         record = QuarantinedRecord(domain=domain, text=text, error=error)
         self.records.append(record)
         obs.inc("resilience.quarantine.records", reason=error.code)
         return record
 
     def by_reason(self, code: str) -> list[QuarantinedRecord]:
+        """All quarantined records rejected with taxonomy code ``code``."""
         return [r for r in self.records if r.reason == code]
 
     def counts(self) -> dict[str, int]:
+        """Rejection tally by taxonomy code."""
         tally: dict[str, int] = {}
         for record in self.records:
             tally[record.reason] = tally.get(record.reason, 0) + 1

@@ -41,6 +41,7 @@ class WallClock:
 
     @staticmethod
     def now() -> float:
+        """Monotonic seconds; the default serving clock."""
         return time.monotonic()
 
 
@@ -70,6 +71,7 @@ class AdmissionController:
         rate_penalty: float = 1.0,
         clock=None,
     ) -> None:
+        """See the class docstring for the parameter semantics."""
         if queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
         self.queue_depth = queue_depth
@@ -96,6 +98,7 @@ class AdmissionController:
 
     @property
     def closed(self) -> bool:
+        """True once :meth:`close` ran; new requests are Unavailable."""
         return self._closed
 
     def _reject(self, exc: errors.ReproError) -> errors.ReproError:

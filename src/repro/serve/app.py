@@ -113,6 +113,11 @@ class ServeApp:
         config: "ServeConfig | None" = None,
         metrics: "obs.MetricsRegistry | None" = None,
     ) -> None:
+        """Wire the registry, gateway, admission, and batcher together.
+
+        ``fetch_whois`` backs RDAP lookups with raw record text (e.g. a
+        crawl JSONL lookup); omitted, lookups answer from parses only.
+        """
         self.models = models
         self.config = config or ServeConfig()
         #: installed for the app's lifetime so every layer underneath
@@ -278,6 +283,7 @@ class ServeApp:
         return version
 
     def rollback_model(self) -> str:
+        """Re-activate the previously active version; clears caches."""
         version = self.models.rollback()
         self.gateway.clear_cache()
         return version

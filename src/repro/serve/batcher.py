@@ -71,6 +71,7 @@ class MicroBatcher:
         max_wait_ms: float = 2.0,
         name: str = "parse",
     ) -> None:
+        """See the class docstring for the parameter semantics."""
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if max_wait_ms < 0:

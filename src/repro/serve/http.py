@@ -69,6 +69,7 @@ class HttpFrontend:
     async def handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """Serve one HTTP/1.1 connection (one request, then close)."""
         peer = writer.get_extra_info("peername")
         client = peer[0] if peer else "unknown"
         try:

@@ -39,20 +39,24 @@ class LatencyReport:
 
     @property
     def count(self) -> int:
+        """Completed (non-rejected, non-failed) requests."""
         return len(self.latencies)
 
     @property
     def rejected(self) -> int:
+        """Requests shed with a typed rejection, across all codes."""
         return sum(self.rejections.values())
 
     @property
     def throughput(self) -> float:
+        """Completed requests per wall-clock second."""
         if self.elapsed_seconds <= 0:
             return 0.0
         return self.count / self.elapsed_seconds
 
     @property
     def mean(self) -> float:
+        """Mean latency in seconds over completed requests."""
         return sum(self.latencies) / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
@@ -67,14 +71,17 @@ class LatencyReport:
 
     @property
     def p50(self) -> float:
+        """Median latency in seconds."""
         return self.quantile(0.50)
 
     @property
     def p95(self) -> float:
+        """95th-percentile latency in seconds."""
         return self.quantile(0.95)
 
     @property
     def p99(self) -> float:
+        """99th-percentile latency in seconds."""
         return self.quantile(0.99)
 
     def row(self) -> str:
@@ -88,6 +95,7 @@ class LatencyReport:
 
 
 def report_header() -> str:
+    """Column header matching :meth:`LatencyReport.row`."""
     return (
         f"{'run':<26} {'ok':>6} {'shed':>7} {'fail':>6} {'req/s':>9} "
         f"{'p50ms':>8} {'p95ms':>8} {'p99ms':>8}"

@@ -22,8 +22,10 @@ has to roll out without dropping the traffic the old one is serving.
 On disk a registry root holds one subdirectory per version plus an
 ``ACTIVE`` pointer file, so a restarted server resumes serving the same
 version.  A plain ``repro train`` output directory (a bare
-``WhoisParser.save``) is also accepted and wrapped as a single-version
-registry.
+``WhoisParser.save``) is also accepted and wrapped as v0001; versions
+published onto it afterwards (e.g. by ``repro maintain`` retraining in
+place) persist as ``v000N`` subdirectories next to the bare files, so
+the upgrade to a full registry is seamless.
 """
 
 from __future__ import annotations
@@ -47,6 +49,7 @@ class ModelRegistry:
     """
 
     def __init__(self, root: "str | Path | None" = None) -> None:
+        """In-memory registry; with ``root``, load and persist versions."""
         self.root = Path(root) if root is not None else None
         self._parsers: dict[str, WhoisParser] = {}
         self._versions: list[str] = []
@@ -63,29 +66,33 @@ class ModelRegistry:
         """Adopt an existing on-disk registry (or bare model) if present."""
         if not self.root.exists():
             return
-        if (self.root / "parser.json").exists():
-            # A bare `repro train` model directory: wrap it as v0001,
-            # loaded lazily on first activation.
-            self._versions = ["v0001"]
-            self._bare = True
-            self.activate("v0001")
-            return
-        self._bare = False
+        bare = (self.root / "parser.json").exists()
+        self._bare = bare
         self._versions = sorted(
             entry.name
             for entry in self.root.iterdir()
             if entry.is_dir() and (entry / "parser.json").exists()
         )
+        if bare:
+            # A bare `repro train` model directory: wrap it as v0001,
+            # loaded lazily on first activation.  Versions published
+            # *onto* a bare directory (the maintenance loop retraining a
+            # plain train output in place) live in v000N subdirectories
+            # alongside it, so they are also adopted here.
+            self._versions = ["v0001"] + [
+                v for v in self._versions if v != "v0001"
+            ]
         pointer = self.root / _ACTIVE_FILE
         if pointer.exists():
             version = pointer.read_text().strip()
             if version in self._versions:
                 self.activate(version)
-        elif self._versions:
-            self.activate(self._versions[-1])
+                return
+        if self._versions:
+            self.activate("v0001" if bare else self._versions[-1])
 
     def _version_path(self, version: str) -> Path:
-        if getattr(self, "_bare", False):
+        if getattr(self, "_bare", False) and version == "v0001":
             return self.root
         return self.root / version
 
@@ -103,6 +110,7 @@ class ModelRegistry:
     # ------------------------------------------------------------------
 
     def versions(self) -> list[str]:
+        """Every published version id, oldest first (a copy)."""
         return list(self._versions)
 
     def publish(
@@ -117,8 +125,8 @@ class ModelRegistry:
             default=0,
         )
         version = f"v{next_number:04d}"
-        if self.root is not None and not getattr(self, "_bare", False):
-            parser.save(self.root / version)
+        if self.root is not None:
+            parser.save(self._version_path(version))
         self._parsers[version] = parser
         self._versions.append(version)
         obs.inc("serve.model_published")
@@ -133,7 +141,7 @@ class ModelRegistry:
         parser = self._load(version)
         self._active = (version, parser)
         self._history.append(version)
-        if self.root is not None and not getattr(self, "_bare", False):
+        if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
             (self.root / _ACTIVE_FILE).write_text(version + "\n")
         obs.inc("serve.model_swaps")
@@ -158,6 +166,7 @@ class ModelRegistry:
 
     @property
     def has_active(self) -> bool:
+        """True when some version has been activated."""
         return self._active is not None
 
     def current(self) -> tuple[str, WhoisParser]:
@@ -173,8 +182,10 @@ class ModelRegistry:
 
     @property
     def current_version(self) -> str:
+        """Version id of the active parser (Unavailable if none)."""
         return self.current()[0]
 
     @property
     def current_parser(self) -> WhoisParser:
+        """The active parser itself (Unavailable if none)."""
         return self.current()[1]

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Execute the README's CI-marked shell blocks, verbatim.
+
+Every fenced ``bash`` block immediately preceded by an
+``<!-- ci:quickstart -->`` marker is extracted from README.md and run,
+in document order, inside one shared scratch directory — so later
+blocks see the files earlier blocks created (the maintenance block
+reuses the quickstart's ``model/`` and ``crawl.jsonl``). A block that
+exits non-zero fails the run, which is the point: the quickstart in the
+README is executable documentation, and this script is what keeps it
+honest in CI.
+
+Usage::
+
+    python tools/run_readme_quickstart.py [--readme PATH] [--keep]
+
+Runs with ``PYTHONPATH`` pointing at ``src/`` so an editable install is
+not required.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+MARKER = "<!-- ci:quickstart -->"
+_BLOCK = re.compile(
+    re.escape(MARKER) + r"\s*\n```(?:bash|sh)\n(.*?)```",
+    re.DOTALL,
+)
+
+
+def extract_blocks(readme: Path) -> list[str]:
+    """Return the marked shell blocks of ``readme``, in document order."""
+    return [match.group(1) for match in _BLOCK.finditer(readme.read_text())]
+
+
+def run_blocks(blocks: list[str], *, repo_root: Path, workdir: Path) -> int:
+    """Run each block under ``bash -euo pipefail`` in ``workdir``."""
+    env = dict(os.environ)
+    src = str(repo_root / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    for i, block in enumerate(blocks, 1):
+        sys.stderr.write(f"--- quickstart block {i}/{len(blocks)} ---\n")
+        sys.stderr.write(block)
+        sys.stderr.flush()
+        result = subprocess.run(
+            ["bash", "-euo", "pipefail", "-c", block],
+            cwd=workdir,
+            env=env,
+        )
+        if result.returncode != 0:
+            sys.stderr.write(
+                f"README quickstart block {i} failed "
+                f"(exit {result.returncode})\n"
+            )
+            return result.returncode
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    cli = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    cli.add_argument(
+        "--readme", type=Path, default=repo_root / "README.md",
+        help="markdown file to extract blocks from",
+    )
+    cli.add_argument(
+        "--keep", action="store_true",
+        help="leave the scratch directory in place and print its path",
+    )
+    args = cli.parse_args(argv)
+
+    blocks = extract_blocks(args.readme)
+    if not blocks:
+        sys.stderr.write(
+            f"no {MARKER} blocks found in {args.readme} -- "
+            "the README lost its executable quickstart\n"
+        )
+        return 1
+
+    workdir = Path(tempfile.mkdtemp(prefix="readme-quickstart-"))
+    try:
+        code = run_blocks(blocks, repo_root=repo_root, workdir=workdir)
+    finally:
+        if args.keep:
+            sys.stderr.write(f"scratch directory kept: {workdir}\n")
+        else:
+            shutil.rmtree(workdir, ignore_errors=True)
+    if code == 0:
+        sys.stderr.write(
+            f"all {len(blocks)} README quickstart blocks passed\n"
+        )
+    return code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
