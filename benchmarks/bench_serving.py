@@ -11,13 +11,19 @@ and the CI `serving` job runs it in smoke mode:
   10% (plus a 2ms scheduler-noise floor) of direct ``parser.parse``
   calls -- the tripwire that keeps the idle fast-path honest;
 - a model hot-swap under sustained load must complete with zero failed
-  and zero rejected requests.
+  and zero rejected requests;
+- the batched arm's p99 must fit the absolute latency budget
+  (``REPRO_BENCH_SERVE_P99_MS``, default 500ms) -- the enforced tail
+  bound the hot-path work is measured against.
 
 Scale with ``REPRO_BENCH_SERVE_REQUESTS`` / ``REPRO_BENCH_SERVE_CONC``
-on top of the usual ``REPRO_BENCH_TRAIN`` / ``REPRO_BENCH_TEST``.
+on top of the usual ``REPRO_BENCH_TRAIN`` / ``REPRO_BENCH_TEST``.  Set
+``REPRO_BENCH_HOTPATH`` to a path to archive every run's latency
+quantiles as JSON (the ``BENCH_hotpath.json`` CI artifact).
 """
 
 import asyncio
+import json
 import os
 import time
 
@@ -35,6 +41,7 @@ from repro.serve import (
 
 SERVE_REQUESTS = int(os.environ.get("REPRO_BENCH_SERVE_REQUESTS", 384))
 SERVE_CONC = int(os.environ.get("REPRO_BENCH_SERVE_CONC", 32))
+P99_BUDGET_S = float(os.environ.get("REPRO_BENCH_SERVE_P99_MS", 500)) / 1e3
 
 #: (report, batch occupancy) rows for the closing summary.
 _ROWS: list[tuple[LatencyReport, float]] = []
@@ -114,6 +121,12 @@ def test_microbatching_beats_no_batching_on_p95(trained_parser, test_corpus):
             f"micro-batching lost on p95: {batched.p95 * 1e3:.2f}ms vs "
             f"{unbatched.p95 * 1e3:.2f}ms at concurrency {SERVE_CONC}"
         )
+    # The enforced tail budget: p99 on the batched arm is an absolute
+    # bound, not just a relative win over the no-batching server.
+    assert batched.p99 <= P99_BUDGET_S, (
+        f"batched p99 {batched.p99 * 1e3:.1f}ms exceeds the "
+        f"{P99_BUDGET_S * 1e3:.0f}ms budget"
+    )
 
 
 def test_concurrency1_latency_within_10pct_of_direct(
@@ -198,3 +211,28 @@ def test_hot_swap_under_load_drops_nothing(
         "Serving summary (p50/p95/p99 per run)",
         report_header() + "\n" + rows,
     )
+
+    artifact = os.environ.get("REPRO_BENCH_HOTPATH")
+    if artifact:
+        payload = {
+            "bench": "serving",
+            "requests": SERVE_REQUESTS,
+            "concurrency": SERVE_CONC,
+            "p99_budget_s": P99_BUDGET_S,
+            "runs": [
+                {
+                    "name": report.name,
+                    "count": report.count,
+                    "p50_s": report.p50,
+                    "p95_s": report.p95,
+                    "p99_s": report.p99,
+                    "mean_s": report.mean,
+                    "failures": report.failures,
+                    "rejected": report.rejected,
+                    "batch_occupancy": occ,
+                }
+                for report, occ in _ROWS
+            ],
+        }
+        with open(artifact, "w") as handle:
+            json.dump(payload, handle, indent=2)

@@ -69,7 +69,10 @@ def _parsed_to_json(parsed) -> dict:
 
 
 def _cmd_parse(args: argparse.Namespace) -> int:
-    parser = WhoisParser.load(args.model)
+    """Parse raw WHOIS text with a saved model (JSON to stdout)."""
+    parser = WhoisParser.load(args.model, mmap=args.mmap)
+    if args.encoder_cache:
+        parser.load_encoder_cache(args.encoder_cache)
     texts = [
         Path(path).read_text() if path != "-" else sys.stdin.read()
         for path in args.inputs
@@ -80,6 +83,8 @@ def _cmd_parse(args: argparse.Namespace) -> int:
     labeled = (
         parser.label_lines_many(texts, jobs=args.jobs) if args.lines else None
     )
+    if args.encoder_cache:
+        parser.save_encoder_cache(args.encoder_cache)
     outputs = []
     for i, parsed in enumerate(parsed_records):
         output = _parsed_to_json(parsed)
@@ -151,7 +156,10 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
 
 
 def _cmd_survey(args: argparse.Namespace) -> int:
-    parser = WhoisParser.load(args.model)
+    """Build the Section 6 survey tables from a crawl JSONL."""
+    parser = WhoisParser.load(args.model, mmap=args.mmap)
+    if args.encoder_cache:
+        parser.load_encoder_cache(args.encoder_cache)
     with Path(args.crawl).open("r", encoding="utf-8") as handle:
         rows = [json.loads(line) for line in handle]
     rows = [row for row in rows if row.get("thick_text")]
@@ -175,6 +183,8 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     )
     for row, parsed in zip(rows, parsed_records):
         db.add_parsed(row["domain"], parsed)
+    if args.encoder_cache:
+        parser.save_encoder_cache(args.encoder_cache)
     print(f"parsed {len(db)} records")
     if db.quarantine:
         counts = ", ".join(f"{code}={n}" for code, n
@@ -229,7 +239,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import ModelRegistry, ServeApp, ServeConfig
 
-    models = ModelRegistry(args.model_dir)
+    models = ModelRegistry(args.model_dir, mmap=not args.no_mmap)
     if not models.has_active:
         print(f"no model versions under {args.model_dir}; "
               f"run `repro train` or publish one first", file=sys.stderr)
@@ -392,6 +402,7 @@ def _cmd_eval(args: argparse.Namespace) -> int:
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
+    """The full ``repro`` argparse tree (also rendered into docs/CLI.md)."""
     root = argparse.ArgumentParser(
         prog="repro",
         description="Statistical WHOIS parsing (IMC 2015 reproduction)",
@@ -429,6 +440,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
                        help="include per-line labels")
     parse.add_argument("--jobs", type=int, default=1,
                        help="parser worker processes")
+    parse.add_argument("--mmap", action="store_true",
+                       help="memory-map model weights read-only (one "
+                            "physical copy shared across --jobs workers)")
+    parse.add_argument("--encoder-cache", metavar="PATH", default=None,
+                       help="warm-start the line-encoder caches from PATH "
+                            "and write them back after parsing")
     add_metrics_out(parse)
     parse.set_defaults(func=_cmd_parse)
 
@@ -466,6 +483,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
     survey.add_argument("--min-confidence", type=float, default=None,
                         help="with --quarantine: also reject records whose "
                              "mean parser marginal falls below this")
+    survey.add_argument("--mmap", action="store_true",
+                        help="memory-map model weights read-only (one "
+                             "physical copy shared across --jobs workers)")
+    survey.add_argument("--encoder-cache", metavar="PATH", default=None,
+                        help="warm-start the line-encoder caches from PATH "
+                             "and write them back after the survey")
     add_metrics_out(survey)
     survey.set_defaults(func=_cmd_survey)
 
@@ -500,6 +523,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
                        help="micro-batch top-up wait under load")
     serve.add_argument("--queue-depth", type=int, default=256,
                        help="admission bound on in-flight requests")
+    serve.add_argument("--no-mmap", action="store_true",
+                       help="load model weights into private memory "
+                            "instead of memory-mapping the snapshots")
     serve.add_argument("--rate-limit", type=int, default=None,
                        help="per-client requests/second (netsim.ratelimit "
                             "semantics; unset disables)")
@@ -570,6 +596,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Entry point: parse ``argv``, run the subcommand, return its exit code.
+
+    When the subcommand accepts ``--metrics-out``, a
+    :class:`~repro.obs.MetricsRegistry` is installed around the run and
+    archived to that path afterwards.
+    """
     args = build_arg_parser().parse_args(argv)
     metrics_out = getattr(args, "metrics_out", None)
     if metrics_out is None:

@@ -15,6 +15,7 @@ from itertools import chain
 
 import numpy as np
 
+from repro.crf.arena import TensorArena, get_arena
 from repro.crf.features import EncodedSequence, FeatureIndex
 from repro.crf.inference import _NEG_INF, _logsumexp
 from repro.crf.objective import ParamView
@@ -66,39 +67,44 @@ class EncodedBatch:
         t_max = int(self.lengths.max())
         self.n_records, self.t_max = n_records, t_max
         self.labels = np.full((n_records, t_max), -1, dtype=np.intp)
-        # Flattened occurrence arrays, built with np.repeat over per-token
-        # counts plus one chained concatenation of the id lists -- the
-        # construction is on the bulk-decode hot path, so the per-token
-        # Python loop the original used is avoided.
-        obs_pos: list[int] = []
-        obs_counts: list[int] = []
+        # Flattened occurrence arrays.  Observation ids come pre-packed from
+        # each sequence (flat array + per-token counts), so the batch-level
+        # arrays reduce to two concatenations and one vectorized repeat
+        # over the whole batch -- no per-token (or even per-record) numpy
+        # call on the bulk-decode hot path.  Edge id lists stay
+        # list-shaped: they are sparse (block boundaries only) and the
+        # per-record loop over them is cheap.
+        obs_flat_parts: list[np.ndarray] = []
+        obs_count_parts: list[np.ndarray] = []
         edge_pos: list[int] = []
         edge_counts: list[int] = []
-        obs_lists: list[list[int]] = []
         edge_lists: list[list[int]] = []
         t_edge = t_max - 1 if t_max > 1 else 1
         for r, (seq, labels) in enumerate(dataset):
             if labels is not None:
                 self.labels[r, : len(seq)] = labels
-            base = r * t_max
-            for t, ids in enumerate(seq.obs_ids):
-                if ids:
-                    obs_pos.append(base + t)
-                    obs_counts.append(len(ids))
-                    obs_lists.append(ids)
+            obs_flat, obs_counts = seq.packed_obs()
+            obs_flat_parts.append(obs_flat)
+            obs_count_parts.append(obs_counts)
             base = r * t_edge
             for t, ids in enumerate(seq.edge_ids):
                 if t and ids:
                     edge_pos.append(base + t - 1)
                     edge_counts.append(len(ids))
                     edge_lists.append(ids)
-        self.obs_rt = np.repeat(
-            np.asarray(obs_pos, dtype=np.intp),
-            np.asarray(obs_counts, dtype=np.intp),
+        # Flattened (R*T) position of every real token: record r's token t
+        # sits at r*t_max + t, built by offsetting a global arange per
+        # record (one repeat over records, not one per record).
+        n_tokens = int(self.lengths.sum())
+        row_offset = (
+            np.arange(n_records, dtype=np.intp) * t_max
+            - (np.cumsum(self.lengths) - self.lengths)
         )
-        self.obs_a = np.fromiter(
-            chain.from_iterable(obs_lists), dtype=np.intp, count=len(self.obs_rt)
+        token_pos = np.repeat(row_offset, self.lengths) + np.arange(
+            n_tokens, dtype=np.intp
         )
+        self.obs_rt = np.repeat(token_pos, np.concatenate(obs_count_parts))
+        self.obs_a = np.concatenate(obs_flat_parts)
         self.edge_rt = np.repeat(
             np.asarray(edge_pos, dtype=np.intp),
             np.asarray(edge_counts, dtype=np.intp),
@@ -133,10 +139,23 @@ class EncodedBatch:
             rows = np.arange(start, min(start + chunk_size, self.n_records))
             yield _subset(self, rows)
 
-    def potentials(self, view: ParamView) -> tuple[np.ndarray, np.ndarray]:
-        """Batch emission ``(R,T,S)`` and transition ``(R,T-1,S,S)`` scores."""
+    def potentials(
+        self, view: ParamView, *, arena: TensorArena | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batch emission ``(R,T,S)`` and transition ``(R,T-1,S,S)`` scores.
+
+        With an ``arena``, both tensors are backed by its pooled buffers
+        (valid until the arena's next batch); without one, fresh arrays
+        are allocated as before.  When no edge attributes fire the arena
+        path returns the transition block as a read-only broadcast view
+        of ``view.trans`` -- zero copies for the common homogeneous case.
+        """
         n_r, t_max, n_s = self.n_records, self.t_max, self.n_states
-        emit = np.zeros((n_r * t_max, n_s))
+        t1 = max(t_max - 1, 0)
+        if arena is None:
+            emit = np.zeros((n_r * t_max, n_s))
+        else:
+            emit = arena.zeros("pot_emit", (n_r * t_max, n_s))
         if self.obs_a.size:
             _scatter_rows(emit, self.obs_rt, view.obs[self.obs_a])
         emit = emit.reshape(n_r, t_max, n_s)
@@ -144,16 +163,23 @@ class EncodedBatch:
         # Padding tokens get -inf emissions except state 0, so they
         # contribute a fixed additive constant we cancel explicitly: instead
         # we simply never read alpha past each sequence's length.
-        trans = np.broadcast_to(
-            view.trans, (n_r * max(t_max - 1, 0), n_s, n_s)
-        ).copy()
         if self.edge_a.size:
+            if arena is None:
+                trans = np.broadcast_to(view.trans, (n_r * t1, n_s, n_s)).copy()
+            else:
+                trans = arena.take("pot_trans", (n_r * t1, n_s, n_s))
+                trans[:] = view.trans
             _scatter_rows(
                 trans.reshape(len(trans), -1),
                 self.edge_rt,
                 view.edge[self.edge_a].reshape(len(self.edge_a), -1),
             )
-        trans = trans.reshape(n_r, max(t_max - 1, 0), n_s, n_s)
+            trans = trans.reshape(n_r, t1, n_s, n_s)
+        elif arena is None:
+            trans = np.broadcast_to(view.trans, (n_r * t1, n_s, n_s)).copy()
+            trans = trans.reshape(n_r, t1, n_s, n_s)
+        else:
+            trans = np.broadcast_to(view.trans, (n_r, t1, n_s, n_s))
         return emit, trans
 
     def observed_score(self, emit: np.ndarray, trans: np.ndarray) -> float:
@@ -172,11 +198,23 @@ class EncodedBatch:
 
 
 def batch_forward_backward(
-    batch: EncodedBatch, emit: np.ndarray, trans: np.ndarray
+    batch: EncodedBatch,
+    emit: np.ndarray,
+    trans: np.ndarray,
+    *,
+    arena: TensorArena | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Batched alpha, beta, and per-record logZ."""
+    """Batched alpha, beta, and per-record logZ.
+
+    With an ``arena`` the alpha/beta tables live in its pooled buffers and
+    are only valid until the next batch on the same arena; ``log_z`` is
+    always a fresh array.
+    """
     n_r, t_max, n_s = emit.shape
-    alpha = np.empty((n_r, t_max, n_s))
+    if arena is None:
+        alpha = np.empty((n_r, t_max, n_s))
+    else:
+        alpha = arena.take("fb_alpha", (n_r, t_max, n_s))
     alpha[:, 0] = emit[:, 0]
     for t in range(1, t_max):
         prev = alpha[:, t - 1]
@@ -188,7 +226,10 @@ def batch_forward_backward(
     last = batch.lengths - 1
     log_z = _logsumexp(alpha[np.arange(n_r), last], axis=1)
 
-    beta = np.zeros((n_r, t_max, n_s))
+    if arena is None:
+        beta = np.zeros((n_r, t_max, n_s))
+    else:
+        beta = arena.zeros("fb_beta", (n_r, t_max, n_s))
     for t in range(t_max - 2, -1, -1):
         nxt = emit[:, t + 1] + beta[:, t + 1]
         scores = trans[:, t] + nxt[:, None, :]
@@ -224,8 +265,12 @@ def _chunk_nll_grad(
     batch: EncodedBatch, view: ParamView, grad_view: ParamView
 ) -> float:
     n_s = batch.n_states
-    emit, trans = batch.potentials(view)
-    alpha, beta, log_z = batch_forward_backward(batch, emit, trans)
+    # Training reuses this thread's arena for the chunk-sized tensors; all
+    # values that outlive the chunk (nll, gradient updates) are scalars or
+    # accumulated into grad_view, so nothing arena-backed escapes.
+    arena = get_arena()
+    emit, trans = batch.potentials(view, arena=arena)
+    alpha, beta, log_z = batch_forward_backward(batch, emit, trans, arena=arena)
     nll = float(log_z.sum()) - batch.observed_score(emit, trans)
 
     # Node marginals, zeroed on padding.

@@ -19,21 +19,31 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.crf.arena import TensorArena
 from repro.crf.batch import EncodedBatch, batch_forward_backward
 
 
 def batch_viterbi(
-    batch: EncodedBatch, emit: np.ndarray, trans: np.ndarray
+    batch: EncodedBatch,
+    emit: np.ndarray,
+    trans: np.ndarray,
+    *,
+    arena: TensorArena | None = None,
 ) -> list[np.ndarray]:
     """Most likely label sequence per record, eqs. (13)-(17) batched.
 
     Returns one int array of length ``lengths[r]`` per record, in batch
     order.  Matches :func:`repro.crf.inference.viterbi` exactly (both use
-    first-index ``argmax`` tie-breaking).
+    first-index ``argmax`` tie-breaking).  With an ``arena`` the padded
+    backpointer/label tables reuse pooled buffers; the returned per-record
+    paths are always fresh copies and never alias arena storage.
     """
     n_r, t_max, n_s = emit.shape
     value = emit[:, 0].copy()  # eq. (14), carried forward on padding
-    back = np.empty((n_r, max(t_max - 1, 0), n_s), dtype=np.intp)
+    if arena is None:
+        back = np.empty((n_r, max(t_max - 1, 0), n_s), dtype=np.intp)
+    else:
+        back = arena.take("vit_back", (n_r, max(t_max - 1, 0), n_s), np.intp)
     rows = np.arange(n_r)
     for t in range(1, t_max):
         scores = value[:, :, None] + trans[:, t - 1]  # eq. (15) inner bracket
@@ -48,24 +58,40 @@ def batch_viterbi(
     # `value` now holds each record's Viterbi values at its *own* final
     # token (padding steps never overwrite it).
     last = batch.lengths - 1
-    labels = np.full((n_r, t_max), -1, dtype=np.intp)
+    if arena is None:
+        labels = np.full((n_r, t_max), -1, dtype=np.intp)
+    else:
+        labels = arena.full("vit_labels", (n_r, t_max), -1, np.intp)
     labels[rows, last] = np.argmax(value, axis=1)
     for t in range(t_max - 2, -1, -1):  # eq. (17)
         nxt = np.maximum(labels[:, t + 1], 0)  # padded rows masked below
         prev_lab = back[rows, t, nxt]
         labels[:, t] = np.where(t < last, prev_lab, labels[:, t])
-    return [labels[r, : batch.lengths[r]] for r in range(n_r)]
+    return [labels[r, : batch.lengths[r]].copy() for r in range(n_r)]
 
 
 def batch_marginals(
-    batch: EncodedBatch, emit: np.ndarray, trans: np.ndarray
+    batch: EncodedBatch,
+    emit: np.ndarray,
+    trans: np.ndarray,
+    *,
+    arena: TensorArena | None = None,
 ) -> list[np.ndarray]:
     """Per-token posteriors ``Pr(y_t | x)`` per record, shape ``(T_r, S)``.
 
     The batched forward-backward of the training path provides alpha, beta
     and per-record ``log Z``; each record's marginals are sliced out of the
-    padded block.
+    padded block.  Returned arrays are fresh copies, safe to hold across
+    batches whether or not an ``arena`` backs the intermediates.
     """
-    alpha, beta, log_z = batch_forward_backward(batch, emit, trans)
-    node = np.exp(alpha + beta - log_z[:, None, None])
-    return [node[r, : batch.lengths[r]] for r in range(batch.n_records)]
+    alpha, beta, log_z = batch_forward_backward(batch, emit, trans, arena=arena)
+    if arena is None:
+        node = np.exp(alpha + beta - log_z[:, None, None])
+    else:
+        node = arena.take("marg_node", alpha.shape)
+        np.add(alpha, beta, out=node)
+        node -= log_z[:, None, None]
+        np.exp(node, out=node)
+    return [
+        node[r, : batch.lengths[r]].copy() for r in range(batch.n_records)
+    ]

@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 import json
+import os
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence as TypingSequence
 
 import numpy as np
 
+from repro.crf.arena import get_arena
 from repro.crf.batch import EncodedBatch
 from repro.crf.decode import batch_marginals, batch_viterbi
 from repro.crf.features import EncodedSequence, FeatureIndex, Sequence
@@ -256,13 +259,17 @@ class ChainCRF:
         if not keep:
             return out
         keep.sort(key=lambda i: len(encoded[i]))
+        # All padded intermediates (potentials, recursion tables,
+        # backpointers) reuse this thread's arena across chunks; the
+        # decode callbacks copy anything they return.
+        arena = get_arena()
         for start in range(0, len(keep), chunk_size):
             rows = keep[start:start + chunk_size]
             batch = EncodedBatch.from_encoded(
                 [encoded[i] for i in rows], index
             )
-            emit, trans = batch.potentials(view)
-            for i, result in zip(rows, decode(batch, emit, trans)):
+            emit, trans = batch.potentials(view, arena=arena)
+            for i, result in zip(rows, decode(batch, emit, trans, arena)):
                 out[i] = result
         return out
 
@@ -284,10 +291,10 @@ class ChainCRF:
         """
         index = self.index
 
-        def decode(chunk, emit, trans):
+        def decode(chunk, emit, trans, arena):
             return [
                 index.decode_labels(row.tolist())
-                for row in batch_viterbi(chunk, emit, trans)
+                for row in batch_viterbi(chunk, emit, trans, arena=arena)
             ]
 
         return self._decode_many(
@@ -303,7 +310,9 @@ class ChainCRF:
         """Batched per-token posteriors, one ``(T, n_states)`` array each."""
         return self._decode_many(
             sequences,
-            batch_marginals,
+            lambda chunk, emit, trans, arena: batch_marginals(
+                chunk, emit, trans, arena=arena
+            ),
             lambda index: np.zeros((0, index.n_states)),
             chunk_size=chunk_size,
         )
@@ -379,7 +388,13 @@ class ChainCRF:
     # ------------------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Persist the model as ``<path>.json`` (index) + ``<path>.npz`` (weights)."""
+        """Persist the model as ``<path>.json`` (index) + weight snapshots.
+
+        Weights are written twice: ``<path>.npz`` (compressed, the archival
+        format every prior snapshot used) and ``<path>.npy`` (the raw array,
+        page-aligned on disk) so :meth:`load` with ``mmap=True`` can map the
+        weights read-only instead of decompressing a private copy.
+        """
         if self.index is None or self.params is None:
             raise RuntimeError("cannot save an unfitted model")
         path = Path(path)
@@ -393,9 +408,23 @@ class ChainCRF:
         }
         path.with_suffix(".json").write_text(json.dumps(meta))
         np.savez_compressed(path.with_suffix(".npz"), params=self.params)
+        _write_npy(path.with_suffix(".npy"), np.asarray(self.params))
 
     @classmethod
-    def load(cls, path: str | Path) -> "ChainCRF":
+    def load(cls, path: str | Path, *, mmap: bool = False) -> "ChainCRF":
+        """Load a saved model.
+
+        With ``mmap=True`` the weight vector is memory-mapped read-only
+        from the raw ``<path>.npy`` snapshot instead of decompressed into
+        private heap: every process that loads the same snapshot shares one
+        physical copy of the weights, and pickling the model (e.g. to a
+        spawned ``parse_many`` worker) ships a small
+        ``(filename, dtype, shape, offset)`` descriptor instead of the
+        array bytes.  Snapshots predating the raw format are adopted by
+        materializing ``<path>.npy`` next to the ``.npz`` on first mmap
+        load; if the directory is not writable the load silently falls
+        back to the in-memory path.
+        """
         path = Path(path)
         meta = json.loads(path.with_suffix(".json").read_text())
         model = cls(
@@ -406,6 +435,83 @@ class ChainCRF:
             trainer=meta["trainer"],
         )
         model.index = FeatureIndex.from_dict(meta["index"])
-        with np.load(path.with_suffix(".npz")) as data:
-            model.params = data["params"]
+        if mmap:
+            model.params = _mmap_params(path)
+        if model.params is None:
+            with np.load(path.with_suffix(".npz")) as data:
+                model.params = data["params"]
         return model
+
+    # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle memory-mapped weights as a descriptor, not as bytes.
+
+        A model loaded with ``mmap=True`` would otherwise serialize the
+        full weight vector to every spawned worker; the descriptor makes
+        the pickle a few hundred bytes and the worker re-maps the same
+        physical pages on unpickle.
+        """
+        state = self.__dict__.copy()
+        params = state.get("params")
+        if isinstance(params, np.memmap) and params.filename is not None:
+            state["params"] = _MmapParams(
+                filename=str(params.filename),
+                dtype=params.dtype.str,
+                shape=tuple(params.shape),
+                offset=int(params.offset),
+            )
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        """Re-open a weight descriptor (see :meth:`__getstate__`)."""
+        params = state.get("params")
+        if isinstance(params, _MmapParams):
+            state["params"] = params.open()
+        self.__dict__.update(state)
+
+
+@dataclass(frozen=True)
+class _MmapParams:
+    """Pickle-side descriptor of a memory-mapped weight vector."""
+
+    filename: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+    def open(self) -> np.memmap:
+        """Map the described region read-only."""
+        return np.memmap(
+            self.filename,
+            dtype=np.dtype(self.dtype),
+            mode="r",
+            shape=self.shape,
+            offset=self.offset,
+        )
+
+
+def _write_npy(target: Path, array: np.ndarray) -> None:
+    """Atomically write ``array`` as a raw ``.npy`` snapshot at ``target``."""
+    tmp = target.with_name(target.name + f".tmp{os.getpid()}")
+    with open(tmp, "wb") as handle:
+        np.save(handle, np.ascontiguousarray(array))
+    os.replace(tmp, target)
+
+
+def _mmap_params(path: Path) -> np.ndarray | None:
+    """Memory-map ``<path>.npy``, adopting older ``.npz``-only snapshots.
+
+    Returns ``None`` (caller falls back to the eager ``.npz`` load) when
+    the raw snapshot is absent and cannot be materialized.
+    """
+    npy = path.with_suffix(".npy")
+    if not npy.exists():
+        try:
+            with np.load(path.with_suffix(".npz")) as data:
+                _write_npy(npy, data["params"])
+        except OSError:
+            return None
+    return np.load(npy, mmap_mode="r")

@@ -67,6 +67,7 @@ class Histogram:
         *,
         sample_size: int = 1024,
     ) -> None:
+        """Empty histogram over ``bounds``; exact up to ``sample_size``."""
         self.bounds = bounds
         self.bucket_counts = [0] * (len(bounds) + 1)  # last = +Inf
         self.count = 0
@@ -77,6 +78,7 @@ class Histogram:
         self._sample_size = sample_size
 
     def observe(self, value: float) -> None:
+        """Record one value into the buckets (and the exact sample)."""
         value = float(value)
         self.bucket_counts[bisect_left(self.bounds, value)] += 1
         self.count += 1
@@ -90,6 +92,7 @@ class Histogram:
 
     @property
     def mean(self) -> float:
+        """Arithmetic mean of every observation (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
@@ -155,6 +158,7 @@ class MetricsRegistry:
         sample_size: int = 1024,
         bounds: tuple[float, ...] = DEFAULT_BOUNDS,
     ) -> None:
+        """Empty registry; ``max_series`` caps label sets per name."""
         self.clock = clock
         self.max_series = max_series
         self.sample_size = sample_size
@@ -176,16 +180,19 @@ class MetricsRegistry:
         return by_labels, labels
 
     def inc(self, name: str, value: float = 1.0, **labels: str) -> None:
+        """Add ``value`` to the ``name`` counter for this label set."""
         with self._lock:
             by_labels, key = self._series(self._counters, name, labelset(labels))
             by_labels[key] = by_labels.get(key, 0.0) + value
 
     def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        """Set the ``name`` gauge for this label set to ``value``."""
         with self._lock:
             by_labels, key = self._series(self._gauges, name, labelset(labels))
             by_labels[key] = float(value)
 
     def observe(self, name: str, value: float, **labels: str) -> None:
+        """Record ``value`` into the ``name`` histogram for this label set."""
         with self._lock:
             by_labels, key = self._series(
                 self._histograms, name, labelset(labels)
@@ -202,18 +209,23 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
 
     def counter_value(self, name: str, **labels: str) -> float:
+        """Current count for one label set (0.0 if never incremented)."""
         return self._counters.get(name, {}).get(labelset(labels), 0.0)
 
     def gauge_value(self, name: str, **labels: str) -> float | None:
+        """Last value set for one gauge label set (None if never set)."""
         return self._gauges.get(name, {}).get(labelset(labels))
 
     def histogram(self, name: str, **labels: str) -> Histogram | None:
+        """The :class:`Histogram` for one label set (None if unobserved)."""
         return self._histograms.get(name, {}).get(labelset(labels))
 
     def counter_series(self, name: str) -> dict[LabelSet, float]:
+        """Every label set of the ``name`` counter, as a copied dict."""
         return dict(self._counters.get(name, {}))
 
     def names(self) -> list[str]:
+        """Every metric name with at least one series, sorted."""
         return sorted(
             set(self._counters) | set(self._gauges) | set(self._histograms)
         )
@@ -278,18 +290,21 @@ def use(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
 
 
 def inc(name: str, value: float = 1.0, **labels: str) -> None:
+    """Increment on the installed registry; no-op when none is."""
     registry = _REGISTRY
     if registry is not None:
         registry.inc(name, value, **labels)
 
 
 def set_gauge(name: str, value: float, **labels: str) -> None:
+    """Set a gauge on the installed registry; no-op when none is."""
     registry = _REGISTRY
     if registry is not None:
         registry.set_gauge(name, value, **labels)
 
 
 def observe(name: str, value: float, **labels: str) -> None:
+    """Observe into the installed registry; no-op when none is."""
     registry = _REGISTRY
     if registry is not None:
         registry.observe(name, value, **labels)

@@ -26,6 +26,7 @@ class Span:
     __slots__ = ("registry", "name", "labels", "_now", "_start", "seconds")
 
     def __init__(self, registry, name: str, labels: dict[str, str]) -> None:
+        """A span writing ``name`` observations into ``registry``."""
         self.registry = registry
         self.name = name
         self.labels = labels

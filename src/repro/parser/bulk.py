@@ -37,14 +37,24 @@ class LineEncoder:
     One instance serves one ``(featurizer, FeatureIndex)`` pair: the
     cached ids are only valid for the vocabulary (and lexicon) they were
     resolved against, so :class:`~repro.parser.statistical.WhoisParser`
-    rebuilds its encoders whenever the model is (re)fitted.
+    rebuilds its encoders whenever the model is (re)fitted -- and the
+    persisted form (:meth:`cache_state`) is keyed on a vocabulary
+    fingerprint for exactly the same reason.
 
     The cache stores, per distinct line: the encoded intrinsic
     observation ids, the encoded intrinsic edge ids, the indentation
     depth, and the block-header headword -- everything about a line that
-    does not depend on its neighbors.  It is capped at ``cache_size``
-    distinct lines (insertion simply stops at the cap; WHOIS vocabulary
-    is heavy-headed enough that the hot lines enter early).
+    does not depend on its neighbors.
+
+    **Cap behavior**: every per-line dict (line profiles, labelability,
+    raw analyses) is capped at ``cache_size`` distinct entries.  Once the
+    cap is reached, *lookups* still hit but new lines stop being
+    inserted -- they are re-analyzed on every occurrence.  WHOIS
+    vocabulary is heavy-headed enough that the hot lines enter early, so
+    a full cache usually still hits >90%; each skipped insertion is
+    counted (:attr:`cache_full_skips`) and surfaced by the bulk parser
+    as the ``parse.encoder_cache_full`` counter so a sustained miss
+    regime is visible instead of silent.
     """
 
     def __init__(
@@ -70,12 +80,21 @@ class LineEncoder:
             str, tuple[tuple[int, ...], tuple[int, ...], int, str | None]
         ] = {}
         self._ctx: dict[str, tuple[int, ...]] = {}
+        #: line -> labelability; is_labelable() is a character scan and
+        #: shows up at survey scale, so it is memoized alongside the
+        #: profiles under the same cap.
+        self._labelable: dict[str, bool] = {}
         #: cumulative cache accounting (plain ints on the hot path; the
         #: bulk parser drains deltas into ``repro.obs`` per batch)
         self.hits = 0
         self.misses = 0
+        #: insertions skipped because a cache dict was at ``cache_size``
+        self.cache_full_skips = 0
+        #: entries loaded via :meth:`load_cache_state` (warm starts)
+        self.warm_entries = 0
         self._drained_hits = 0
         self._drained_misses = 0
+        self._drained_full_skips = 0
         obs_vocab, edge_vocab = index.obs_vocab, index.edge_vocab
         # Layout-marker ids, resolved once.  A marker absent from the
         # vocabulary encodes to nothing, exactly as FeatureIndex.encode
@@ -114,9 +133,20 @@ class LineEncoder:
             )
             if len(self._lines) < self.cache_size:
                 self._lines[line] = profile
+            else:
+                self.cache_full_skips += 1
         else:
             self.hits += 1
         return profile
+
+    def _is_labelable(self, line: str) -> bool:
+        """Memoized :func:`repro.whois.records.is_labelable`."""
+        labelable = self._labelable.get(line)
+        if labelable is None:
+            labelable = is_labelable(line)
+            if len(self._labelable) < self.cache_size:
+                self._labelable[line] = labelable
+        return labelable
 
     @property
     def hit_rate(self) -> float:
@@ -124,13 +154,15 @@ class LineEncoder:
         seen = self.hits + self.misses
         return self.hits / seen if seen else 0.0
 
-    def drain_cache_stats(self) -> tuple[int, int]:
-        """(hits, misses) accrued since the previous drain."""
+    def drain_cache_stats(self) -> tuple[int, int, int]:
+        """(hits, misses, cap-skips) accrued since the previous drain."""
         hits = self.hits - self._drained_hits
         misses = self.misses - self._drained_misses
+        full = self.cache_full_skips - self._drained_full_skips
         self._drained_hits = self.hits
         self._drained_misses = self.misses
-        return hits, misses
+        self._drained_full_skips = self.cache_full_skips
+        return hits, misses, full
 
     def _ctx_ids(self, head: str) -> tuple[int, ...]:
         """Encoded ``CTX:<head>`` (+ ``CTX4:`` prefix) attributes."""
@@ -163,28 +195,50 @@ class LineEncoder:
         ``collect``, when given, receives the labelable lines in order --
         the caller needs them anyway and this spares a second
         labelability scan over the record.
+
+        Observation ids are accumulated directly into the packed form
+        :class:`~repro.crf.features.EncodedSequence` shares with
+        :class:`~repro.crf.batch.EncodedBatch` (one flat id list plus
+        per-token counts), so batches built from these sequences never
+        run a per-token loop.
         """
         cfg = self.featurizer.config
-        obs_seq: list[list[int]] = []
+        obs_flat: list[int] = []
+        obs_counts: list[int] = []
         edge_seq: list[list[int]] = []
         blank_run = 0
         prev_indent: int | None = None
         header: tuple[str, int] | None = None
+        # Local bindings: these two dict probes run once per input line at
+        # survey scale, so the method-call indirection is inlined away.
+        labelable_cache = self._labelable
+        labelable_get = labelable_cache.get
+        lines_get = self._lines.get
+        cache_size = self.cache_size
         for line in raw_lines:
-            if not is_labelable(line):
+            labelable = labelable_get(line)
+            if labelable is None:
+                labelable = is_labelable(line)
+                if len(labelable_cache) < cache_size:
+                    labelable_cache[line] = labelable
+            if not labelable:
                 blank_run += 1
                 continue
             if collect is not None:
                 collect.append(line)
-            intrinsic_obs, intrinsic_edge, indent, headword = (
-                self._line_profile(line)
-            )
-            obs = list(intrinsic_obs)
+            profile = lines_get(line)
+            if profile is None:
+                profile = self._line_profile(line)
+            else:
+                self.hits += 1
+            intrinsic_obs, intrinsic_edge, indent, headword = profile
+            start = len(obs_flat)
+            obs_flat.extend(intrinsic_obs)
             edge = list(intrinsic_edge)
             if cfg.markers:
                 if blank_run > 0:
                     if self._nl[0] is not None:
-                        obs.append(self._nl[0])
+                        obs_flat.append(self._nl[0])
                     if cfg.edge_markers and self._nl[1] is not None:
                         edge.append(self._nl[1])
                 if prev_indent is not None:
@@ -195,21 +249,21 @@ class LineEncoder:
                     )
                     if shift is not None:
                         if shift[0] is not None:
-                            obs.append(shift[0])
+                            obs_flat.append(shift[0])
                         if cfg.edge_markers and shift[1] is not None:
                             edge.append(shift[1])
                 prev_indent = indent
             if cfg.header_context:
                 if header is not None and indent > header[1]:
-                    obs.extend(self._ctx_ids(header[0]))
+                    obs_flat.extend(self._ctx_ids(header[0]))
                 else:
                     header = None
                 if headword is not None:
                     header = (headword, indent)
             blank_run = 0
-            obs_seq.append(obs)
+            obs_counts.append(len(obs_flat) - start)
             edge_seq.append(edge)
-        return EncodedSequence(obs_ids=obs_seq, edge_ids=edge_seq)
+        return EncodedSequence.from_packed(obs_flat, obs_counts, edge_seq)
 
     def encode_lines(self, lines: list[str]) -> EncodedSequence:
         """Encode an already-filtered run of labelable lines.
@@ -220,15 +274,21 @@ class LineEncoder:
         indentation shifts and header context within the run remain.
         """
         cfg = self.featurizer.config
-        obs_seq: list[list[int]] = []
+        obs_flat: list[int] = []
+        obs_counts: list[int] = []
         edge_seq: list[list[int]] = []
         prev_indent: int | None = None
         header: tuple[str, int] | None = None
+        lines_get = self._lines.get
         for line in lines:
-            intrinsic_obs, intrinsic_edge, indent, headword = (
-                self._line_profile(line)
-            )
-            obs = list(intrinsic_obs)
+            profile = lines_get(line)
+            if profile is None:
+                profile = self._line_profile(line)
+            else:
+                self.hits += 1
+            intrinsic_obs, intrinsic_edge, indent, headword = profile
+            start = len(obs_flat)
+            obs_flat.extend(intrinsic_obs)
             edge = list(intrinsic_edge)
             if cfg.markers:
                 if prev_indent is not None:
@@ -239,17 +299,67 @@ class LineEncoder:
                     )
                     if shift is not None:
                         if shift[0] is not None:
-                            obs.append(shift[0])
+                            obs_flat.append(shift[0])
                         if cfg.edge_markers and shift[1] is not None:
                             edge.append(shift[1])
                 prev_indent = indent
             if cfg.header_context:
                 if header is not None and indent > header[1]:
-                    obs.extend(self._ctx_ids(header[0]))
+                    obs_flat.extend(self._ctx_ids(header[0]))
                 else:
                     header = None
                 if headword is not None:
                     header = (headword, indent)
-            obs_seq.append(obs)
+            obs_counts.append(len(obs_flat) - start)
             edge_seq.append(edge)
-        return EncodedSequence(obs_ids=obs_seq, edge_ids=edge_seq)
+        return EncodedSequence.from_packed(obs_flat, obs_counts, edge_seq)
+
+    # ------------------------------------------------------------------
+    # Persistence (warm starts)
+    # ------------------------------------------------------------------
+
+    def cache_state(self) -> dict:
+        """JSON-serializable snapshot of the per-line encoding caches.
+
+        Captures the encoded line profiles and context ids -- the
+        expensive, vocabulary-dependent part.  Validity is the caller's
+        problem: :meth:`WhoisParser.save_encoder_cache
+        <repro.parser.statistical.WhoisParser.save_encoder_cache>` wraps
+        the state in a vocabulary fingerprint so a stale snapshot is
+        discarded instead of silently mis-encoding.
+        """
+        return {
+            "lines": [
+                [line, list(obs), list(edge), indent, headword]
+                for line, (obs, edge, indent, headword)
+                in self._lines.items()
+            ],
+            "ctx": {head: list(ids) for head, ids in self._ctx.items()},
+            "labelable": [
+                [line, flag] for line, flag in self._labelable.items()
+            ],
+        }
+
+    def load_cache_state(self, state: dict) -> int:
+        """Warm the caches from a :meth:`cache_state` snapshot.
+
+        Entries beyond ``cache_size`` are dropped.  Returns the number of
+        line profiles loaded (also tracked as :attr:`warm_entries`).
+        """
+        loaded = 0
+        for line, obs, edge, indent, headword in state.get("lines", []):
+            if len(self._lines) >= self.cache_size:
+                break
+            if line not in self._lines:
+                self._lines[line] = (
+                    tuple(obs), tuple(edge), indent, headword
+                )
+                loaded += 1
+        for head, ids in state.get("ctx", {}).items():
+            self._ctx.setdefault(head, tuple(ids))
+        for line, flag in state.get("labelable", []):
+            if len(self._labelable) >= self.cache_size:
+                break
+            self._labelable.setdefault(line, flag)
+        self.warm_entries += loaded
+        return loaded

@@ -367,17 +367,34 @@ class WhoisParser(ParserBase):
             )
         return self._bulk_encoders
 
-    def _map_sharded(self, worker, records: list, jobs: int, chunk_size: int):
+    def _map_sharded(
+        self,
+        worker,
+        records: list,
+        jobs: int,
+        chunk_size: int,
+        start_method: str | None = None,
+    ):
         """Fan a bulk call out over ``jobs`` worker processes.
 
         Each worker runs the full single-process bulk pipeline on one
         contiguous shard (featurize, batch-decode both levels, assemble)
         and ships back only the small results -- the parser itself
         travels once per worker via the pool initializer.
+
+        ``start_method`` pins the multiprocessing start method; by
+        default ``fork`` is preferred (workers inherit the warm line
+        caches copy-on-write) with a fallback to the platform default
+        (``spawn`` on macOS/Windows), where the initializer pickles the
+        parser once per worker -- small when the model was loaded with
+        ``mmap=True``, since the weights pickle as a file descriptor
+        rather than as bytes.
         """
         import multiprocessing as mp
 
-        method = "fork" if "fork" in mp.get_all_start_methods() else None
+        method = start_method
+        if method is None:
+            method = "fork" if "fork" in mp.get_all_start_methods() else None
         ctx = mp.get_context(method)
         bounds = [len(records) * i // jobs for i in range(jobs + 1)]
         shards = [
@@ -396,6 +413,7 @@ class WhoisParser(ParserBase):
         *,
         jobs: int = 1,
         chunk_size: int = 256,
+        start_method: str | None = None,
     ) -> list[list[tuple[str, str, str | None]]]:
         """Bulk :meth:`label_lines` over many records.
 
@@ -404,13 +422,15 @@ class WhoisParser(ParserBase):
         through the memoizing per-line cache, the first level decodes in
         one batched Viterbi pass, then *all* registrant segments are
         gathered into a single second-level batch.  With ``jobs > 1``
-        the whole pipeline shards across processes.
+        the whole pipeline shards across processes (``start_method``
+        optionally pins the multiprocessing start method; see
+        :meth:`_map_sharded`).
         """
         records = list(records)
         if jobs > 1 and len(records) >= 2 * jobs:
             with obs.trace("parse.sharded_seconds", jobs=str(jobs)):
                 return self._map_sharded(
-                    _label_shard, records, jobs, chunk_size
+                    _label_shard, records, jobs, chunk_size, start_method
                 )
         block_encoder, registrant_encoder = self._encoders()
         lines_per: list[list[str]] = []
@@ -473,14 +493,27 @@ class WhoisParser(ParserBase):
         ):
             if encoder is None:
                 continue
-            hits, misses = encoder.drain_cache_stats()
+            hits, misses, full_skips = encoder.drain_cache_stats()
             if hits:
                 registry.inc("parse.line_cache.hits", hits, level=level)
             if misses:
                 registry.inc("parse.line_cache.misses", misses, level=level)
+            if full_skips:
+                registry.inc(
+                    "parse.encoder_cache_full", full_skips, level=level
+                )
             registry.set_gauge(
                 "parse.line_cache.hit_rate", encoder.hit_rate, level=level
             )
+            if encoder.warm_entries:
+                registry.set_gauge(
+                    "parse.encoder_cache_warm_entries",
+                    encoder.warm_entries,
+                    level=level,
+                )
+        from repro.crf.arena import get_arena
+
+        registry.set_gauge("parse.arena_bytes", get_arena().nbytes)
         registry.observe("parse.batch_records", n_records)
 
     def encoder_cache_totals(self) -> tuple[int, int]:
@@ -507,6 +540,7 @@ class WhoisParser(ParserBase):
         *,
         jobs: int = 1,
         chunk_size: int = 256,
+        start_method: str | None = None,
     ) -> list[ParsedRecord]:
         """Bulk :meth:`parse`: identical :class:`ParsedRecord` outputs,
         batched end to end.
@@ -514,13 +548,14 @@ class WhoisParser(ParserBase):
         This is the path the paper's Section 6 survey runs on -- parsing
         102M com records is ~400k chunks of this method, embarrassingly
         parallel across machines on top of the in-process ``jobs``
-        sharding.
+        sharding (``start_method`` optionally pins the multiprocessing
+        start method; see :meth:`_map_sharded`).
         """
         records = list(records)
         if jobs > 1 and len(records) >= 2 * jobs:
             with obs.trace("parse.sharded_seconds", jobs=str(jobs)):
                 return self._map_sharded(
-                    _parse_shard, records, jobs, chunk_size
+                    _parse_shard, records, jobs, chunk_size, start_method
                 )
         labeled_many = self.label_lines_many(records, chunk_size=chunk_size)
         with obs.trace("parse.assemble_seconds"):
@@ -568,7 +603,16 @@ class WhoisParser(ParserBase):
         (path / "parser.json").write_text(json.dumps(meta))
 
     @classmethod
-    def load(cls, path: str | Path) -> "WhoisParser":
+    def load(cls, path: str | Path, *, mmap: bool = False) -> "WhoisParser":
+        """Load a saved parser.
+
+        With ``mmap=True`` both CRFs map their weight vectors read-only
+        from the raw ``.npy`` snapshots (see :meth:`ChainCRF.load
+        <repro.crf.ChainCRF.load>`): every process loading the same
+        snapshot shares one physical copy of the weights, and pickling
+        the parser to a spawned ``parse_many`` worker ships a small file
+        descriptor instead of the arrays.
+        """
         path = Path(path)
         meta = json.loads((path / "parser.json").read_text())
         config = meta.get("featurizer_config")
@@ -583,10 +627,100 @@ class WhoisParser(ParserBase):
             parser.featurizer.lexicon = Lexicon.from_vocabulary(
                 meta["lexicon"]
             )
-        parser.block_crf = ChainCRF.load(path / "block")
+        parser.block_crf = ChainCRF.load(path / "block", mmap=mmap)
         if meta["has_second_level"]:
-            parser.registrant_crf = ChainCRF.load(path / "registrant")
+            parser.registrant_crf = ChainCRF.load(
+                path / "registrant", mmap=mmap
+            )
         else:
             parser.registrant_crf = None
         parser._trained_on = meta["trained_on"]
         return parser
+
+    # ------------------------------------------------------------------
+    # Encoder-cache persistence (warm starts)
+    # ------------------------------------------------------------------
+
+    def encoder_fingerprint(self) -> str:
+        """Hash of everything the cached line encodings depend on.
+
+        Covers the featurizer configuration, the frozen UNK lexicon, and
+        both levels' observation/edge vocabularies: if any of these
+        change, previously cached attribute ids are meaningless, so a
+        persisted cache carrying a different fingerprint must be
+        discarded.  Retrains that leave the vocabularies unchanged (the
+        common maintenance-loop case) keep the fingerprint stable and
+        the warm start valid.
+        """
+        import hashlib
+        from dataclasses import asdict
+
+        payload = {
+            "config": asdict(self.featurizer.config),
+            "lexicon": (
+                sorted(self.featurizer.lexicon.vocabulary)
+                if self.featurizer.lexicon is not None
+                else None
+            ),
+            "block": (
+                [self.block_crf.index.obs_vocab,
+                 self.block_crf.index.edge_vocab]
+                if self.block_crf.index is not None
+                else None
+            ),
+            "registrant": (
+                [self.registrant_crf.index.obs_vocab,
+                 self.registrant_crf.index.edge_vocab]
+                if self._has_second_level
+                else None
+            ),
+        }
+        blob = json.dumps(payload, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def save_encoder_cache(self, path: str | Path) -> int:
+        """Persist the warm line-encoder caches as fingerprinted JSON.
+
+        Returns the number of line profiles written.  Loading the file
+        back (:meth:`load_encoder_cache`) lets a restarted server, a
+        freshly spawned shard worker, or a maintenance-loop retrain with
+        unchanged vocabulary skip re-encoding the heavy-headed WHOIS
+        line distribution from scratch.
+        """
+        block_encoder, registrant_encoder = self._encoders()
+        state = {
+            "fingerprint": self.encoder_fingerprint(),
+            "block": block_encoder.cache_state(),
+            "registrant": (
+                registrant_encoder.cache_state()
+                if registrant_encoder is not None
+                else None
+            ),
+        }
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(state))
+        tmp.replace(path)
+        return len(state["block"]["lines"])
+
+    def load_encoder_cache(self, path: str | Path) -> int:
+        """Warm the line encoders from a :meth:`save_encoder_cache` file.
+
+        Returns the number of line profiles loaded; ``0`` when the file
+        is absent, unreadable, or was written under a different
+        vocabulary fingerprint (stale caches are never applied).
+        """
+        path = Path(path)
+        try:
+            state = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return 0
+        if state.get("fingerprint") != self.encoder_fingerprint():
+            return 0
+        block_encoder, registrant_encoder = self._encoders()
+        loaded = block_encoder.load_cache_state(state.get("block") or {})
+        if registrant_encoder is not None and state.get("registrant"):
+            loaded += registrant_encoder.load_cache_state(
+                state["registrant"]
+            )
+        return loaded

@@ -209,6 +209,12 @@ class ServeApp:
             server.close()
         await self.parse_batcher.stop()
         await self.rdap_batcher.stop()
+        # Persist the warm line-encoder caches so the next start of this
+        # registry (same vocabularies) hits on its very first batch.
+        try:
+            self.models.persist_encoder_cache()
+        except OSError:
+            pass  # read-only registry root; cold restart is still correct
         for server in self._servers:
             await server.wait_closed()
         self._servers.clear()

@@ -38,6 +38,7 @@ from repro.parser.statistical import WhoisParser
 __all__ = ["ModelRegistry"]
 
 _ACTIVE_FILE = "ACTIVE"
+_ENCODER_CACHE_FILE = "encoder_cache.json"
 
 
 class ModelRegistry:
@@ -46,11 +47,29 @@ class ModelRegistry:
     With ``root=None`` the registry is purely in-memory (tests, demos);
     with a directory, every publish persists and activation survives
     restarts.
+
+    Disk-backed versions load with ``mmap=True`` by default: weights are
+    memory-mapped read-only from the raw ``.npy`` snapshots, so
+    activating a new version is an mmap plus one pointer flip -- no
+    decompression, no private copy -- and every worker process mapping
+    the same snapshot shares one physical copy.  Superseded versions'
+    cached parsers are evicted on activation (keeping only the active
+    version and the rollback target), releasing their mappings instead
+    of accumulating one per swap.
+
+    Each version directory may also carry an ``encoder_cache.json``
+    (written by :meth:`persist_encoder_cache`, e.g. at server shutdown):
+    loading that version then warm-starts its line-encoder caches, so a
+    restarted server hits on its first batch instead of re-encoding the
+    WHOIS line distribution from scratch.
     """
 
-    def __init__(self, root: "str | Path | None" = None) -> None:
+    def __init__(
+        self, root: "str | Path | None" = None, *, mmap: bool = True
+    ) -> None:
         """In-memory registry; with ``root``, load and persist versions."""
         self.root = Path(root) if root is not None else None
+        self.mmap = mmap
         self._parsers: dict[str, WhoisParser] = {}
         self._versions: list[str] = []
         self._active: "tuple[str, WhoisParser] | None" = None
@@ -101,7 +120,17 @@ class ModelRegistry:
         if parser is None:
             if self.root is None:
                 raise KeyError(version)
-            parser = WhoisParser.load(self._version_path(version))
+            parser = WhoisParser.load(
+                self._version_path(version), mmap=self.mmap
+            )
+            cache_file = self._version_path(version) / _ENCODER_CACHE_FILE
+            if cache_file.exists():
+                loaded = parser.load_encoder_cache(cache_file)
+                if loaded:
+                    obs.inc("serve.encoder_cache_warm_loads")
+                    obs.set_gauge(
+                        "serve.encoder_cache_warm_entries", loaded
+                    )
             self._parsers[version] = parser
         return parser
 
@@ -141,6 +170,7 @@ class ModelRegistry:
         parser = self._load(version)
         self._active = (version, parser)
         self._history.append(version)
+        self._evict_stale()
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
             (self.root / _ACTIVE_FILE).write_text(version + "\n")
@@ -148,6 +178,40 @@ class ModelRegistry:
         obs.set_gauge(
             "serve.model_version",
             int(version[1:]) if version[1:].isdigit() else -1,
+        )
+
+    def _evict_stale(self) -> None:
+        """Drop cached parsers for versions that are neither active nor
+        the rollback target.
+
+        Only disk-backed registries evict (an in-memory registry cannot
+        reload what it drops).  In-flight batches holding the outgoing
+        parser finish safely -- eviction only releases *this* cache's
+        reference; the old mapping is unmapped when the last batch
+        drops its reference, which is what keeps repeated hot-swaps
+        from accumulating one mmap per superseded version.
+        """
+        if self.root is None:
+            return
+        keep = set(self._history[-2:])
+        for version in [v for v in self._parsers if v not in keep]:
+            del self._parsers[version]
+
+    def persist_encoder_cache(self) -> int:
+        """Write the active parser's warm line-encoder caches to disk.
+
+        The snapshot lands as ``encoder_cache.json`` inside the active
+        version's directory, fingerprinted against the vocabularies (see
+        :meth:`WhoisParser.save_encoder_cache
+        <repro.parser.statistical.WhoisParser.save_encoder_cache>`);
+        the next load of that version starts warm.  Returns the number
+        of line profiles written (0 for in-memory registries).
+        """
+        if self.root is None or self._active is None:
+            return 0
+        version, parser = self._active
+        return parser.save_encoder_cache(
+            self._version_path(version) / _ENCODER_CACHE_FILE
         )
 
     def rollback(self) -> str:
