@@ -7,6 +7,7 @@ Subcommands mirror the paper's workflow:
 - ``parse``     parse raw WHOIS text with a saved model
 - ``crawl``     run the simulated com crawl and save the thick records
 - ``survey``    build the Section 6 tables from crawled records
+- ``query``     look up one domain in a sqlite survey replica
 - ``rdap``      serve RDAP lookups over crawled records
 - ``serve``     run the online serving tier (micro-batching, port 43 + HTTP)
 - ``maintain``  run the §5.3 maintenance loop over a record stream
@@ -157,39 +158,42 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
 
 def _cmd_survey(args: argparse.Namespace) -> int:
     """Build the Section 6 survey tables from a crawl JSONL."""
+    from repro.survey.ingest import IngestJob, sharded_ingest
+    from repro.survey.store import open_store
+
+    if args.store == "sqlite" and not args.db:
+        print("error: --store sqlite requires --db PATH", file=sys.stderr)
+        return 2
     parser = WhoisParser.load(args.model, mmap=args.mmap)
     if args.encoder_cache:
         parser.load_encoder_cache(args.encoder_cache)
     with Path(args.crawl).open("r", encoding="utf-8") as handle:
         rows = [json.loads(line) for line in handle]
-    rows = [row for row in rows if row.get("thick_text")]
-    db = SurveyDatabase()
+    jobs = [
+        IngestJob(domain=row["domain"], text=row["thick_text"])
+        for row in rows
+        if row.get("thick_text")
+    ]
+    gate = None
     if args.quarantine:
         from repro.resilience import RecordGate
 
         gate = RecordGate(min_mean_confidence=args.min_confidence)
-        kept = []
-        for row in rows:
-            error = gate.inspect(row["domain"], row["thick_text"], parser)
-            if error is None:
-                kept.append(row)
-            else:
-                db.add_quarantined(row["domain"], row["thick_text"], error)
-        rows = kept
-    # The survey is the paper's bulk workload: parse the whole crawl in
-    # one parse_many call (sharded across --jobs processes).
-    parsed_records = parser.parse_many(
-        [row["thick_text"] for row in rows], jobs=args.jobs
-    )
-    for row, parsed in zip(rows, parsed_records):
-        db.add_parsed(row["domain"], parsed)
+    # The survey is the paper's bulk workload: the whole crawl runs
+    # through the sharded admit -> parse -> normalize -> write pipeline
+    # (--shards worker processes; --shards 1 parses inline).
+    shards = args.shards if args.shards is not None else args.jobs
+    store = open_store(args.store, args.db, fresh=True)
+    db = sharded_ingest(jobs, parser, store=store, shards=shards, gate=gate)
     if args.encoder_cache:
         parser.save_encoder_cache(args.encoder_cache)
     print(f"parsed {len(db)} records")
-    if db.quarantine:
+    if args.db:
+        print(f"survey replica: {args.db}")
+    if db.n_quarantined:
         counts = ", ".join(f"{code}={n}" for code, n
                            in sorted(db.quarantine_counts().items()))
-        print(f"quarantined {len(db.quarantine)} records: {counts}")
+        print(f"quarantined {db.n_quarantined} records: {counts}")
     print()
     print(format_table(top_registrant_countries(db),
                        title="Top registrant countries (Table 3)",
@@ -202,7 +206,45 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     print(format_table(top_privacy_services(db),
                        title="Top privacy services (Table 7)",
                        key_header="Protection Service"))
+    db.close()
     return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """Answer a point query for one domain from a sqlite survey replica."""
+    from repro.survey.store import SqliteStore
+
+    if not Path(args.db).exists():
+        print(f"error: no survey replica at {args.db}", file=sys.stderr)
+        return 2
+    store = SqliteStore(args.db, read_only=True)
+    try:
+        entry = store.get(args.domain.lower())
+        if entry is None:
+            print(f"{args.domain}: not in survey", file=sys.stderr)
+            return 1
+        if args.json:
+            record = store.get_record(entry.domain)
+            payload = record if record is not None else {
+                "domain": entry.domain,
+                "registrar": entry.registrar,
+                "created": entry.created.isoformat() if entry.created else None,
+                "registrant": {"org": entry.org, "country": entry.country},
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        print(f"domain:     {entry.domain}")
+        print(f"registrar:  {entry.registrar or '(unknown)'}")
+        print(f"created:    {entry.created or '(unknown)'}")
+        print(f"country:    {entry.country or '(unknown)'}")
+        print(f"org:        {entry.org or '(unknown)'}")
+        if entry.is_private:
+            print(f"privacy:    {entry.privacy_service or '(unnamed service)'}")
+        if entry.blacklisted:
+            print("blacklist:  listed")
+        return 0
+    finally:
+        store.close()
 
 
 def _cmd_rdap(args: argparse.Namespace) -> int:
@@ -476,7 +518,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
     survey.add_argument("model", help="model directory")
     survey.add_argument("crawl", help="crawl JSONL from the crawl command")
     survey.add_argument("--jobs", type=int, default=1,
-                       help="parser worker processes")
+                       help="parser worker processes (alias for --shards)")
+    survey.add_argument("--store", choices=("memory", "sqlite"),
+                        default="memory",
+                        help="survey backend: in-memory rows, or a durable "
+                             "sqlite replica (requires --db)")
+    survey.add_argument("--db", metavar="PATH", default=None,
+                        help="sqlite replica path for --store sqlite")
+    survey.add_argument("--shards", type=int, default=None,
+                        help="ingest worker processes; each shard gates, "
+                             "parses, and writes its own replica before the "
+                             "merge (defaults to --jobs)")
     survey.add_argument("--quarantine", action="store_true",
                         help="gate records before parsing; reject garbled/"
                              "truncated ones into the quarantine table")
@@ -491,6 +543,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "and write them back after the survey")
     add_metrics_out(survey)
     survey.set_defaults(func=_cmd_survey)
+
+    query = sub.add_parser(
+        "query", help="look up one domain in a sqlite survey replica"
+    )
+    query.add_argument("domain", help="domain to look up")
+    query.add_argument("--db", required=True, metavar="PATH",
+                       help="sqlite replica written by survey --store sqlite")
+    query.add_argument("--json", action="store_true",
+                       help="print the full parsed record as JSON")
+    query.set_defaults(func=_cmd_query)
 
     rdap = sub.add_parser(
         "rdap", help="RDAP lookups over crawled records"

@@ -29,6 +29,7 @@ __all__ = [
     "TransientServerError",
     "Truncated",
     "Unavailable",
+    "error_from_payload",
     "error_payload",
 ]
 
@@ -194,3 +195,36 @@ def error_payload(exc: BaseException) -> dict[str, Any]:
         "status": 500,
         "detail": f"{type(exc).__name__}: {exc}",
     }
+
+
+def _taxonomy_by_code() -> dict[str, type[ReproError]]:
+    """code -> class for every concrete taxonomy member."""
+    index: dict[str, type[ReproError]] = {}
+    stack = [ReproError]
+    while stack:
+        cls = stack.pop()
+        index.setdefault(cls.code, cls)
+        stack.extend(cls.__subclasses__())
+    return index
+
+
+def error_from_payload(payload: dict[str, Any]) -> ReproError:
+    """Revive a typed error from its :func:`error_payload` serialization.
+
+    The inverse direction the durable survey store needs: quarantine
+    rows persist their rejection reason as a payload, and reading the
+    replica back must yield the same typed error (code, detail, and --
+    for :class:`CrawlError` families -- server/domain/attempts).
+    Unknown codes revive as plain :class:`ReproError` so a newer
+    replica still loads, keeping its ``detail`` text.
+    """
+    cls = _taxonomy_by_code().get(payload.get("code", "error"), ReproError)
+    detail = payload.get("detail", "")
+    if issubclass(cls, CrawlError):
+        return cls(
+            detail,
+            server=payload.get("server"),
+            domain=payload.get("domain"),
+            attempts=payload.get("attempts", 0),
+        )
+    return cls(detail)

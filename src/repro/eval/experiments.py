@@ -274,6 +274,8 @@ def crawl_and_survey(
     retry_policy=None,
     breaker=None,
     gate=None,
+    store=None,
+    shards: int = 1,
 ) -> tuple[CrawlStats, SurveyDatabase, WhoisParser]:
     """End-to-end pipeline: crawl the zone, parse, build the database.
 
@@ -282,6 +284,13 @@ def crawl_and_survey(
     per-record loop, at survey throughput.  DBL-listed registrations are
     appended to the survey database directly (the blacklist join of
     Section 6.4).
+
+    ``store`` selects the survey backend (any
+    :class:`~repro.survey.store.SurveyStore`; in-memory by default) and
+    ``shards`` > 1 routes ingest through
+    :func:`~repro.survey.ingest.sharded_ingest`, fanning the admit ->
+    parse -> normalize -> write pipeline across worker processes while
+    keeping rows identical to the single-process path.
 
     Resilience knobs: ``fault_profile`` (a name from
     :data:`repro.netsim.faults.PROFILES`, a JSON path, or a
@@ -292,6 +301,7 @@ def crawl_and_survey(
     of counting them as ok.
     """
     from repro.resilience.quarantine import RecordGate
+    from repro.survey.ingest import jobs_from_results, sharded_ingest
 
     generator = CorpusGenerator(CorpusConfig(seed=seed))
     train = generator.labeled_corpus(n_train)
@@ -309,10 +319,16 @@ def crawl_and_survey(
 
     if gate is None and fault_profile is not None:
         gate = RecordGate()
-    parsed_crawl = WhoisCrawler.parse_results(
-        results, parser, jobs=jobs, gate=gate, stats=crawler.stats
-    )
-    db = SurveyDatabase.from_parsed_crawl(parsed_crawl)
+    if store is not None or shards > 1:
+        db = sharded_ingest(
+            jobs_from_results(results), parser,
+            store=store, shards=shards, gate=gate, stats=crawler.stats,
+        )
+    else:
+        parsed_crawl = WhoisCrawler.parse_results(
+            results, parser, jobs=jobs, gate=gate, stats=crawler.stats
+        )
+        db = SurveyDatabase.from_parsed_crawl(parsed_crawl)
     dbl_records = [
         generator.render(registration)
         for registration in generator.dbl_registrations(n_dbl)
@@ -322,6 +338,7 @@ def crawl_and_survey(
     )
     for record, parsed in zip(dbl_records, parsed_dbl):
         db.add_parsed(record.domain, parsed, blacklisted=True)
+    db.flush()
     return crawler.stats, db, parser
 
 

@@ -15,14 +15,17 @@ class SimClock:
         self._now = float(start)
 
     def now(self) -> float:
+        """Current virtual time in seconds since the epoch ``start``."""
         return self._now
 
     def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` and return the new now."""
         if seconds < 0:
             raise ValueError("time cannot run backwards")
         self._now += seconds
         return self._now
 
     def sleep_until(self, deadline: float) -> None:
+        """Jump straight to ``deadline`` (no-op when already past it)."""
         if deadline > self._now:
             self._now = deadline

@@ -93,6 +93,7 @@ class CrawlResult:
 
     @property
     def status(self) -> str:
+        """Legacy status string, derived from the fetched texts."""
         if self.no_match:
             return "no_match"
         if self.thick_text is not None:
@@ -103,10 +104,12 @@ class CrawlResult:
 
     @property
     def has_thick(self) -> bool:
+        """Whether a thick (registrar) record was fetched."""
         return self.thick_text is not None
 
     @property
     def error_code(self) -> str | None:
+        """Taxonomy code of the crawl error, or None on success."""
         return self.error.code if self.error is not None else None
 
 
@@ -127,6 +130,7 @@ class CrawlStats:
     """
 
     def __init__(self) -> None:
+        """Start all buckets empty; statuses accrue via :meth:`record`."""
         self.queries_sent: int = 0
         self.rate_limit_events: int = 0
         self.inferred_intervals: dict[str, float] = {}
@@ -175,46 +179,57 @@ class CrawlStats:
 
     @property
     def ok(self) -> int:
+        """Domains whose thick record was fetched and kept."""
         return self._count("ok")
 
     @ok.setter
     def ok(self, value: int) -> None:
+        """Deprecated: detaches the bucket from per-domain tracking."""
         self._override("ok", value)
 
     @property
     def no_match(self) -> int:
+        """Domains the registry reported as unregistered."""
         return self._count("no_match")
 
     @no_match.setter
     def no_match(self, value: int) -> None:
+        """Deprecated: detaches the bucket from per-domain tracking."""
         self._override("no_match", value)
 
     @property
     def thin_only(self) -> int:
+        """Domains where only the registry's thin record arrived."""
         return self._count("thin_only")
 
     @thin_only.setter
     def thin_only(self, value: int) -> None:
+        """Deprecated: detaches the bucket from per-domain tracking."""
         self._override("thin_only", value)
 
     @property
     def failed(self) -> int:
+        """Domains with no usable record at all."""
         return self._count("failed")
 
     @failed.setter
     def failed(self, value: int) -> None:
+        """Deprecated: detaches the bucket from per-domain tracking."""
         self._override("failed", value)
 
     @property
     def quarantined(self) -> int:
+        """Domains whose fetched thick record the gate later rejected."""
         return self._count("quarantined")
 
     @property
     def total(self) -> int:
+        """Distinct domains with any recorded status."""
         return sum(self._status_counts.values())
 
     @total.setter
     def total(self, value: int) -> None:
+        """Deprecated no-op: total always derives from statuses."""
         warnings.warn(
             "direct mutation of CrawlStats.total is deprecated and has no "
             "effect; total derives from recorded statuses",
@@ -287,6 +302,7 @@ class WhoisCrawler:
         hedge: Hedge | None = None,
         breaker: BreakerPolicy | None = None,
     ) -> None:
+        """Wire the crawler to ``internet`` with its pacing/recovery knobs."""
         if not source_ips:
             raise ValueError("need at least one source IP")
         self.internet = internet
@@ -409,6 +425,7 @@ class WhoisCrawler:
     # ------------------------------------------------------------------
 
     def crawl_domain(self, domain: str) -> CrawlResult:
+        """Run the two-step thin -> referral -> thick crawl for one domain."""
         try:
             thin = self._paced_query(
                 self.registry_host, f"domain {domain}", domain=domain
@@ -550,4 +567,5 @@ class ParsedCrawl:
 
     @property
     def pairs(self) -> "list[tuple[CrawlResult, ParsedRecord]]":
+        """The (result, parsed) pairs as a materialized list."""
         return list(zip(self.results, self.parsed))

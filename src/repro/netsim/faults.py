@@ -41,6 +41,7 @@ class FlapSchedule:
             raise ValueError("flap schedule needs 0 <= downtime <= period")
 
     def is_down(self, now: float) -> bool:
+        """Whether the server is in its dark window at time ``now``."""
         return (now - self.phase) % self.period < self.downtime
 
 
@@ -77,6 +78,7 @@ class FaultProfile:
 
     @property
     def is_noop(self) -> bool:
+        """True when every fault rate is zero (a clean internet)."""
         return (
             self.timeout_rate == self.reset_rate == self.transient_rate
             == self.truncate_rate == self.garble_rate == self.empty_rate
@@ -85,6 +87,7 @@ class FaultProfile:
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultProfile":
+        """Build a profile from plain JSON-ish data, rejecting unknown keys."""
         data = dict(data)
         if "flap" in data and isinstance(data["flap"], dict):
             data["flap"] = FlapSchedule(**data["flap"])
@@ -161,6 +164,7 @@ class FaultPlan:
     """
 
     def __init__(self, profile: FaultProfile, *, seed: int = 0) -> None:
+        """Bind ``profile`` to a seed; decisions derive from both."""
         self.profile = profile
         self.seed = seed
         self._counts: dict[str, int] = {}

@@ -38,12 +38,14 @@ class SimulatedInternet:
         latency: float = 0.05,
         faults: "FaultPlan | None" = None,
     ) -> None:
+        """An empty internet on ``clock``; servers join via add_server."""
         self.clock = clock
         self.latency = latency
         self.faults = faults
         self.servers: dict[str, WhoisServer] = {}
 
     def add_server(self, server: WhoisServer) -> None:
+        """Register a server under its hostname (must be unique)."""
         if server.hostname in self.servers:
             raise ValueError(f"duplicate hostname {server.hostname}")
         self.servers[server.hostname] = server

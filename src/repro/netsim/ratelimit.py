@@ -39,6 +39,7 @@ class RateLimiter:
         penalty: float,
         punish_during_penalty: bool = True,
     ) -> None:
+        """Configure the window, its query budget, and the penalty."""
         if limit < 1 or window <= 0 or penalty < 0:
             raise ValueError("invalid rate limit parameters")
         self.clock = clock
@@ -66,9 +67,11 @@ class RateLimiter:
         return True
 
     def is_penalized(self, source_ip: str) -> bool:
+        """Whether ``source_ip`` is currently inside a penalty window."""
         state = self._sources.get(source_ip)
         return state is not None and self.clock.now() < state.penalty_until
 
     def trips(self, source_ip: str) -> int:
+        """How many times ``source_ip`` has tripped the limit so far."""
         state = self._sources.get(source_ip)
         return state.trip_count if state else 0

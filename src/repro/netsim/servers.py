@@ -14,6 +14,8 @@ from repro.netsim.ratelimit import RateLimiter
 
 
 class QueryOutcome(str, Enum):
+    """How a server answered (or failed to answer) one query."""
+
     OK = "ok"
     NO_MATCH = "no_match"
     RATE_LIMITED = "rate_limited"
@@ -29,11 +31,14 @@ class QueryOutcome(str, Enum):
 
 @dataclass(frozen=True)
 class Response:
+    """One wire response: the outcome plus the record text, if any."""
+
     outcome: QueryOutcome
     text: str = ""
 
     @property
     def is_valid(self) -> bool:
+        """Whether the answer is usable (a record or a clean no-match)."""
         return self.outcome in (QueryOutcome.OK, QueryOutcome.NO_MATCH)
 
 
@@ -49,6 +54,7 @@ class WhoisServer:
         drop_rate: float = 0.0,
         seed: int = 0,
     ) -> None:
+        """Set up the limiter and drop dice for ``hostname``."""
         self.hostname = hostname
         self.clock = clock
         self.spec = rate_limit
@@ -66,6 +72,7 @@ class WhoisServer:
     # -- lookup, overridden by subclasses --------------------------------
 
     def lookup(self, domain: str) -> str | None:
+        """Record text for ``domain``, or None (subclasses decide)."""
         raise NotImplementedError
 
     def query(self, source_ip: str, query: str) -> Response:
@@ -103,6 +110,7 @@ class RegistryServer(WhoisServer):
         rate_limit: RateLimitSpec | None = None,
         expired: set[str] | None = None,
     ) -> None:
+        """Serve thin records for ``registrations`` minus ``expired``."""
         super().__init__(
             hostname,
             clock,
@@ -114,6 +122,7 @@ class RegistryServer(WhoisServer):
         self._thin_cache: dict[str, str] = {}
 
     def lookup(self, domain: str) -> str | None:
+        """Render (and cache) the thin record, or None if unregistered."""
         if domain in self._expired:
             return None
         registration = self._registrations.get(domain)
@@ -141,7 +150,9 @@ class RegistrarServer(WhoisServer):
         self._records = records
 
     def lookup(self, domain: str) -> str | None:
+        """The thick record this registrar sponsors, or None."""
         return self._records.get(domain)
 
     def add_record(self, domain: str, text: str) -> None:
+        """Install (or replace) the thick record for ``domain``."""
         self._records[domain] = text

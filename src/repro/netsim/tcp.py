@@ -28,6 +28,7 @@ class AsyncWhoisServer:
 
     def __init__(self, lookup: LookupFn, *, host: str = "127.0.0.1",
                  port: int = 0) -> None:
+        """Bind ``lookup`` to an address (port 0 picks an ephemeral one)."""
         self._lookup = lookup
         self._host = host
         self._requested_port = port
@@ -36,6 +37,7 @@ class AsyncWhoisServer:
         self.queries_served = 0
 
     async def start(self) -> "AsyncWhoisServer":
+        """Start listening; ``self.port`` holds the bound port after."""
         self._server = await asyncio.start_server(
             self._handle, self._host, self._requested_port
         )
@@ -43,6 +45,7 @@ class AsyncWhoisServer:
         return self
 
     async def stop(self) -> None:
+        """Close the listener and wait for it to wind down."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()

@@ -1,4 +1,12 @@
-"""The Section 6 survey: registrants, registrars, privacy, blacklists."""
+"""The Section 6 survey: registrants, registrars, privacy, blacklists.
+
+The package is layered: :mod:`~repro.survey.store` holds the storage
+backends (in-memory, sqlite replica), :mod:`~repro.survey.database` the
+:class:`SurveyDatabase` facade and normalization,
+:mod:`~repro.survey.ingest` the sharded ingest work queue, and
+:mod:`~repro.survey.analysis` / :mod:`~repro.survey.report` the paper's
+tables over the store's query API.
+"""
 
 from repro.survey.analysis import (
     brand_companies,
@@ -12,7 +20,8 @@ from repro.survey.analysis import (
     top_registrant_countries,
     top_registrars,
 )
-from repro.survey.database import DomainEntry, SurveyDatabase
+from repro.survey.database import DomainEntry, SurveyDatabase, entry_from_parsed
+from repro.survey.ingest import IngestJob, jobs_from_results, sharded_ingest
 from repro.survey.normalize import (
     canonical_country,
     canonical_registrar,
@@ -20,10 +29,22 @@ from repro.survey.normalize import (
     detect_privacy_service,
 )
 from repro.survey.report import format_histogram, format_proportions, format_table
+from repro.survey.store import (
+    EntryFilter,
+    MemoryStore,
+    SqliteStore,
+    SurveyStore,
+    open_store,
+)
 
 __all__ = [
     "DomainEntry",
+    "EntryFilter",
+    "IngestJob",
+    "MemoryStore",
+    "SqliteStore",
     "SurveyDatabase",
+    "SurveyStore",
     "brand_companies",
     "canonical_country",
     "canonical_registrar",
@@ -33,11 +54,15 @@ __all__ = [
     "dbl_registrars",
     "detect_brand",
     "detect_privacy_service",
+    "entry_from_parsed",
     "format_histogram",
     "format_proportions",
     "format_table",
+    "jobs_from_results",
+    "open_store",
     "privacy_by_registrar",
     "registrar_country_mix",
+    "sharded_ingest",
     "top_privacy_services",
     "top_registrant_countries",
     "top_registrars",

@@ -1,4 +1,12 @@
-"""Aggregations reproducing Tables 3-9 and Figures 4-5 of Section 6."""
+"""Aggregations reproducing Tables 3-9 and Figures 4-5 of Section 6.
+
+Every table runs on the :class:`~repro.survey.store.SurveyStore` query
+API -- grouped counts and streaming iterators -- so the same function
+answers from an in-memory survey or a 100x-larger sqlite replica
+without materializing entry lists.  Rankings break count ties
+deterministically (by key) so the two backends produce bit-identical
+tables regardless of row order.
+"""
 
 from __future__ import annotations
 
@@ -18,6 +26,14 @@ class TableRow:
     share: float  # fraction of the table's total
 
 
+def _top(counts: Counter, k: int | None) -> list[tuple[str, int]]:
+    """Highest-count items, ties broken by key: deterministic across
+    backends (a Counter built from a SQL GROUP BY arrives in key order,
+    one built from an entry scan in first-seen order)."""
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], str(item[0])))
+    return ranked if k is None else ranked[:k]
+
+
 def _ranking(
     counts: Counter, total: int, k: int, *, other_label: str = "(Other)",
     unknown_label: str | None = None, unknown_count: int = 0,
@@ -25,7 +41,7 @@ def _ranking(
     """Top-k rows plus aggregated (Other) and optional (Unknown) rows."""
     rows = [
         TableRow(key, count, count / total if total else 0.0)
-        for key, count in counts.most_common(k)
+        for key, count in _top(counts, k)
     ]
     other = total - sum(r.count for r in rows) - unknown_count
     if other > 0:
@@ -50,14 +66,13 @@ def top_registrant_countries(
     """Table 3: top registrant countries, excluding privacy-protected
     domains, with an (Unknown) row for records lacking country data."""
     scope = (db.created_in(year) if year is not None else db).public()
-    counts: Counter = Counter()
-    unknown = 0
-    for entry in scope:
-        if entry.country is None:
-            unknown += 1
-        else:
-            counts[_country_name(entry.country)] += 1
-    return _ranking(counts, len(scope), k,
+    by_code = scope.group_counts("country")
+    unknown = by_code.pop(None, 0)
+    total = sum(by_code.values()) + unknown
+    counts = Counter()
+    for code, count in by_code.items():
+        counts[_country_name(code)] += count
+    return _ranking(counts, total, k,
                     unknown_label="(Unknown)", unknown_count=unknown)
 
 
@@ -66,38 +81,45 @@ def top_registrars(
 ) -> list[TableRow]:
     """Table 5: top registrars by registrations."""
     scope = db.created_in(year) if year is not None else db
-    counts = Counter(e.registrar or "(Unknown)" for e in scope)
-    return _ranking(counts, len(scope), k)
+    by_registrar = scope.group_counts("registrar")
+    counts = Counter()
+    for registrar, count in by_registrar.items():
+        counts[registrar or "(Unknown)"] += count
+    return _ranking(counts, sum(counts.values()), k)
 
 
 def top_privacy_services(db: SurveyDatabase, *, k: int = 10) -> list[TableRow]:
     """Table 7: top privacy protection services among protected domains."""
-    protected = [e for e in db if e.is_private]
-    counts = Counter(e.privacy_service for e in protected)
-    return _ranking(counts, len(protected), k)
+    counts = db.private().group_counts("privacy_service")
+    counts.pop(None, None)
+    return _ranking(counts, sum(counts.values()), k)
 
 
 def privacy_by_registrar(db: SurveyDatabase, *, k: int = 10) -> list[TableRow]:
     """Table 6: registrars through which protected domains were registered."""
-    protected = [e for e in db if e.is_private]
-    counts = Counter(e.registrar or "(Unknown)" for e in protected)
-    return _ranking(counts, len(protected), k)
+    by_registrar = db.private().group_counts("registrar")
+    counts = Counter()
+    for registrar, count in by_registrar.items():
+        counts[registrar or "(Unknown)"] += count
+    return _ranking(counts, sum(counts.values()), k)
 
 
 def privacy_rate(db: SurveyDatabase) -> float:
     """Overall fraction of domains using privacy protection (paper: ~20%)."""
-    if not len(db):
+    total = len(db)
+    if not total:
         return 0.0
-    return sum(e.is_private for e in db) / len(db)
+    return len(db.private()) / total
 
 
 def brand_companies(db: SurveyDatabase) -> list[TableRow]:
     """Table 4: well-known brand companies with the most com domains."""
-    counts = Counter(e.brand for e in db if e.brand)
+    counts = db.group_counts("brand")
+    counts.pop(None, None)
     total = sum(counts.values())
     return [
         TableRow(brand, count, count / total if total else 0.0)
-        for brand, count in counts.most_common()
+        for brand, count in _top(counts, None)
     ]
 
 
@@ -116,9 +138,8 @@ def dbl_registrars(db: SurveyDatabase, *, year: int = 2014,
 
 def creation_histogram(db: SurveyDatabase) -> dict[int, int]:
     """Figure 4a: number of domains created per year."""
-    counts = Counter(
-        e.creation_year for e in db if e.creation_year is not None
-    )
+    counts = db.group_counts("creation_year")
+    counts.pop(None, None)
     return dict(sorted(counts.items()))
 
 
@@ -129,7 +150,12 @@ def country_proportions_by_year(
     min_year: int = 1995,
 ) -> dict[int, dict[str, float]]:
     """Figure 4b: per-year breakdown into the five largest registrant
-    countries, privacy-protected, unknown, and other."""
+    countries, privacy-protected, unknown, and other.
+
+    A single streaming pass over the store: per-year Counters are tiny
+    (a handful of buckets per year), so this never materializes entries
+    even against a replica larger than RAM.
+    """
     by_year: dict[int, Counter] = {}
     totals: Counter = Counter()
     for entry in db:
@@ -162,12 +188,12 @@ def registrar_country_mix(
 
     Records lacking country data appear as ``[]``, as in the paper's plot.
     """
-    entries = [
-        e for e in db.public() if e.registrar == registrar
-    ]
-    counts = Counter(e.country if e.country else "[]" for e in entries)
-    total = len(entries)
+    by_code = db.public().registered_with(registrar).group_counts("country")
+    counts = Counter()
+    for code, count in by_code.items():
+        counts[code if code else "[]"] += count
+    total = sum(counts.values())
     return [
         TableRow(code, count, count / total if total else 0.0)
-        for code, count in counts.most_common(k)
+        for code, count in _top(counts, k)
     ]

@@ -5,18 +5,26 @@ reveals the registration dynamics between them: drops, new registrations,
 renewals, registrar transfers, registrant changes, and privacy toggles.
 All detection runs on *parsed* fields, so the comparison exercises the
 parser end to end rather than trusting the generator's ground truth.
+
+The diff streams: both snapshots are read through domain-sorted cursors
+(:meth:`SurveyDatabase.iter_by_domain`) and merge-joined, so comparing
+two sqlite replicas never holds either crawl in memory -- the working
+set is two entries plus the change lists.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.survey.database import DomainEntry, SurveyDatabase
 
 
 @dataclass(frozen=True)
 class DomainChange:
+    """One detected change to one domain between the two snapshots."""
+
     domain: str
     kind: str
     before: str | None = None
@@ -38,6 +46,7 @@ class ChurnReport:
     privacy_removed: list[str] = field(default_factory=list)
 
     def summary(self) -> dict[str, int]:
+        """Counts of every change category (the ``format_churn`` rows)."""
         return {
             "first_snapshot": self.n_first,
             "second_snapshot": self.n_second,
@@ -59,8 +68,20 @@ class ChurnReport:
         return [(a, b, n) for (a, b), n in flows.most_common(k)]
 
 
-def _index(db: SurveyDatabase) -> dict[str, DomainEntry]:
-    return {entry.domain: entry for entry in db}
+def _last_per_domain(db: SurveyDatabase) -> Iterator[DomainEntry]:
+    """Stream one entry per domain, in domain order.
+
+    When a snapshot holds several rows for one domain (re-crawls), the
+    most recently ingested row wins -- the same "last write wins"
+    semantics the old dict index had.
+    """
+    previous: DomainEntry | None = None
+    for entry in db.iter_by_domain():
+        if previous is not None and entry.domain != previous.domain:
+            yield previous
+        previous = entry
+    if previous is not None:
+        yield previous
 
 
 def diff_snapshots(
@@ -70,36 +91,52 @@ def diff_snapshots(
     first_expiries: dict[str, object] | None = None,
     second_expiries: dict[str, object] | None = None,
 ) -> ChurnReport:
-    """Diff two parsed snapshots.
+    """Diff two parsed snapshots with a streaming merge-join.
 
-    Expiry dates are not part of :class:`DomainEntry` (the survey keys on
-    creation dates), so renewal detection uses the optional per-domain
-    expiry maps, typically built from ``ParsedRecord.expires``.
+    Both snapshots are consumed through domain-sorted iterators, two
+    entries resident at a time, so two on-disk replicas diff in one pass
+    without loading either crawl.  Expiry dates are not part of
+    :class:`DomainEntry` (the survey keys on creation dates), so renewal
+    detection uses the optional per-domain expiry maps, typically built
+    from ``ParsedRecord.expires``.
     """
-    before = _index(first)
-    after = _index(second)
-    report = ChurnReport(n_first=len(before), n_second=len(after))
-    report.dropped = sorted(set(before) - set(after))
-    report.appeared = sorted(set(after) - set(before))
-    for domain in sorted(set(before) & set(after)):
-        b, a = before[domain], after[domain]
-        if b.registrar != a.registrar and a.registrar is not None:
+    report = ChurnReport()
+    stream_a = _last_per_domain(first)
+    stream_b = _last_per_domain(second)
+    a = next(stream_a, None)
+    b = next(stream_b, None)
+    while a is not None or b is not None:
+        if b is None or (a is not None and a.domain < b.domain):
+            report.n_first += 1
+            report.dropped.append(a.domain)
+            a = next(stream_a, None)
+            continue
+        if a is None or b.domain < a.domain:
+            report.n_second += 1
+            report.appeared.append(b.domain)
+            b = next(stream_b, None)
+            continue
+        # Same domain on both sides: field-level comparison.
+        report.n_first += 1
+        report.n_second += 1
+        domain = a.domain
+        if a.registrar != b.registrar and b.registrar is not None:
             report.transferred.append(
-                DomainChange(domain, "transferred", b.registrar, a.registrar)
+                DomainChange(domain, "transferred", a.registrar, b.registrar)
             )
-        if not b.is_private and a.is_private:
+        if not a.is_private and b.is_private:
             report.privacy_added.append(domain)
-        elif b.is_private and not a.is_private:
+        elif a.is_private and not b.is_private:
             report.privacy_removed.append(domain)
         elif (
-            not b.is_private
-            and not a.is_private
-            and b.org is not None
+            not a.is_private
+            and not b.is_private
             and a.org is not None
-            and b.org != a.org
+            and b.org is not None
+            and a.org != b.org
         ):
             report.registrant_changed.append(
-                DomainChange(domain, "registrant_changed", b.org, a.org)
+                DomainChange(domain, "registrant_changed", a.org, b.org)
             )
         if first_expiries and second_expiries:
             old = first_expiries.get(domain)
@@ -108,10 +145,13 @@ def diff_snapshots(
                 report.renewed.append(
                     DomainChange(domain, "renewed", str(old), str(new))
                 )
+        a = next(stream_a, None)
+        b = next(stream_b, None)
     return report
 
 
 def format_churn(report: ChurnReport) -> str:
+    """Render a churn report in the survey's table style."""
     lines = ["Churn between crawls", "-" * 40]
     for key, value in report.summary().items():
         lines.append(f"{key:<20} {value:>8,}")

@@ -2,16 +2,22 @@
 
 "With our parser in hand, we applied it to our crawl of the WHOIS records
 of com domains and constructed a database of the fields extracted by the
-parser."  :class:`SurveyDatabase` is that database, built either directly
-from :class:`~repro.parser.fields.ParsedRecord` objects or from crawl
-results run through a parser.
+parser."  :class:`SurveyDatabase` is that database -- now a thin facade
+over a pluggable :class:`~repro.survey.store.SurveyStore` backend: the
+in-memory :class:`~repro.survey.store.MemoryStore` by default, or the
+durable :class:`~repro.survey.store.SqliteStore` replica for paper-scale
+surveys.  Filter methods (:meth:`created_in`, :meth:`public`, ...) return
+lightweight *views* sharing the same store with a composed
+:class:`~repro.survey.store.EntryFilter`, so Section 6 tables aggregate
+in the backend instead of copying entry lists.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, replace
 from datetime import date
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Iterator
 
 from repro import obs
 from repro.errors import CrawlError
@@ -22,6 +28,12 @@ from repro.survey.normalize import (
     canonical_registrar,
     detect_brand,
     detect_privacy_service,
+)
+from repro.survey.store import (
+    MATCH_ALL,
+    EntryFilter,
+    MemoryStore,
+    SurveyStore,
 )
 
 
@@ -40,30 +52,147 @@ class DomainEntry:
 
     @property
     def is_private(self) -> bool:
+        """Whether a privacy/proxy service shields the registrant."""
         return self.privacy_service is not None
 
     @property
     def creation_year(self) -> int | None:
+        """Year of the creation date (None when the date is unknown)."""
         return self.created.year if self.created else None
 
 
-class SurveyDatabase:
-    """An append-only collection of :class:`DomainEntry` rows.
+def entry_from_parsed(
+    domain: str,
+    parsed: ParsedRecord,
+    *,
+    registrar_hint: str | None = None,
+    blacklisted: bool = False,
+) -> DomainEntry:
+    """Normalize one parsed record into a :class:`DomainEntry`.
 
-    Records the parser rejected live in a parallel ``quarantine`` table
+    This is the ingestion transform shared by every path into the
+    survey -- the facade's :meth:`SurveyDatabase.add_parsed` and the
+    sharded ingest workers both run records through here, which is what
+    keeps single-process and sharded surveys row-identical.
+    """
+    name = parsed.registrant.get("name")
+    org = parsed.registrant.get("org")
+    privacy = detect_privacy_service(name, org)
+    return DomainEntry(
+        domain=domain,
+        registrar=canonical_registrar(parsed.registrar or registrar_hint),
+        country=canonical_country(parsed.registrant.get("country")),
+        created=parsed.created,
+        privacy_service=privacy,
+        org=org,
+        brand=detect_brand(org) if privacy is None else None,
+        blacklisted=blacklisted,
+    )
+
+
+class SurveyDatabase:
+    """An append-only survey of :class:`DomainEntry` rows over a backend.
+
+    Records the parser rejected live in a parallel quarantine table
     (:class:`~repro.resilience.QuarantinedRecord` rows) -- first-class
     and queryable, never silently dropped into the ``ok`` counts.
+
+    Construction takes an optional backend (``SurveyDatabase()`` keeps
+    the historical in-memory behavior); filters return views onto the
+    same backend.  The legacy ``.entries`` / ``.quarantine`` list
+    attributes survive as deprecated materializing shims -- new code
+    iterates (``for entry in db``), counts (``len(db)``), or queries
+    (:meth:`get`, :meth:`group_counts`) instead.
     """
 
-    def __init__(self) -> None:
-        self.entries: list[DomainEntry] = []
-        self.quarantine: list[QuarantinedRecord] = []
+    def __init__(
+        self,
+        store: SurveyStore | None = None,
+        *,
+        _filter: EntryFilter = MATCH_ALL,
+    ) -> None:
+        self.store: SurveyStore = store if store is not None else MemoryStore()
+        self._filter = _filter
 
     def __len__(self) -> int:
-        return len(self.entries)
+        return self.store.count(self._filter)
 
-    def __iter__(self):
-        return iter(self.entries)
+    def __iter__(self) -> Iterator[DomainEntry]:
+        return self.store.iter_entries(self._filter)
+
+    def iter_by_domain(self) -> Iterator[DomainEntry]:
+        """Stream entries sorted by domain (insertion order within one
+        domain) -- the access path the churn merge-join diffs on."""
+        return self.store.iter_entries(self._filter, by_domain=True)
+
+    def group_counts(self, key: str):
+        """Counter of entries per distinct ``key`` value, aggregated in
+        the backend (see :data:`repro.survey.store.GROUP_KEYS`)."""
+        return self.store.group_counts(key, self._filter)
+
+    def get(self, domain: str) -> DomainEntry | None:
+        """Point query: the latest entry for ``domain`` in this view's
+        scope (or None)."""
+        entry = self.store.get(domain)
+        if entry is None or not self._filter.matches(entry):
+            return None
+        return entry
+
+    def flush(self) -> None:
+        """Flush buffered ingest batches to the backend."""
+        self.store.flush()
+
+    def close(self) -> None:
+        """Flush and release the backend (a no-op for memory stores)."""
+        self.store.close()
+
+    # ------------------------------------------------------------------
+    # Deprecated list shims
+    # ------------------------------------------------------------------
+
+    @property
+    def entries(self) -> list[DomainEntry]:
+        """Deprecated: the materialized entry list.
+
+        Kept for source compatibility; it copies every row into memory,
+        which defeats the streaming backends.  Iterate the database (or
+        use :meth:`group_counts` / :meth:`get`) instead.
+        """
+        warnings.warn(
+            "SurveyDatabase.entries materializes the full entry list; "
+            "iterate the database or use the query API instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return list(self.store.iter_entries(self._filter))
+
+    @entries.setter
+    def entries(self, value: list[DomainEntry]) -> None:
+        warnings.warn(
+            "assigning SurveyDatabase.entries is deprecated; build a "
+            "MemoryStore (or use the filter views) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        store = MemoryStore()
+        store.extend(value)
+        self.store = store
+        self._filter = MATCH_ALL
+
+    @property
+    def quarantine(self) -> list[QuarantinedRecord]:
+        """Deprecated: the materialized quarantine list.
+
+        Use :meth:`iter_quarantine`, :meth:`quarantine_counts`, or
+        :attr:`n_quarantined` instead.
+        """
+        warnings.warn(
+            "SurveyDatabase.quarantine materializes the quarantine "
+            "table; use iter_quarantine()/quarantine_counts() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return list(self.store.iter_quarantine())
 
     # ------------------------------------------------------------------
     # Ingest
@@ -81,23 +210,21 @@ class SurveyDatabase:
 
         ``registrar_hint`` supplies the registrar from the thin record when
         the thick record's own registrar line is missing or garbled.
+        Durable backends additionally persist the parsed record itself
+        (its :meth:`~repro.parser.fields.ParsedRecord.to_jsonable` form),
+        which is what ``repro query`` answers from.
         """
-        name = parsed.registrant.get("name")
-        org = parsed.registrant.get("org")
-        privacy = detect_privacy_service(name, org)
-        entry = DomainEntry(
-            domain=domain,
-            registrar=canonical_registrar(parsed.registrar or registrar_hint),
-            country=canonical_country(parsed.registrant.get("country")),
-            created=parsed.created,
-            privacy_service=privacy,
-            org=org,
-            brand=detect_brand(org) if privacy is None else None,
-            blacklisted=blacklisted,
+        entry = entry_from_parsed(
+            domain, parsed,
+            registrar_hint=registrar_hint, blacklisted=blacklisted,
         )
-        self.entries.append(entry)
+        record = (
+            parsed.to_jsonable()
+            if getattr(self.store, "persistent", False) else None
+        )
+        self.store.append(entry, record=record)
         obs.inc("survey.rows", blacklisted="true" if blacklisted else "false")
-        if privacy is not None:
+        if entry.privacy_service is not None:
             obs.inc("survey.private_rows")
         if entry.country is None:
             obs.inc("survey.unknown_country_rows")
@@ -108,22 +235,29 @@ class SurveyDatabase:
     ) -> QuarantinedRecord:
         """File one rejected record in the quarantine table."""
         record = QuarantinedRecord(domain=domain, text=text or "", error=error)
-        self.quarantine.append(record)
+        self.store.append_quarantined(record)
         obs.inc("survey.quarantined_rows", reason=error.code)
         return record
 
     # -- quarantine queries --------------------------------------------
 
+    def iter_quarantine(self) -> Iterator[QuarantinedRecord]:
+        """Stream the quarantine table in insertion order."""
+        return self.store.iter_quarantine()
+
+    @property
+    def n_quarantined(self) -> int:
+        """Number of quarantined rows."""
+        return self.store.n_quarantined()
+
     def quarantined_domains(self) -> list[str]:
-        return [record.domain for record in self.quarantine]
+        """Domains of every quarantined record, in insertion order."""
+        return [record.domain for record in self.store.iter_quarantine()]
 
     def quarantine_counts(self) -> dict[str, int]:
         """Quarantined rows per taxonomy code (the coverage accounting
         complement: fetched but untrusted)."""
-        counts: dict[str, int] = {}
-        for record in self.quarantine:
-            counts[record.reason] = counts.get(record.reason, 0) + 1
-        return counts
+        return self.store.quarantine_counts()
 
     @classmethod
     def from_parsed_records(
@@ -131,11 +265,14 @@ class SurveyDatabase:
         records: Iterable[tuple[str, ParsedRecord]],
         *,
         blacklisted_domains: set[str] | None = None,
+        store: SurveyStore | None = None,
     ) -> "SurveyDatabase":
-        db = cls()
+        """Build a database straight from ``(domain, parsed)`` pairs."""
+        db = cls(store)
         blacklisted = blacklisted_domains or set()
         for domain, parsed in records:
             db.add_parsed(domain, parsed, blacklisted=domain in blacklisted)
+        db.flush()
         return db
 
     @classmethod
@@ -145,6 +282,7 @@ class SurveyDatabase:
         parse: Callable[[str], ParsedRecord],
         *,
         blacklisted_domains: set[str] | None = None,
+        store: SurveyStore | None = None,
     ) -> "SurveyDatabase":
         """Parse every successful crawl result into a database.
 
@@ -154,7 +292,7 @@ class SurveyDatabase:
         """
         from repro.datagen.thin import extract_registrar
 
-        db = cls()
+        db = cls(store)
         blacklisted = blacklisted_domains or set()
         for result in results:
             if getattr(result, "thick_text", None) is None:
@@ -168,6 +306,7 @@ class SurveyDatabase:
                 registrar_hint=hint,
                 blacklisted=result.domain in blacklisted,
             )
+        db.flush()
         return db
 
     @classmethod
@@ -176,6 +315,7 @@ class SurveyDatabase:
         parsed_crawl: Iterable,
         *,
         blacklisted_domains: set[str] | None = None,
+        store: SurveyStore | None = None,
     ) -> "SurveyDatabase":
         """Ingest a :class:`~repro.netsim.crawler.ParsedCrawl`.
 
@@ -188,7 +328,7 @@ class SurveyDatabase:
         """
         from repro.datagen.thin import extract_registrar
 
-        db = cls()
+        db = cls(store)
         blacklisted = blacklisted_domains or set()
         with obs.trace("survey.build_seconds"):
             for result, parsed in parsed_crawl:
@@ -202,6 +342,7 @@ class SurveyDatabase:
                 )
             for record in getattr(parsed_crawl, "quarantined", ()):
                 db.add_quarantined(record.domain, record.text, record.error)
+        db.flush()
         return db
 
     @classmethod
@@ -211,6 +352,7 @@ class SurveyDatabase:
         parse_many: Callable[[list[str]], list[ParsedRecord]],
         *,
         blacklisted_domains: set[str] | None = None,
+        store: SurveyStore | None = None,
     ) -> "SurveyDatabase":
         """:meth:`from_crawl` on the batched parser path.
 
@@ -232,38 +374,42 @@ class SurveyDatabase:
         return cls.from_parsed_crawl(
             ParsedCrawl(results=tuple(kept), parsed=tuple(parsed_records)),
             blacklisted_domains=blacklisted_domains,
+            store=store,
         )
 
     # ------------------------------------------------------------------
-    # Filters
+    # Filter views (share the store; no copying)
     # ------------------------------------------------------------------
 
+    def _view(self, **changes) -> "SurveyDatabase":
+        return SurveyDatabase(
+            self.store, _filter=replace(self._filter, **changes)
+        )
+
     def created_in(self, year: int) -> "SurveyDatabase":
-        sub = SurveyDatabase()
-        sub.entries = [e for e in self.entries if e.creation_year == year]
-        return sub
+        """View of entries created in exactly ``year``."""
+        return self._view(year=year)
 
     def created_through(self, year: int) -> "SurveyDatabase":
-        sub = SurveyDatabase()
-        sub.entries = [
-            e for e in self.entries
-            if e.creation_year is not None and e.creation_year <= year
-        ]
-        return sub
+        """View of entries with a known creation year ``<= year``."""
+        return self._view(through_year=year)
 
     def blacklisted(self) -> "SurveyDatabase":
-        sub = SurveyDatabase()
-        sub.entries = [e for e in self.entries if e.blacklisted]
-        return sub
+        """View of DBL-listed entries (the Section 6.4 scope)."""
+        return self._view(blacklisted=True)
 
     def normal(self) -> "SurveyDatabase":
         """Entries not on the blacklist (the main Section 6.1-6.3 scope)."""
-        sub = SurveyDatabase()
-        sub.entries = [e for e in self.entries if not e.blacklisted]
-        return sub
+        return self._view(blacklisted=False)
 
     def public(self) -> "SurveyDatabase":
         """Entries without privacy protection (country analyses use these)."""
-        sub = SurveyDatabase()
-        sub.entries = [e for e in self.entries if not e.is_private]
-        return sub
+        return self._view(private=False)
+
+    def private(self) -> "SurveyDatabase":
+        """Privacy-protected entries (the Tables 6-7 scope)."""
+        return self._view(private=True)
+
+    def registered_with(self, registrar: str) -> "SurveyDatabase":
+        """View of entries whose canonical registrar is ``registrar``."""
+        return self._view(registrar=registrar)

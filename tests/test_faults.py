@@ -264,10 +264,10 @@ def test_default_hostile_meets_the_acceptance_bar():
     # Quarantined records flow into the survey database as first-class
     # rows, queryable by taxonomy code.
     db = SurveyDatabase.from_parsed_crawl(parsed)
-    assert len(db.quarantine) == stats.quarantined
+    assert db.n_quarantined == stats.quarantined
     assert set(db.quarantine_counts()) == {r.reason for r in parsed.quarantined}
     assert set(db.quarantined_domains()).isdisjoint(
-        e.domain for e in db.entries
+        e.domain for e in db
     )
 
 
@@ -352,6 +352,6 @@ def test_crawl_and_survey_quarantines_end_to_end():
     )
     counts = db.quarantine_counts()
     assert counts  # the 5% garble rate shows up
-    assert stats.quarantined == len(db.quarantine) == sum(counts.values())
+    assert stats.quarantined == db.n_quarantined == sum(counts.values())
     assert "garbled_record" in counts
     assert stats.thick_fetch_rate > stats.thick_coverage

@@ -32,7 +32,7 @@ def test_registrar_hint_from_thin_record():
     db = SurveyDatabase.from_crawl(
         [_FakeResult("x.com", thin, thick)], fake_parse
     )
-    assert db.entries[0].registrar == "eNom"
+    assert db.get("x.com").registrar == "eNom"
 
 
 def test_results_without_thick_records_skipped():

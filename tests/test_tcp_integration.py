@@ -78,7 +78,7 @@ def test_tcp_referral_crawl(world):
 
     agree = sum(
         entry.registrar == canonical_registrar(registration.registrar_name)
-        for entry, registration in zip(db.entries, registrations)
+        for entry, registration in zip(db, registrations)
     )
     assert agree / len(registrations) > 0.9
 
