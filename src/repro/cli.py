@@ -4,7 +4,7 @@ Subcommands mirror the paper's workflow:
 
 - ``generate``  write a labeled synthetic corpus (JSONL)
 - ``train``     fit the statistical parser from a labeled corpus
-- ``parse``     parse raw WHOIS text with a saved model
+- ``parse``     parse raw record text with a saved model
 - ``crawl``     run the simulated com crawl and save the thick records
 - ``survey``    build the Section 6 tables from crawled records
 - ``query``     look up one domain in a sqlite survey replica
@@ -12,6 +12,12 @@ Subcommands mirror the paper's workflow:
 - ``serve``     run the online serving tier (micro-batching, port 43 + HTTP)
 - ``maintain``  run the §5.3 maintenance loop over a record stream
 - ``eval``      line/document error of a saved model on a labeled corpus
+
+``generate`` and ``train`` accept ``--domain`` to work a registered
+record domain other than WHOIS (see :mod:`repro.domain`); ``parse``,
+``serve``, ``maintain``, and ``eval`` accept it to *pin* the expected
+domain, turning a wrong-snapshot mixup into a typed error instead of a
+silent mislabeling.
 
 A hidden ``docs-cli`` subcommand regenerates ``docs/CLI.md`` from this
 argparse tree (``--check`` verifies freshness in CI).
@@ -27,11 +33,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
 from repro import obs
 from repro.datagen import CorpusConfig, CorpusGenerator
+from repro.domain import DEFAULT_DOMAIN, available_domains, get_domain
 from repro.eval.metrics import evaluate_parser
 from repro.netsim.crawler import WhoisCrawler
 from repro.netsim.internet import build_com_internet
@@ -47,8 +55,8 @@ from repro.whois.io import load_corpus, save_corpus
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    generator = CorpusGenerator(
-        CorpusConfig(seed=args.seed, drift_probability=args.drift)
+    generator = get_domain(args.domain).generator(
+        seed=args.seed, drift=args.drift
     )
     count = save_corpus(generator.labeled_corpus(args.count), args.output)
     print(f"wrote {count} labeled records to {args.output}")
@@ -57,7 +65,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_train(args: argparse.Namespace) -> int:
     corpus = load_corpus(args.corpus)
-    parser = WhoisParser(l2=args.l2, min_count=args.min_count).fit(corpus)
+    parser = WhoisParser(
+        domain=args.domain, l2=args.l2, min_count=args.min_count
+    ).fit(corpus)
     parser.save(args.model)
     n_features = parser.block_crf.index.n_features
     print(f"trained on {len(corpus)} records "
@@ -70,8 +80,10 @@ def _parsed_to_json(parsed) -> dict:
 
 
 def _cmd_parse(args: argparse.Namespace) -> int:
-    """Parse raw WHOIS text with a saved model (JSON to stdout)."""
-    parser = WhoisParser.load(args.model, mmap=args.mmap)
+    """Parse raw records with a saved model (JSON to stdout)."""
+    parser = WhoisParser.load(
+        args.model, mmap=args.mmap, expect_domain=args.domain
+    )
     if args.encoder_cache:
         parser.load_encoder_cache(args.encoder_cache)
     texts = [
@@ -210,39 +222,116 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``--status`` choice -> the :class:`EntryFilter` dimension it pins.
+_STATUS_DIMS = {
+    "private": ("private", True),
+    "public": ("private", False),
+    "blacklisted": ("blacklisted", True),
+    "clean": ("blacklisted", False),
+}
+
+
+def build_query_filter(
+    registrar: str | None = None, statuses: "list[str] | None" = None
+):
+    """Compose ``repro query`` flags into one ``EntryFilter``.
+
+    ``statuses`` are ``--status`` choices (:data:`_STATUS_DIMS` keys);
+    each pins the ``private`` or ``blacklisted`` dimension, so
+    ``--status private --status clean`` composes conjunctively while
+    ``--status private --status public`` is a contradiction and raises
+    ``ValueError``.  Backend-agnostic: the returned filter drives
+    ``MemoryStore`` and ``SqliteStore`` identically.
+    """
+    from repro.survey.store import EntryFilter
+
+    dims: dict[str, bool] = {}
+    for status in statuses or ():
+        dim, wanted = _STATUS_DIMS[status]
+        if dims.get(dim, wanted) != wanted:
+            raise ValueError(f"--status {status} contradicts an earlier "
+                             f"--status constraint on {dim!r}")
+        dims[dim] = wanted
+    return EntryFilter(registrar=registrar, **dims)
+
+
+def _entry_payload(store, entry, *, full: bool) -> dict:
+    """One survey entry as JSON: the full stored record, or a thin row."""
+    if full:
+        record = store.get_record(entry.domain)
+        if record is not None:
+            return record
+    return {
+        "domain": entry.domain,
+        "registrar": entry.registrar,
+        "created": entry.created.isoformat() if entry.created else None,
+        "registrant": {"org": entry.org, "country": entry.country},
+        "private": entry.is_private,
+        "blacklisted": entry.blacklisted,
+    }
+
+
+def _print_entry(entry) -> None:
+    print(f"domain:     {entry.domain}")
+    print(f"registrar:  {entry.registrar or '(unknown)'}")
+    print(f"created:    {entry.created or '(unknown)'}")
+    print(f"country:    {entry.country or '(unknown)'}")
+    print(f"org:        {entry.org or '(unknown)'}")
+    if entry.is_private:
+        print(f"privacy:    {entry.privacy_service or '(unnamed service)'}")
+    if entry.blacklisted:
+        print("blacklist:  listed")
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
-    """Answer a point query for one domain from a sqlite survey replica."""
+    """Point or filtered queries against a sqlite survey replica."""
     from repro.survey.store import SqliteStore
 
     if not Path(args.db).exists():
         print(f"error: no survey replica at {args.db}", file=sys.stderr)
         return 2
+    try:
+        flt = build_query_filter(args.registrar, args.status)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    full = args.full or args.json
     store = SqliteStore(args.db, read_only=True)
     try:
-        entry = store.get(args.domain.lower())
-        if entry is None:
-            print(f"{args.domain}: not in survey", file=sys.stderr)
-            return 1
-        if args.json:
-            record = store.get_record(entry.domain)
-            payload = record if record is not None else {
-                "domain": entry.domain,
-                "registrar": entry.registrar,
-                "created": entry.created.isoformat() if entry.created else None,
-                "registrant": {"org": entry.org, "country": entry.country},
-            }
-            print(json.dumps(payload, indent=2, sort_keys=True))
+        if args.domain is not None:
+            entry = store.get(args.domain.lower())
+            if entry is None:
+                print(f"{args.domain}: not in survey", file=sys.stderr)
+                return 1
+            if not flt.matches(entry):
+                print(f"{args.domain}: in survey but excluded by the "
+                      f"filter", file=sys.stderr)
+                return 1
+            if full:
+                print(json.dumps(_entry_payload(store, entry, full=True),
+                                 indent=2, sort_keys=True))
+            else:
+                _print_entry(entry)
             return 0
-        print(f"domain:     {entry.domain}")
-        print(f"registrar:  {entry.registrar or '(unknown)'}")
-        print(f"created:    {entry.created or '(unknown)'}")
-        print(f"country:    {entry.country or '(unknown)'}")
-        print(f"org:        {entry.org or '(unknown)'}")
-        if entry.is_private:
-            print(f"privacy:    {entry.privacy_service or '(unnamed service)'}")
-        if entry.blacklisted:
-            print("blacklist:  listed")
-        return 0
+        # No domain: list every entry matching the filter flags.
+        payloads = [
+            _entry_payload(store, entry, full=full)
+            for entry in store.iter_entries(flt, by_domain=True)
+        ]
+        if full:
+            print(json.dumps(payloads, indent=2, sort_keys=True))
+        else:
+            for row in payloads:
+                flags = "".join((
+                    "P" if row["private"] else "-",
+                    "B" if row["blacklisted"] else "-",
+                ))
+                print(f"{row['domain']:<30} {flags} "
+                      f"{row['created'] or '----------'} "
+                      f"{row['registrar'] or '(unknown)'}")
+        print(f"{len(payloads)} matching entr"
+              f"{'y' if len(payloads) == 1 else 'ies'}", file=sys.stderr)
+        return 0 if payloads else 1
     finally:
         store.close()
 
@@ -281,7 +370,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import ModelRegistry, ServeApp, ServeConfig
 
-    models = ModelRegistry(args.model_dir, mmap=not args.no_mmap)
+    models = ModelRegistry(
+        args.model_dir, mmap=not args.no_mmap, domain=args.domain
+    )
     if not models.has_active:
         print(f"no model versions under {args.model_dir}; "
               f"run `repro train` or publish one first", file=sys.stderr)
@@ -341,7 +432,7 @@ def _cmd_maintain(args: argparse.Namespace) -> int:
     )
     from repro.serve import ModelRegistry
 
-    models = ModelRegistry(args.model_dir)
+    models = ModelRegistry(args.model_dir, domain=args.domain)
     if not models.has_active:
         print(f"no model versions under {args.model_dir}; "
               f"run `repro train` or publish one first", file=sys.stderr)
@@ -427,7 +518,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_eval(args: argparse.Namespace) -> int:
-    parser = WhoisParser.load(args.model)
+    parser = WhoisParser.load(args.model, expect_domain=args.domain)
     corpus = load_corpus(args.corpus)
     evaluation = evaluate_parser(parser, corpus)
     print(f"records:        {evaluation.n_records}")
@@ -458,12 +549,30 @@ def build_arg_parser() -> argparse.ArgumentParser:
                  "(.json, or .prom/.txt for Prometheus text)",
         )
 
+    def add_domain(
+        command: argparse.ArgumentParser, *, expect: bool = False
+    ) -> None:
+        """``--domain``: select a registered record domain.
+
+        With ``expect=True`` the flag defaults to None (accept any
+        snapshot) and merely *verifies* the loaded model's domain,
+        raising a typed error on mismatch.
+        """
+        command.add_argument(
+            "--domain", choices=available_domains(),
+            default=None if expect else DEFAULT_DOMAIN,
+            help=("require the model snapshot to be trained for this "
+                  "domain (default: accept any)" if expect
+                  else "record domain (default: %(default)s)"),
+        )
+
     generate = sub.add_parser("generate", help="write a labeled corpus")
     generate.add_argument("output", help="output JSONL path")
     generate.add_argument("--count", type=int, default=500)
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--drift", type=float, default=0.0,
                           help="schema-drift probability")
+    add_domain(generate)
     generate.set_defaults(func=_cmd_generate)
 
     train = sub.add_parser("train", help="train the statistical parser")
@@ -471,10 +580,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
     train.add_argument("model", help="model output directory")
     train.add_argument("--l2", type=float, default=0.1)
     train.add_argument("--min-count", type=int, default=1)
+    add_domain(train)
     add_metrics_out(train)
     train.set_defaults(func=_cmd_train)
 
-    parse = sub.add_parser("parse", help="parse WHOIS records")
+    parse = sub.add_parser("parse", help="parse structured records")
     parse.add_argument("model", help="model directory")
     parse.add_argument("inputs", nargs="+", metavar="input",
                        help="record file(s), or - for stdin")
@@ -488,6 +598,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parse.add_argument("--encoder-cache", metavar="PATH", default=None,
                        help="warm-start the line-encoder caches from PATH "
                             "and write them back after parsing")
+    add_domain(parse, expect=True)
     add_metrics_out(parse)
     parse.set_defaults(func=_cmd_parse)
 
@@ -545,13 +656,26 @@ def build_arg_parser() -> argparse.ArgumentParser:
     survey.set_defaults(func=_cmd_survey)
 
     query = sub.add_parser(
-        "query", help="look up one domain in a sqlite survey replica"
+        "query", help="point and filtered queries on a survey replica"
     )
-    query.add_argument("domain", help="domain to look up")
+    query.add_argument("domain", nargs="?", default=None,
+                       help="domain to look up (omit to list every entry "
+                            "matching the filter flags)")
     query.add_argument("--db", required=True, metavar="PATH",
                        help="sqlite replica written by survey --store sqlite")
+    query.add_argument("--registrar", default=None, metavar="NAME",
+                       help="only entries under this canonical registrar")
+    query.add_argument("--status", action="append", default=None,
+                       choices=sorted(_STATUS_DIMS),
+                       help="only entries with this status (repeatable; "
+                            "constraints compose conjunctively)")
+    detail = query.add_mutually_exclusive_group()
+    detail.add_argument("--thin", action="store_true",
+                        help="one summary line per entry (the default)")
+    detail.add_argument("--full", action="store_true",
+                        help="print full parsed records as JSON")
     query.add_argument("--json", action="store_true",
-                       help="print the full parsed record as JSON")
+                       help=argparse.SUPPRESS)  # legacy alias for --full
     query.set_defaults(func=_cmd_query)
 
     rdap = sub.add_parser(
@@ -594,6 +718,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     serve.add_argument("--duration", type=float, default=None,
                        help="serve for this many seconds, then exit "
                             "(default: until interrupted)")
+    add_domain(serve, expect=True)
     serve.set_defaults(func=_cmd_serve)
 
     maintain = sub.add_parser(
@@ -629,6 +754,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     maintain.add_argument("--no-activate", action="store_true",
                           help="publish retrained versions without "
                                "activating them")
+    add_domain(maintain, expect=True)
     add_metrics_out(maintain)
     maintain.set_defaults(func=_cmd_maintain)
 
@@ -653,6 +779,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("model", help="model directory")
     evaluate.add_argument("corpus", help="labeled JSONL corpus")
     evaluate.add_argument("--confusion", action="store_true")
+    add_domain(evaluate, expect=True)
     evaluate.set_defaults(func=_cmd_eval)
     return root
 
@@ -664,13 +791,28 @@ def main(argv: list[str] | None = None) -> int:
     :class:`~repro.obs.MetricsRegistry` is installed around the run and
     archived to that path afterwards.
     """
+    from repro import errors
+
     args = build_arg_parser().parse_args(argv)
     metrics_out = getattr(args, "metrics_out", None)
-    if metrics_out is None:
-        return args.func(args)
-    registry = obs.MetricsRegistry()
-    with obs.use(registry):
-        status = args.func(args)
+    try:
+        if metrics_out is None:
+            return args.func(args)
+        registry = obs.MetricsRegistry()
+        with obs.use(registry):
+            status = args.func(args)
+    except errors.ReproError as exc:
+        # The typed taxonomy renders as one clean line, not a traceback
+        # (a wrong --domain or a missing model is an operator error, not
+        # a crash).
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. ``repro query ... | head``);
+        # re-point stdout at devnull so the interpreter's shutdown flush
+        # does not raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     path = obs.write_metrics(metrics_out, registry)
     print(f"wrote metrics to {path}", file=sys.stderr)
     return status

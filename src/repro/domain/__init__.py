@@ -1,0 +1,34 @@
+"""Domain plug-ins: the two-level CRF as a general structured-record platform.
+
+The parser, the model registry, the serving tier, and the CLI all resolve
+their domain behavior (label spaces, featurizer defaults, field assembly,
+synthetic substrate) through this package:
+
+>>> from repro.domain import get_domain
+>>> get_domain("whois").sub_block
+'registrant'
+>>> get_domain("syslog").sub_block
+'details'
+
+``whois`` is the default and reproduces the paper bit-for-bit; ``syslog``
+is the proof the architecture generalizes -- a second domain driven
+through the same train → serve → maintain pipeline.
+"""
+
+from repro.domain.registry import (
+    DEFAULT_DOMAIN,
+    available_domains,
+    get_domain,
+    register,
+)
+from repro.domain.spec import CorpusSource, DomainSpec, sub_segments
+
+__all__ = [
+    "CorpusSource",
+    "DEFAULT_DOMAIN",
+    "DomainSpec",
+    "available_domains",
+    "get_domain",
+    "register",
+    "sub_segments",
+]

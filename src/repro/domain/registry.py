@@ -1,0 +1,73 @@
+"""The domain registry: name -> :class:`~repro.domain.spec.DomainSpec`.
+
+Everything that used to ``import repro.whois.labels`` now calls
+:func:`get_domain` with a name (or passes a spec through).  Built-in
+domains register lazily on first lookup, so importing :mod:`repro.domain`
+stays cheap and free of import cycles; third-party code registers its own
+specs with :func:`register` before constructing parsers.
+"""
+
+from __future__ import annotations
+
+from repro import errors
+from repro.domain.spec import DomainSpec
+
+__all__ = ["available_domains", "get_domain", "register"]
+
+DEFAULT_DOMAIN = "whois"
+
+_REGISTRY: dict[str, DomainSpec] = {}
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in specs once (they self-register on import)."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    from repro.domain import syslog, whois  # noqa: F401  (side effect)
+
+
+def register(spec: DomainSpec, *, replace: bool = False) -> DomainSpec:
+    """Register a domain spec under ``spec.name``.
+
+    Name collisions raise ``ValueError`` unless ``replace=True`` -- two
+    plug-ins silently fighting over a name would make ``--domain``
+    behavior depend on import order.
+    """
+    if not replace and spec.name in _REGISTRY:
+        raise ValueError(
+            f"domain {spec.name!r} is already registered "
+            f"(pass replace=True to override)"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_domain(domain: "str | DomainSpec") -> DomainSpec:
+    """Resolve a domain by name (specs pass through unchanged).
+
+    Raises :class:`~repro.errors.UnknownDomain` for names no registered
+    plug-in claims.
+    """
+    if isinstance(domain, DomainSpec):
+        return domain
+    _ensure_builtins()
+    spec = _REGISTRY.get(domain)
+    if spec is None:
+        known = ", ".join(available_domains())
+        raise errors.UnknownDomain(
+            f"unknown domain {domain!r} (registered: {known})"
+        )
+    return spec
+
+
+def available_domains() -> tuple[str, ...]:
+    """Registered domain names, default domain first, rest sorted."""
+    _ensure_builtins()
+    names = sorted(_REGISTRY)
+    if DEFAULT_DOMAIN in names:
+        names.remove(DEFAULT_DOMAIN)
+        names.insert(0, DEFAULT_DOMAIN)
+    return tuple(names)

@@ -1,0 +1,54 @@
+"""Assembling labeled syslog lines into a :class:`ParsedRecord`.
+
+The syslog analog of :func:`repro.parser.fields.assemble_record`: lines
+are grouped by block, and the second-level labels of the ``details``
+block are lifted into the record's generic ``fields`` dict (the WHOIS
+wire shape is untouched -- ``fields`` only serializes when non-empty).
+"""
+
+from __future__ import annotations
+
+from repro.parser.fields import ParsedRecord, value_of
+
+__all__ = ["assemble_syslog_record"]
+
+
+def _detail_value(line: str) -> str:
+    """The value of a details line: after the separator, or after ``=``.
+
+    The journal-export family uses bare ``KEY=value`` lines that the
+    title/value splitter does not recognize; everything else goes
+    through the shared :func:`~repro.parser.fields.value_of`.
+    """
+    from repro.whois.text import split_title_value
+
+    if split_title_value(line) is None and "=" in line:
+        return line.split("=", 1)[1].strip()
+    return value_of(line)
+
+
+def assemble_syslog_record(
+    lines: list[str],
+    block_labels: list[str],
+    detail_subs: "list[str] | None" = None,
+) -> ParsedRecord:
+    """Build a :class:`ParsedRecord` from per-line syslog labels.
+
+    ``detail_subs`` gives the second-level label for each line whose
+    block label is ``details`` (in order); without it only the block
+    grouping is filled.
+    """
+    if len(lines) != len(block_labels):
+        raise ValueError("lines and block_labels differ in length")
+    record = ParsedRecord()
+    sub_iter = iter(detail_subs or [])
+    for line, label in zip(lines, block_labels):
+        record.blocks.setdefault(label, []).append(line)
+        if label == "details" and detail_subs is not None:
+            sub = next(sub_iter, "other")
+            if sub == "other":
+                continue
+            value = _detail_value(line)
+            if value and sub not in record.fields:
+                record.fields[sub] = value
+    return record

@@ -1,0 +1,49 @@
+"""The two label spaces of the syslog domain.
+
+Mirrors the WHOIS split (:mod:`repro.whois.labels`): a first level
+segmenting an event report's lines into blocks, and a second level
+relabeling the lines of the ``details`` block into the event's
+sub-fields -- the structure "On Automatic Parsing of Log Records"
+(arXiv:2102.06320) observes in real log templates.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class SyslogBlockLabel(str, Enum):
+    """First-level labels: the blocks of one structured syslog event."""
+
+    #: the classic one-line syslog preamble (timestamp host tag[pid]: ...)
+    HEADER = "header"
+    #: lines describing the emitting process/device (name, pid, facility)
+    PROCESS = "process"
+    #: the free-text body of the event
+    MESSAGE = "message"
+    #: the structured key/value section (second-level labeled)
+    DETAILS = "details"
+    OTHER = "other"
+    NULL = "null"
+
+
+class SyslogDetailLabel(str, Enum):
+    """Second-level labels: the sub-fields inside a ``details`` block."""
+
+    TIME = "time"
+    HOST = "host"
+    USER = "user"
+    SRC = "src"
+    DST = "dst"
+    PROTO = "proto"
+    ACTION = "action"
+    SEVERITY = "severity"
+    OTHER = "other"
+
+
+SYSLOG_BLOCK_LABELS: tuple[str, ...] = tuple(
+    label.value for label in SyslogBlockLabel
+)
+SYSLOG_DETAIL_LABELS: tuple[str, ...] = tuple(
+    label.value for label in SyslogDetailLabel
+)

@@ -1,0 +1,345 @@
+"""Synthetic syslog schema families: daemon/appliance report formats.
+
+Each family renders one :class:`LogEvent` into a labeled multi-line
+event report, the way each WHOIS registrar schema renders one
+registration.  Families differ in field titles, casing, ordering, and
+layout; ``n_versions >= 2`` families carry a drifted second template for
+maintenance-loop experiments.
+
+``journal`` is deliberately alien -- systemd journal-export
+``KEY=value`` lines with no title/value separator at all -- and is held
+out of the default training mix (:data:`UNSEEN_FAMILY`), making it the
+syslog analog of the WHOIS substrate's ``odd`` family: the injected
+unseen format the drift detector must catch.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.whois.records import LabeledLine, LabeledRecord, is_labelable
+
+__all__ = [
+    "KNOWN_FAMILIES",
+    "LogEvent",
+    "SYSLOG_FAMILIES",
+    "SyslogFamily",
+    "UNSEEN_FAMILY",
+    "syslog_family_by_name",
+]
+
+
+@dataclass(frozen=True)
+class LogEvent:
+    """One abstract event, renderable by any family."""
+
+    event_id: str
+    host: str
+    service: str
+    pid: int
+    #: wall-clock fields, pre-split so families can format freely
+    month: str
+    day: int
+    clock: str  # "HH:MM:SS"
+    date_iso: str  # "YYYY-MM-DD"
+    user: str
+    src_ip: str
+    src_port: int
+    dst_ip: str
+    dst_port: int
+    proto: str
+    action: str
+    severity: str
+    severity_code: int
+    message: str
+
+
+@dataclass(frozen=True)
+class Row:
+    """One rendered line with its ground-truth labels (None = unlabeled)."""
+
+    text: str
+    block: str | None
+    sub: str | None = None
+
+
+def blank() -> Row:
+    """An unlabeled empty line (featurizer ``NL`` context)."""
+    return Row("", None)
+
+
+def build_event_record(
+    event: LogEvent, rows: list[Row], *, family: str
+) -> LabeledRecord:
+    """Assemble rows into a validated :class:`LabeledRecord`.
+
+    The record reuses the WHOIS container types -- ``domain`` carries the
+    event id, ``registrar`` the emitting host, ``tld`` the literal
+    ``"log"`` -- so corpus I/O, evaluation, and the maintenance loop work
+    unchanged.
+    """
+    raw_lines: list[str] = []
+    lines: list[LabeledLine] = []
+    for row in rows:
+        raw_lines.append(row.text)
+        if is_labelable(row.text):
+            if row.block is None:
+                raise ValueError(
+                    f"{family}: labelable line {row.text!r} has no block label"
+                )
+            lines.append(
+                LabeledLine(text=row.text, block=row.block, sub=row.sub)
+            )
+        elif row.block is not None:
+            raise ValueError(
+                f"{family}: unlabelable line {row.text!r} carries label "
+                f"{row.block!r}"
+            )
+    return LabeledRecord(
+        domain=event.event_id,
+        raw_lines=raw_lines,
+        lines=lines,
+        tld="log",
+        registrar=event.host,
+        schema_family=family,
+    )
+
+
+class SyslogFamily(ABC):
+    """One event-report format, possibly with drifted versions."""
+
+    #: unique family key (stored as ``LabeledRecord.schema_family``)
+    name: str = ""
+    #: number of template versions (>= 2 enables drift experiments)
+    n_versions: int = 1
+
+    @abstractmethod
+    def render(
+        self, event: LogEvent, rng: random.Random, *, version: int = 1
+    ) -> LabeledRecord:
+        """Render one event into a labeled report (deterministic)."""
+
+    def _check_version(self, version: int) -> None:
+        if not 1 <= version <= self.n_versions:
+            raise ValueError(
+                f"{self.name}: version {version} out of range "
+                f"(1..{self.n_versions})"
+            )
+
+
+class OpensshFamily(SyslogFamily):
+    """Classic sshd report: syslog preamble + indented colon details.
+
+    Version 2 models an upstream title rename (``Source`` ->
+    ``Src-Addr``, ``User`` -> ``Account``), the drift the maintenance
+    loop is sized for.
+    """
+
+    name = "openssh"
+    n_versions = 2
+
+    def render(self, event, rng, *, version=1):
+        """Render one sshd report (v2 uses the renamed titles)."""
+        self._check_version(version)
+        src_title, user_title, section = (
+            ("Source", "User", "Connection details:") if version == 1
+            else ("Src-Addr", "Account", "Session info:")
+        )
+        rows = [
+            Row(f"{event.month} {event.day:2d} {event.clock} {event.host} "
+                f"sshd[{event.pid}]: {event.message}", "header"),
+            blank(),
+            Row("Process: sshd", "process"),
+            Row(f"PID: {event.pid}", "process"),
+            Row(f"Message: {event.message} from {event.src_ip} "
+                f"port {event.src_port} ssh2", "message"),
+            Row(section, "details", "other"),
+            Row(f"    Time: {event.date_iso} {event.clock}",
+                "details", "time"),
+            Row(f"    Host: {event.host}", "details", "host"),
+            Row(f"    {user_title}: {event.user}", "details", "user"),
+            Row(f"    {src_title}: {event.src_ip}:{event.src_port}",
+                "details", "src"),
+            Row(f"    Target: {event.dst_ip}:{event.dst_port}",
+                "details", "dst"),
+            Row(f"    Proto: {event.proto}", "details", "proto"),
+            Row(f"    Action: {event.action}", "details", "action"),
+            Row(f"    Level: {event.severity}", "details", "severity"),
+        ]
+        return build_event_record(event, rows, family=self.name)
+
+
+class CiscoAsaFamily(SyslogFamily):
+    """Appliance-style report: %ASA message codes and CAPS field titles."""
+
+    name = "ciscoasa"
+
+    def render(self, event, rng, *, version=1):
+        """Render one %ASA appliance report with CAPS titles."""
+        self._check_version(version)
+        code = 302013 + event.severity_code
+        rows = [
+            Row(f"%ASA-{event.severity_code}-{code}: {event.message}",
+                "header"),
+            Row(f"DEVICE: {event.host}", "process"),
+            Row("FACILITY: firewall", "process"),
+            Row(f"NOTE: {event.message} {event.src_ip}/{event.src_port} "
+                f"to {event.dst_ip}/{event.dst_port}", "message"),
+            Row("-" * 44, None),
+            Row(f"WHEN: {event.date_iso} {event.clock}", "details", "time"),
+            Row(f"SRC: {event.src_ip}/{event.src_port}", "details", "src"),
+            Row(f"DST: {event.dst_ip}/{event.dst_port}", "details", "dst"),
+            Row(f"PROTO: {event.proto.upper()}", "details", "proto"),
+            Row(f"ACTION: {event.action}", "details", "action"),
+            Row(f"SEV: {event.severity_code} ({event.severity})",
+                "details", "severity"),
+        ]
+        return build_event_record(event, rows, family=self.name)
+
+
+class NginxFamily(SyslogFamily):
+    """Web-access report: lowercase titles, request/response body lines."""
+
+    name = "nginx"
+
+    def render(self, event, rng, *, version=1):
+        """Render one web-access report with lowercase titles."""
+        self._check_version(version)
+        path = rng.choice(
+            ("/index.html", "/api/v1/status", "/login", "/static/app.js",
+             "/health", "/img/logo.png")
+        )
+        status = rng.choice((200, 200, 200, 301, 404, 500))
+        rows = [
+            Row(f"{event.host} nginx: access entry {event.event_id}",
+                "header"),
+            Row("  process: nginx", "process"),
+            Row(f"  worker pid: {event.pid}", "process"),
+            Row(f"  request: GET {path} HTTP/1.1", "message"),
+            Row(f"  response: {status}", "message"),
+            blank(),
+            Row(f"  when: {event.day:02d}/{event.month}/2015:{event.clock} "
+                f"+0000", "details", "time"),
+            Row(f"  client: {event.src_ip}", "details", "src"),
+            Row(f"  upstream: {event.dst_ip}:{event.dst_port}",
+                "details", "dst"),
+            Row(f"  vhost: {event.host}", "details", "host"),
+            Row(f"  remote user: {event.user}", "details", "user"),
+        ]
+        return build_event_record(event, rows, family=self.name)
+
+
+class CrondFamily(SyslogFamily):
+    """Minimal cron report: preamble, command body, short details."""
+
+    name = "crond"
+
+    def render(self, event, rng, *, version=1):
+        """Render one minimal cron job report."""
+        self._check_version(version)
+        job = rng.choice(
+            ("/usr/bin/backup.sh", "/usr/local/bin/rotate-logs",
+             "/opt/metrics/push", "/usr/bin/certwatch")
+        )
+        rows = [
+            Row(f"{event.month} {event.day:2d} {event.clock} {event.host} "
+                f"CRON[{event.pid}]: job report", "header"),
+            Row("Scheduled command completed with status ok", "message"),
+            Row(f"cmd {job}", "message"),
+            blank(),
+            Row(f"Time: {event.date_iso} {event.clock}", "details", "time"),
+            Row(f"User: {event.user}", "details", "user"),
+            Row(f"Host: {event.host}", "details", "host"),
+            Row(f"Level: {event.severity}", "details", "severity"),
+        ]
+        return build_event_record(event, rows, family=self.name)
+
+
+class Rfc5424Family(SyslogFamily):
+    """RFC 5424-flavored report: PRI/VERSION preamble, dotted SD titles."""
+
+    name = "rfc5424"
+
+    def render(self, event, rng, *, version=1):
+        """Render one RFC 5424-flavored report with dotted titles."""
+        self._check_version(version)
+        pri = 8 * 16 + event.severity_code  # facility 16 (local0)
+        rows = [
+            Row(f"<{pri}>1 {event.date_iso}T{event.clock}Z {event.host} "
+                f"{event.service} {event.pid} ID{rng.randrange(10, 98)}",
+                "header"),
+            Row("structured data:", "other"),
+            Row(f"  origin.software: {event.service}", "process"),
+            Row(f"  origin.pid: {event.pid}", "process"),
+            Row(f"  msg: {event.message}", "message"),
+            Row(f"  meta.when: {event.date_iso}T{event.clock}Z",
+                "details", "time"),
+            Row(f"  meta.node: {event.host}", "details", "host"),
+            Row(f"  meta.operator: {event.user}", "details", "user"),
+            Row(f"  meta.peer: {event.src_ip}:{event.src_port}",
+                "details", "src"),
+            Row(f"  meta.verdict: {event.action}", "details", "action"),
+            Row(f"  meta.level: {event.severity}", "details", "severity"),
+        ]
+        return build_event_record(event, rows, family=self.name)
+
+
+class JournalExportFamily(SyslogFamily):
+    """systemd journal-export style: bare ``KEY=value`` lines, no
+    title/value separator anywhere.
+
+    The alien layout of the substrate -- held out of the default
+    training mix so a parser trained on the colon-titled families both
+    errs and hedges on it, which is the drift signal the maintenance
+    loop exists to catch.
+    """
+
+    name = "journal"
+
+    def render(self, event, rng, *, version=1):
+        """Render one bare ``KEY=value`` journal-export report."""
+        self._check_version(version)
+        cursor = f"s={rng.getrandbits(64):016x};i={rng.getrandbits(24):x}"
+        rows = [
+            Row(f"__CURSOR={cursor}", "other"),
+            Row(f"SYSLOG_IDENTIFIER={event.service}", "process"),
+            Row(f"_PID={event.pid}", "process"),
+            Row(f"MESSAGE={event.message} from {event.src_ip}", "message"),
+            Row(f"_SOURCE_REALTIME_TIMESTAMP={event.date_iso}T{event.clock}",
+                "details", "time"),
+            Row(f"_HOSTNAME={event.host}", "details", "host"),
+            Row(f"_UID={event.user}", "details", "user"),
+            Row(f"_SADDR={event.src_ip}", "details", "src"),
+            Row(f"PRIORITY={event.severity_code}", "details", "severity"),
+        ]
+        return build_event_record(event, rows, family=self.name)
+
+
+_INSTANCES: tuple[SyslogFamily, ...] = (
+    OpensshFamily(),
+    CiscoAsaFamily(),
+    NginxFamily(),
+    CrondFamily(),
+    Rfc5424Family(),
+    JournalExportFamily(),
+)
+
+#: every family, by name
+SYSLOG_FAMILIES: dict[str, SyslogFamily] = {
+    family.name: family for family in _INSTANCES
+}
+
+#: the family held out of the default corpus mix (drift experiments)
+UNSEEN_FAMILY = "journal"
+
+#: the default training mix
+KNOWN_FAMILIES: tuple[str, ...] = tuple(
+    name for name in SYSLOG_FAMILIES if name != UNSEEN_FAMILY
+)
+
+
+def syslog_family_by_name(name: str) -> SyslogFamily:
+    """Look up a family renderer; raises ``KeyError`` for unknown names."""
+    return SYSLOG_FAMILIES[name]

@@ -17,6 +17,7 @@ from typing import Any
 __all__ = [
     "CircuitOpen",
     "CrawlError",
+    "DomainMismatch",
     "DomainNotFound",
     "GarbledRecord",
     "NoReferral",
@@ -29,6 +30,7 @@ __all__ = [
     "TransientServerError",
     "Truncated",
     "Unavailable",
+    "UnknownDomain",
     "error_from_payload",
     "error_payload",
 ]
@@ -168,6 +170,34 @@ class Unavailable(ReproError):
 
     code = "unavailable"
     http_status = 503
+
+
+class UnknownDomain(ReproError, KeyError):
+    """No :class:`~repro.domain.DomainSpec` is registered under this name.
+
+    Raised by :func:`repro.domain.get_domain` when a ``--domain`` flag
+    (or a snapshot's persisted domain id) names a plug-in this build does
+    not ship.
+    """
+
+    code = "unknown_domain"
+    http_status = 404
+
+    def __str__(self) -> str:  # KeyError quotes its argument; undo that.
+        return Exception.__str__(self)
+
+
+class DomainMismatch(ReproError):
+    """A model snapshot belongs to a different parsing domain.
+
+    Raised when a snapshot trained for one domain (say ``syslog``) is
+    loaded into a registry or server configured for another (say
+    ``whois``): the label spaces and featurizers are incompatible, so
+    failing with a typed 409 beats a shape crash deep inside the CRF.
+    """
+
+    code = "domain_mismatch"
+    http_status = 409
 
 
 class DomainNotFound(ReproError, KeyError):

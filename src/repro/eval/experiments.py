@@ -100,6 +100,8 @@ def figures2_3_learning_curves(
 
 @dataclass(frozen=True)
 class NewTldResult:
+    """One Table 2 row: per-TLD mislabeled lines, rules vs CRF."""
+
     tld: str
     example_domain: str
     total_lines: int
@@ -136,6 +138,8 @@ def table2_new_tlds(
 
 @dataclass(frozen=True)
 class MaintainabilityResult:
+    """Section 5.3 outcome: error counts before/after one-example fixes."""
+
     rule_tlds_with_errors: int
     statistical_tlds_with_errors: int
     examples_added: int
@@ -203,6 +207,8 @@ def sec53_maintainability(
 
 @dataclass(frozen=True)
 class BaselineResult:
+    """Section 2.3 baseline weaknesses: template coverage and drift decay."""
+
     template_coverage: float
     template_ok_rate_static: float
     template_ok_rate_drifted: float
@@ -364,6 +370,8 @@ def _flatten_labels(record: LabeledRecord) -> list[str]:
 
 @dataclass(frozen=True)
 class FlatVsTwoLevelResult:
+    """Flat single-CRF vs the paper's two-level strategy, same data."""
+
     flat_block_error: float
     two_level_block_error: float
     flat_sub_error: float
@@ -428,6 +436,8 @@ def two_level_vs_flat(
 
 @dataclass(frozen=True)
 class FieldMetrics:
+    """Per-field extraction counts with precision/recall/F1 views."""
+
     field: str
     true_positives: int
     false_positives: int
@@ -435,16 +445,19 @@ class FieldMetrics:
 
     @property
     def precision(self) -> float:
+        """TP / (TP + FP); 0.0 when the field was never predicted."""
         denominator = self.true_positives + self.false_positives
         return self.true_positives / denominator if denominator else 0.0
 
     @property
     def recall(self) -> float:
+        """TP / (TP + FN); 0.0 when the field never occurs in gold."""
         denominator = self.true_positives + self.false_negatives
         return self.true_positives / denominator if denominator else 0.0
 
     @property
     def f1(self) -> float:
+        """Harmonic mean of precision and recall (0.0 when both are 0)."""
         p, r = self.precision, self.recall
         return 2 * p * r / (p + r) if p + r else 0.0
 

@@ -18,7 +18,9 @@ from repro.whois.records import LabeledRecord
 class BlockLabeler(Protocol):
     """Anything that can assign block labels to a record's lines."""
 
-    def predict_blocks(self, record: LabeledRecord) -> list[str]: ...
+    def predict_blocks(self, record: LabeledRecord) -> list[str]:
+        """First-level label per labelable line of ``record``."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -33,16 +35,19 @@ class ParserEvaluation:
 
     @property
     def line_error_rate(self) -> float:
+        """Mislabeled lines over all lines (the paper's headline metric)."""
         return self.line_errors / self.n_lines if self.n_lines else 0.0
 
     @property
     def document_error_rate(self) -> float:
+        """Fraction of records with at least one mislabeled line."""
         return self.document_errors / self.n_records if self.n_records else 0.0
 
 
 def count_line_errors(
     predicted: Sequence[str], gold: Sequence[str]
 ) -> int:
+    """Number of positions where ``predicted`` disagrees with ``gold``."""
     if len(predicted) != len(gold):
         raise ValueError(
             f"predicted {len(predicted)} labels for {len(gold)} lines"
@@ -79,16 +84,19 @@ def evaluate_parser(
 def line_error_rate(
     parser: BlockLabeler, records: Iterable[LabeledRecord]
 ) -> float:
+    """Convenience wrapper: just the line error rate over ``records``."""
     return evaluate_parser(parser, records).line_error_rate
 
 
 def document_error_rate(
     parser: BlockLabeler, records: Iterable[LabeledRecord]
 ) -> float:
+    """Convenience wrapper: just the document error rate over ``records``."""
     return evaluate_parser(parser, records).document_error_rate
 
 
 def confusion_matrix(
     parser: BlockLabeler, records: Iterable[LabeledRecord]
 ) -> dict[tuple[str, str], int]:
+    """``(gold, predicted) -> count`` over every mislabeled line."""
     return evaluate_parser(parser, records).confusion

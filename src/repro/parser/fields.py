@@ -85,14 +85,19 @@ class ParsedRecord:
     registrant: dict[str, str] = field(default_factory=dict)
     #: every line grouped by its first-level block label
     blocks: dict[str, list[str]] = field(default_factory=dict)
+    #: generic sub-field extraction for non-WHOIS domains (a syslog
+    #: record's time/host/src/...); WHOIS assembly leaves it empty
+    fields: dict[str, str] = field(default_factory=dict)
 
     def to_jsonable(self) -> dict:
         """A JSON-serializable view (dates as ISO strings).
 
         The one wire shape shared by ``repro parse`` output and the
-        serving tier's ``/parse`` endpoint.
+        serving tier's ``/parse`` endpoint.  ``fields`` only appears
+        when a non-WHOIS assembler filled it, so the WHOIS wire shape
+        is byte-identical to what it was before domains were pluggable.
         """
-        return {
+        payload = {
             "domain": self.domain,
             "registrar": self.registrar,
             "created": self.created.isoformat() if self.created else None,
@@ -102,6 +107,9 @@ class ParsedRecord:
             "name_servers": self.name_servers,
             "registrant": self.registrant,
         }
+        if self.fields:
+            payload["fields"] = self.fields
+        return payload
 
     @property
     def registrant_name(self) -> str | None:

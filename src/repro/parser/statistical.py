@@ -1,11 +1,17 @@
 """The paper's statistical parser: a two-level CRF pipeline (Section 3).
 
-The first-level :class:`~repro.crf.ChainCRF` labels every line of a thick
-record with one of the six block labels; the second-level CRF relabels the
-lines inside registrant blocks with the twelve sub-field labels.  Both are
-trained from :class:`~repro.whois.records.LabeledRecord` corpora and can be
-enlarged with a handful of new labeled examples (``partial_fit``), which is
-the maintainability workflow of Section 5.3.
+The first-level :class:`~repro.crf.ChainCRF` labels every line of a record
+with one of the domain's block labels; the second-level CRF relabels the
+lines inside the domain's sub-block (WHOIS: registrant blocks, with the
+twelve sub-field labels).  Both are trained from
+:class:`~repro.whois.records.LabeledRecord` corpora and can be enlarged
+with a handful of new labeled examples (``partial_fit``), which is the
+maintainability workflow of Section 5.3.
+
+Everything domain-specific -- the two label spaces, the default feature
+configuration, and field assembly -- resolves through a
+:class:`~repro.domain.DomainSpec` (``domain="whois"`` by default, which
+reproduces the paper exactly; see :mod:`repro.domain`).
 """
 
 from __future__ import annotations
@@ -16,13 +22,13 @@ from typing import Iterable, Sequence as TypingSequence
 
 import numpy as np
 
-from repro import obs
+from repro import errors, obs
 from repro.crf.features import Sequence
 from repro.crf.model import ChainCRF
+from repro.domain import DomainSpec, get_domain, sub_segments
 from repro.parser.api import ParserBase
-from repro.parser.fields import ParsedRecord, assemble_record
+from repro.parser.fields import ParsedRecord
 from repro.whois.features import FeaturizerConfig, WhoisFeaturizer
-from repro.whois.labels import BLOCK_LABELS, REGISTRANT_LABELS
 from repro.whois.records import LabeledRecord, WhoisRecord, is_labelable
 
 
@@ -66,31 +72,15 @@ def _label_shard(payload: tuple[list, int]) -> list:
     )
 
 
-def _registrant_segments(
-    record: LabeledRecord,
-) -> list[tuple[list[str], list[str]]]:
-    """Contiguous registrant-labeled runs as (texts, sub-labels) pairs."""
-    segments: list[tuple[list[str], list[str]]] = []
-    texts: list[str] = []
-    subs: list[str] = []
-    for line in record.lines:
-        if line.block == "registrant":
-            texts.append(line.text)
-            subs.append(line.sub or "other")
-        elif texts:
-            segments.append((texts, subs))
-            texts, subs = [], []
-    if texts:
-        segments.append((texts, subs))
-    return segments
-
-
 class WhoisParser(ParserBase):
-    """Two-level statistical WHOIS parser.
+    """Two-level statistical parser (WHOIS by default, domain-pluggable).
 
     Parameters mirror the paper's setup: an L2-regularized CRF per level,
     dictionary trimming via ``min_count``, and the Section 3.3 feature
-    families (configurable through ``featurizer_config`` for ablations).
+    families (configurable through ``featurizer_config`` for ablations;
+    unset, the domain's default configuration applies).  ``domain``
+    selects the :class:`~repro.domain.DomainSpec` everything else
+    resolves through -- label spaces, sub-block, and field assembly.
 
     Examples
     --------
@@ -105,6 +95,7 @@ class WhoisParser(ParserBase):
     def __init__(
         self,
         *,
+        domain: "str | DomainSpec" = "whois",
         featurizer_config: FeaturizerConfig | None = None,
         l2: float = 1.0,
         min_count: int = 1,
@@ -114,7 +105,10 @@ class WhoisParser(ParserBase):
         second_level: bool = True,
         seed: int = 0,
     ) -> None:
-        self.featurizer = WhoisFeaturizer(featurizer_config)
+        self.spec = get_domain(domain)
+        self.featurizer = WhoisFeaturizer(
+            featurizer_config or self.spec.featurizer_config
+        )
         #: with unk_min_count set, fit() builds a dictionary from the
         #: training corpus (trimming words rarer than the threshold) and
         #: marks out-of-vocabulary words with explicit UNK attributes
@@ -126,10 +120,10 @@ class WhoisParser(ParserBase):
             max_iterations=max_iterations,
             seed=seed,
         )
-        self.block_crf = ChainCRF(BLOCK_LABELS, **self._crf_kwargs)
+        self.block_crf = ChainCRF(self.spec.block_labels, **self._crf_kwargs)
         self.registrant_crf = (
-            ChainCRF(REGISTRANT_LABELS, **self._crf_kwargs)
-            if second_level
+            ChainCRF(self.spec.sub_labels, **self._crf_kwargs)
+            if second_level and self.spec.has_second_level
             else None
         )
         self._trained_on: int = 0
@@ -163,7 +157,7 @@ class WhoisParser(ParserBase):
     ) -> tuple[list[Sequence], list[list[str]]]:
         sequences, labels = [], []
         for record in records:
-            for texts, subs in _registrant_segments(record):
+            for texts, subs in sub_segments(record, self.spec):
                 sequences.append(
                     self.featurizer.featurize_registrant_lines(texts)
                 )
@@ -296,7 +290,7 @@ class WhoisParser(ParserBase):
         blocks = self.block_crf.predict(self.featurizer.featurize_lines(raw))
         subs: list[str | None] = [None] * len(lines)
         if self._has_second_level:
-            for start, end in _block_runs(blocks, "registrant"):
+            for start, end in _block_runs(blocks, self.spec.sub_block):
                 segment = lines[start:end]
                 for j, sub in enumerate(
                     self.predict_registrant_fields(segment)
@@ -327,12 +321,16 @@ class WhoisParser(ParserBase):
             for t, (line, block) in enumerate(zip(lines, blocks))
         ]
 
-    @staticmethod
-    def _assemble(labeled: list[tuple[str, str, str | None]]) -> ParsedRecord:
+    def _assemble(self, labeled: list[tuple[str, str, str | None]]) -> ParsedRecord:
         lines = [line for line, _, _ in labeled]
         blocks = [block for _, block, _ in labeled]
-        subs = [sub for _, block, sub in labeled if block == "registrant"]
-        return assemble_record(lines, blocks, [s or "other" for s in subs])
+        spec = self.spec
+        subs = [
+            sub or spec.sub_default
+            for _, block, sub in labeled
+            if block == spec.sub_block
+        ]
+        return spec.assemble_record(lines, blocks, subs)
 
     def parse(self, record: WhoisRecord | LabeledRecord | str) -> ParsedRecord:
         """Full parse: label lines, then extract structured fields."""
@@ -457,7 +455,7 @@ class WhoisParser(ParserBase):
             segments = []
             with obs.trace("parse.encode_seconds", level="registrant"):
                 for r, blocks in enumerate(blocks_per):
-                    for start, end in _block_runs(blocks, "registrant"):
+                    for start, end in _block_runs(blocks, self.spec.sub_block):
                         spans.append((r, start))
                         segments.append(
                             registrant_encoder.encode_lines(
@@ -588,6 +586,7 @@ class WhoisParser(ParserBase):
         path.mkdir(parents=True, exist_ok=True)
         self.block_crf.save(path / "block")
         meta = {
+            "domain": self.spec.name,
             "trained_on": self._trained_on,
             "has_second_level": self.registrant_crf is not None
             and self.registrant_crf.is_fitted,
@@ -603,7 +602,13 @@ class WhoisParser(ParserBase):
         (path / "parser.json").write_text(json.dumps(meta))
 
     @classmethod
-    def load(cls, path: str | Path, *, mmap: bool = False) -> "WhoisParser":
+    def load(
+        cls,
+        path: str | Path,
+        *,
+        mmap: bool = False,
+        expect_domain: str | None = None,
+    ) -> "WhoisParser":
         """Load a saved parser.
 
         With ``mmap=True`` both CRFs map their weight vectors read-only
@@ -612,14 +617,27 @@ class WhoisParser(ParserBase):
         snapshot shares one physical copy of the weights, and pickling
         the parser to a spawned ``parse_many`` worker ships a small file
         descriptor instead of the arrays.
+
+        The snapshot carries the domain it was trained for (snapshots
+        from before domains were pluggable count as ``whois``); pass
+        ``expect_domain`` to refuse snapshots of any other domain with a
+        typed :class:`~repro.errors.DomainMismatch` instead of a shape
+        crash deeper in the pipeline.
         """
         path = Path(path)
         meta = json.loads((path / "parser.json").read_text())
+        snapshot_domain = meta.get("domain", "whois")
+        if expect_domain is not None and snapshot_domain != expect_domain:
+            raise errors.DomainMismatch(
+                f"model snapshot at {path} was trained for domain "
+                f"{snapshot_domain!r}, not {expect_domain!r}"
+            )
         config = meta.get("featurizer_config")
         parser = cls(
+            domain=snapshot_domain,
             featurizer_config=(
                 FeaturizerConfig(**config) if config is not None else None
-            )
+            ),
         )
         if meta.get("lexicon") is not None:
             from repro.whois.lexicon import Lexicon
@@ -656,6 +674,7 @@ class WhoisParser(ParserBase):
         from dataclasses import asdict
 
         payload = {
+            "domain": self.spec.name,
             "config": asdict(self.featurizer.config),
             "lexicon": (
                 sorted(self.featurizer.lexicon.vocabulary)

@@ -17,6 +17,7 @@ from repro.rdap.schema import RdapDomain, RdapEntity, RdapEvent
 
 
 def registration_to_rdap(registration: Registration) -> RdapDomain:
+    """Ground-truth RDAP object for one synthetic registration (oracle path)."""
     contact = registration.registrant
     entities = [
         RdapEntity(

@@ -24,10 +24,13 @@ ENTITY_ROLES = ("registrant", "administrative", "technical", "billing",
 
 @dataclass(frozen=True)
 class RdapEvent:
+    """One RFC 7483 event: an action (registration, expiration) and when."""
+
     action: str
     date: date
 
     def to_json(self) -> dict:
+        """The RFC 7483 ``events`` array element."""
         return {"eventAction": self.action,
                 "eventDate": self.date.isoformat()}
 
@@ -49,6 +52,7 @@ class RdapEntity:
     handle: str | None = None
 
     def to_json(self) -> dict:
+        """The RFC 7483 entity object with its jCard (RFC 7095) payload."""
         vcard: list[list] = [["version", {}, "text", "4.0"]]
         if self.full_name:
             vcard.append(["fn", {}, "text", self.full_name])
@@ -78,6 +82,8 @@ class RdapEntity:
 
 @dataclass
 class RdapDomain:
+    """The RFC 7483 domain object a lookup returns (validated subset)."""
+
     ldh_name: str
     handle: str | None = None
     statuses: list[str] = field(default_factory=list)
@@ -87,6 +93,7 @@ class RdapDomain:
     secure_dns: bool = False
 
     def to_json(self) -> dict:
+        """The full RDAP response body for this domain."""
         return {
             "rdapConformance": list(RDAP_CONFORMANCE),
             "objectClassName": "domain",

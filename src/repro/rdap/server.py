@@ -73,6 +73,8 @@ class RdapGateway:
         *,
         cache_size: int = 0,
     ) -> None:
+        """Gateway over ``parser`` and a ``fetch_whois`` source; LRU-cached
+        responses when ``cache_size`` > 0."""
         self.parser = parser
         self._fetch = fetch_whois
         self.lookups = 0
@@ -270,6 +272,7 @@ class RdapGateway:
     # ------------------------------------------------------------------
 
     def lookup_json(self, domain: str) -> str:
+        """:meth:`lookup` serialized as indented JSON (the wire body)."""
         return json.dumps(self.lookup(domain), indent=2)
 
     def error_json(

@@ -65,11 +65,22 @@ class ModelRegistry:
     """
 
     def __init__(
-        self, root: "str | Path | None" = None, *, mmap: bool = True
+        self,
+        root: "str | Path | None" = None,
+        *,
+        mmap: bool = True,
+        domain: str | None = None,
     ) -> None:
-        """In-memory registry; with ``root``, load and persist versions."""
+        """In-memory registry; with ``root``, load and persist versions.
+
+        ``domain`` pins the registry to one parsing domain: loading or
+        publishing a snapshot trained for any other domain raises a
+        typed :class:`~repro.errors.DomainMismatch` (unset, any snapshot
+        is accepted -- the pre-plug-in behavior).
+        """
         self.root = Path(root) if root is not None else None
         self.mmap = mmap
+        self.domain = domain
         self._parsers: dict[str, WhoisParser] = {}
         self._versions: list[str] = []
         self._active: "tuple[str, WhoisParser] | None" = None
@@ -121,7 +132,9 @@ class ModelRegistry:
             if self.root is None:
                 raise KeyError(version)
             parser = WhoisParser.load(
-                self._version_path(version), mmap=self.mmap
+                self._version_path(version),
+                mmap=self.mmap,
+                expect_domain=self.domain,
             )
             cache_file = self._version_path(version) / _ENCODER_CACHE_FILE
             if cache_file.exists():
@@ -149,6 +162,11 @@ class ModelRegistry:
         activate: bool = True,
     ) -> str:
         """Snapshot ``parser`` as the next version; optionally activate."""
+        if self.domain is not None and parser.spec.name != self.domain:
+            raise errors.DomainMismatch(
+                f"cannot publish a {parser.spec.name!r} parser into a "
+                f"registry configured for domain {self.domain!r}"
+            )
         next_number = 1 + max(
             (int(v[1:]) for v in self._versions if v[1:].isdigit()),
             default=0,

@@ -84,6 +84,7 @@ class WhoisFeaturizer:
         *,
         lexicon: Lexicon | None = None,
     ) -> None:
+        """Featurizer with ``config`` switches and an optional fitted lexicon."""
         self.config = config or FeaturizerConfig()
         self.lexicon = lexicon
 
@@ -217,9 +218,11 @@ class WhoisFeaturizer:
         return None
 
     def featurize_record(self, record: WhoisRecord) -> Sequence:
+        """Per-line attribute lists for a record's labelable lines."""
         return self.featurize_lines(record.lines)
 
     def featurize_text(self, text: str) -> Sequence:
+        """Per-line attribute lists straight from raw record text."""
         return self.featurize_lines(text.splitlines())
 
     # ------------------------------------------------------------------

@@ -15,6 +15,7 @@ from repro.whois.records import LabeledLine, LabeledRecord
 
 
 def record_to_dict(record: LabeledRecord) -> dict:
+    """One JSONL row: raw lines plus aligned (block, sub) label pairs."""
     return {
         "domain": record.domain,
         "tld": record.tld,
@@ -28,6 +29,7 @@ def record_to_dict(record: LabeledRecord) -> dict:
 
 
 def record_from_dict(data: dict) -> LabeledRecord:
+    """Rebuild a :class:`LabeledRecord` from its JSONL row (validated)."""
     from repro.whois.records import is_labelable
 
     labelable = [ln for ln in data["raw_lines"] if is_labelable(ln)]
@@ -62,10 +64,12 @@ def save_corpus(records: Iterable[LabeledRecord], path: str | Path) -> int:
 
 
 def load_corpus(path: str | Path) -> list[LabeledRecord]:
+    """Materialize a whole JSONL corpus (see :func:`iter_corpus`)."""
     return list(iter_corpus(path))
 
 
 def iter_corpus(path: str | Path) -> Iterator[LabeledRecord]:
+    """Stream labeled records from a JSONL file, skipping blank lines."""
     with Path(path).open("r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, 1):
             line = line.strip()

@@ -19,15 +19,18 @@ class Lexicon:
     """A frequency-counted word dictionary."""
 
     def __init__(self) -> None:
+        """An empty, unfrozen lexicon ready to count tokens."""
         self.counts: Counter[str] = Counter()
         self._vocab: frozenset[str] | None = None
 
     def add_text(self, text: str) -> None:
+        """Count the tokens of one text (only before :meth:`freeze`)."""
         if self._vocab is not None:
             raise RuntimeError("lexicon is frozen; create a new one to re-count")
         self.counts.update(tokenize(text))
 
     def add_texts(self, texts: Iterable[str]) -> None:
+        """Count every text in ``texts``."""
         for text in texts:
             self.add_text(text)
 
@@ -53,6 +56,7 @@ class Lexicon:
 
     @property
     def vocabulary(self) -> frozenset[str]:
+        """The frozen vocabulary (raises until :meth:`freeze` is called)."""
         if self._vocab is None:
             raise RuntimeError("freeze() the lexicon before using its vocabulary")
         return self._vocab
@@ -64,4 +68,5 @@ class Lexicon:
         return len(self.vocabulary)
 
     def most_common(self, k: int = 20) -> list[tuple[str, int]]:
+        """The ``k`` highest-count tokens as ``(token, count)`` pairs."""
         return self.counts.most_common(k)

@@ -33,6 +33,7 @@ class WhoisRecord:
 
     @property
     def lines(self) -> list[str]:
+        """The raw text split into lines (labelable or not)."""
         return self.text.splitlines()
 
     def labelable_lines(self) -> list[tuple[int, str]]:
@@ -84,18 +85,22 @@ class LabeledRecord:
                 )
 
     def iter_labelable_raw(self) -> Iterator[str]:
+        """The raw lines that carry labels, in order."""
         return (ln for ln in self.raw_lines if is_labelable(ln))
 
     @property
     def text(self) -> str:
+        """The verbatim record text (what a crawler would have fetched)."""
         return "\n".join(self.raw_lines)
 
     @property
     def block_labels(self) -> list[str]:
+        """Gold first-level label per labelable line."""
         return [line.block for line in self.lines]
 
     @property
     def sub_labels(self) -> list[str | None]:
+        """Gold second-level label per labelable line (None outside it)."""
         return [line.sub for line in self.lines]
 
     def to_record(self) -> WhoisRecord:
@@ -103,6 +108,7 @@ class LabeledRecord:
         return WhoisRecord(domain=self.domain, text=self.text)
 
     def registrant_lines(self) -> list[LabeledLine]:
+        """The labeled lines of the registrant block (second-level data)."""
         return [line for line in self.lines if line.block == "registrant"]
 
     def __len__(self) -> int:

@@ -1,0 +1,48 @@
+"""The WHOIS bit-identity guarantee across the domain plug-in refactor.
+
+``tests/data/whois_equivalence.json.gz`` was frozen from the
+pre-plug-in code path (``tools/make_equivalence_fixture.py``): a parser
+trained on a fixed 150-record corpus, run over a fixed 500-record
+corpus through ``parse_many``.  Rebuilding the same outputs through the
+refactored spec-resolved pipeline must reproduce the fixture byte for
+byte -- any divergence means the default domain no longer matches the
+paper-era parser.
+"""
+
+import gzip
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURE = REPO_ROOT / "tests" / "data" / "whois_equivalence.json.gz"
+
+
+@pytest.fixture(scope="module")
+def fixture_tool():
+    spec = importlib.util.spec_from_file_location(
+        "make_equivalence_fixture",
+        REPO_ROOT / "tools" / "make_equivalence_fixture.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_fixture_is_committed():
+    assert FIXTURE.exists(), (
+        "regenerate with `python tools/make_equivalence_fixture.py` "
+        "(only ever from a commit whose outputs are known-good)"
+    )
+
+
+def test_parse_many_is_bit_identical_to_pre_refactor(fixture_tool):
+    frozen = json.loads(gzip.decompress(FIXTURE.read_bytes()))
+    rebuilt = fixture_tool.build_outputs()
+    assert len(rebuilt) == len(frozen) == fixture_tool.N_CORPUS
+    # Compare record-by-record first so a regression names the index
+    # instead of dumping a 900 KB diff.
+    for i, (new, old) in enumerate(zip(rebuilt, frozen)):
+        assert new == old, f"record {i} diverged from the frozen output"

@@ -1,0 +1,209 @@
+"""The domain plug-in API: registry, specs, and enforced domain identity.
+
+The tentpole contract: everything WHOIS-specific resolves through a
+:class:`~repro.domain.DomainSpec`, a second domain (syslog) runs the
+same train/parse/serve machinery end to end, and a snapshot trained for
+one domain loaded into infrastructure configured for another fails with
+a *typed* ``repro.errors`` error -- never a shape crash.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import errors
+from repro.domain import (
+    DEFAULT_DOMAIN,
+    DomainSpec,
+    available_domains,
+    get_domain,
+    register,
+    sub_segments,
+)
+from repro.domain.syslog import KNOWN_FAMILIES, UNSEEN_FAMILY
+from repro.parser import WhoisParser
+from repro.serve import ModelRegistry
+from repro.whois.labels import BLOCK_LABELS, REGISTRANT_LABELS
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+
+def test_builtin_domains_registered():
+    names = available_domains()
+    assert names[0] == DEFAULT_DOMAIN == "whois"
+    assert "syslog" in names
+
+
+def test_get_domain_passes_spec_through():
+    spec = get_domain("syslog")
+    assert get_domain(spec) is spec
+
+
+def test_unknown_domain_is_typed_and_names_the_alternatives():
+    with pytest.raises(errors.UnknownDomain) as excinfo:
+        get_domain("netflow")
+    assert excinfo.value.code == "unknown_domain"
+    assert excinfo.value.http_status == 404
+    message = str(excinfo.value)
+    assert "netflow" in message
+    assert "whois" in message and "syslog" in message
+    # KeyError compatibility without KeyError's repr-quoting.
+    assert isinstance(excinfo.value, KeyError)
+    assert not message.startswith('"')
+
+
+def test_register_rejects_duplicate_names():
+    spec = dataclasses.replace(get_domain("whois"))
+    with pytest.raises(ValueError):
+        register(spec)
+
+
+def test_whois_spec_carries_the_paper_label_sets():
+    spec = get_domain("whois")
+    assert tuple(spec.block_labels) == tuple(BLOCK_LABELS)
+    assert tuple(spec.sub_labels) == tuple(REGISTRANT_LABELS)
+    assert spec.sub_block == "registrant"
+    assert spec.has_second_level
+
+
+def test_spec_validates_sub_block_membership():
+    with pytest.raises(ValueError):
+        DomainSpec(
+            name="broken",
+            block_labels=("a", "b"),
+            sub_labels=("x",),
+            sub_block="missing",
+        )
+
+
+def test_spec_without_generator_raises_unavailable():
+    spec = DomainSpec(name="nogen", block_labels=("a", "b"))
+    with pytest.raises(errors.Unavailable):
+        spec.generator(seed=0)
+
+
+# ----------------------------------------------------------------------
+# The syslog domain end to end (train -> parse -> save/load)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def syslog_corpus():
+    return get_domain("syslog").generator(seed=41).labeled_corpus(90)
+
+
+@pytest.fixture(scope="module")
+def syslog_parser(syslog_corpus):
+    return WhoisParser(domain="syslog", l2=0.1).fit(syslog_corpus)
+
+
+def test_syslog_corpus_mixes_known_families_only(syslog_corpus):
+    families = {record.schema_family for record in syslog_corpus}
+    assert families <= set(KNOWN_FAMILIES)
+    assert UNSEEN_FAMILY not in families
+    assert len(families) >= 3
+
+
+def test_syslog_parser_learns_the_families(syslog_corpus, syslog_parser):
+    held_out = get_domain("syslog").generator(seed=4100).labeled_corpus(20)
+    wrong = total = 0
+    for record in held_out:
+        labeled = syslog_parser.label_lines(record.text)
+        gold = {line.text: line.block for line in record.lines}
+        for text, block, _sub in labeled:
+            if text in gold:
+                total += 1
+                wrong += block != gold[text]
+    assert total > 100
+    assert wrong / total < 0.05
+
+
+def test_syslog_parse_fills_generic_fields(syslog_parser):
+    record = get_domain("syslog").generator(seed=7).labeled_corpus(1)[0]
+    parsed = syslog_parser.parse(record.text)
+    assert parsed.fields, "details sub-labels should populate fields"
+    assert set(parsed.fields) <= set(get_domain("syslog").sub_labels)
+    assert "details" in parsed.blocks
+    # ... and the generic fields survive the wire format.
+    assert parsed.to_jsonable()["fields"] == parsed.fields
+
+
+def test_whois_wire_shape_has_no_fields_key():
+    corpus = get_domain("whois").generator(seed=5).labeled_corpus(30)
+    parser = WhoisParser(l2=0.1).fit(corpus)
+    payload = parser.parse(corpus[0].text).to_jsonable()
+    assert "fields" not in payload
+
+
+def test_sub_segments_follows_the_spec_sub_block(syslog_corpus):
+    spec = get_domain("syslog")
+    segments = sub_segments(syslog_corpus[0], spec)
+    assert segments, "every syslog family renders a details section"
+    for texts, subs in segments:
+        assert len(texts) == len(subs)
+        assert set(subs) <= set(spec.sub_labels)
+
+
+def test_syslog_snapshot_roundtrip(tmp_path, syslog_parser):
+    syslog_parser.save(tmp_path / "model")
+    loaded = WhoisParser.load(tmp_path / "model")
+    assert loaded.spec.name == "syslog"
+    record = get_domain("syslog").generator(seed=9).labeled_corpus(1)[0]
+    assert loaded.parse(record.text) == syslog_parser.parse(record.text)
+
+
+# ----------------------------------------------------------------------
+# Enforced domain identity: typed errors, not shape crashes
+# ----------------------------------------------------------------------
+
+
+def test_load_with_wrong_expect_domain_is_typed(tmp_path, syslog_parser):
+    syslog_parser.save(tmp_path / "model")
+    with pytest.raises(errors.DomainMismatch) as excinfo:
+        WhoisParser.load(tmp_path / "model", expect_domain="whois")
+    assert excinfo.value.code == "domain_mismatch"
+    assert excinfo.value.http_status == 409
+    assert "syslog" in str(excinfo.value)
+
+
+def test_pre_plugin_snapshots_count_as_whois(tmp_path):
+    corpus = get_domain("whois").generator(seed=3).labeled_corpus(25)
+    parser = WhoisParser(l2=0.1).fit(corpus)
+    parser.save(tmp_path / "model")
+    meta_path = tmp_path / "model" / "parser.json"
+    import json
+
+    meta = json.loads(meta_path.read_text())
+    del meta["domain"]  # simulate a snapshot from before the plug-in API
+    meta_path.write_text(json.dumps(meta))
+    loaded = WhoisParser.load(tmp_path / "model", expect_domain="whois")
+    assert loaded.spec.name == "whois"
+    with pytest.raises(errors.DomainMismatch):
+        WhoisParser.load(tmp_path / "model", expect_domain="syslog")
+
+
+def test_syslog_snapshot_into_whois_registry_is_typed(
+    tmp_path, syslog_parser
+):
+    """The satellite: a wrong-domain snapshot under a configured
+    ``ModelRegistry`` (what ``ServeApp`` serves from) raises the typed
+    mismatch at load time, before any request can hit it."""
+    syslog_parser.save(tmp_path / "registry")
+    with pytest.raises(errors.DomainMismatch):
+        ModelRegistry(tmp_path / "registry", domain="whois")
+
+
+def test_publish_into_wrong_domain_registry_is_typed(syslog_parser):
+    registry = ModelRegistry(domain="whois")
+    with pytest.raises(errors.DomainMismatch):
+        registry.publish(syslog_parser)
+
+
+def test_matching_domain_registry_loads_and_serves(tmp_path, syslog_parser):
+    syslog_parser.save(tmp_path / "registry")
+    registry = ModelRegistry(tmp_path / "registry", domain="syslog")
+    assert registry.has_active
+    assert registry.current_parser.spec.name == "syslog"

@@ -1,15 +1,20 @@
-"""One conformance suite, four parsers: the unified Parser protocol.
+"""One conformance suite, four parsers, every registered domain.
 
 Every parser in the package -- the CRF parser, the rule base, the
 template parser, and the generic regex parser -- must satisfy the same
 contract: ``parse(record) -> ParsedRecord`` over the record forms it
 supports, and ``parse_many`` equal to a ``parse`` loop.  The survey,
 gateway, and evaluation layers all program against exactly this surface.
+
+The module is parametrized over :func:`repro.domain.available_domains`:
+the CRF parser must conform on *every* registered domain (that is the
+plug-in API's promise), while the three WHOIS-specific baselines run on
+the default domain only.
 """
 
 import pytest
 
-from repro.datagen import CorpusConfig, CorpusGenerator
+from repro.domain import available_domains, get_domain
 from repro.parser import (
     Parser,
     ParserBase,
@@ -23,22 +28,29 @@ from repro.parser.fields import ParsedRecord
 
 PARSER_NAMES = ("crf", "rules", "templates", "simple")
 
+#: parsers hard-wired to WHOIS record semantics (the paper's baselines)
+WHOIS_ONLY = ("rules", "templates", "simple")
+
+
+@pytest.fixture(scope="module", params=available_domains())
+def domain(request):
+    return request.param
+
 
 @pytest.fixture(scope="module")
-def corpus():
-    generator = CorpusGenerator(CorpusConfig(seed=840))
-    return generator.labeled_corpus(120)
+def corpus(domain):
+    return get_domain(domain).generator(seed=840).labeled_corpus(120)
 
 
 @pytest.fixture(scope="module")
-def parsers(corpus):
+def parsers(domain, corpus):
     train = corpus[:90]
-    return {
-        "crf": WhoisParser(l2=0.1).fit(train),
-        "rules": RuleBasedParser().fit(train),
-        "templates": TemplateParser().fit(train),
-        "simple": SimpleRegexParser(),
-    }
+    built = {"crf": WhoisParser(domain=domain, l2=0.1).fit(train)}
+    if domain == "whois":
+        built["rules"] = RuleBasedParser().fit(train)
+        built["templates"] = TemplateParser().fit(train)
+        built["simple"] = SimpleRegexParser()
+    return built
 
 
 @pytest.fixture(scope="module")
@@ -48,6 +60,8 @@ def test_records(corpus):
 
 @pytest.fixture(params=PARSER_NAMES)
 def parser(request, parsers):
+    if request.param not in parsers:
+        pytest.skip(f"{request.param} parser is WHOIS-only")
     return parsers[request.param]
 
 
@@ -58,15 +72,20 @@ def parseable_records(parser, parsers, test_records):
     The template parser's contract is to fail loudly on registrars it
     has no template for (that *is* its Section 2.3 failure mode), so its
     conformance slice keeps only records it covers cleanly; the other
-    three parsers accept anything.
+    parsers accept anything.
     """
-    if parser is parsers["templates"]:
+    if parser is parsers.get("templates"):
         records = [
             r for r in test_records if parser.try_parse(r)[0] == "ok"
         ]
         assert records, "template parser covers none of the test slice"
         return records
     return test_records
+
+
+def _whois_only(parsers):
+    if "rules" not in parsers:
+        pytest.skip("WHOIS baseline parsers only exist on the whois domain")
 
 
 def test_satisfies_runtime_protocol(parser):
@@ -85,8 +104,16 @@ def test_parse_many_matches_parse_loop(parser, parseable_records):
     assert parser.parse_many(parseable_records) == expected
 
 
+def test_crf_parser_carries_its_domain_spec(domain, parsers):
+    """The plug-in contract: the trained parser knows its domain."""
+    crf = parsers["crf"]
+    assert crf.spec.name == domain
+    assert tuple(crf.block_crf.labels) == tuple(crf.spec.block_labels)
+
+
 def test_parse_accepts_whois_record(parsers, test_records):
     """Non-template parsers take bare WhoisRecord / raw text input."""
+    _whois_only(parsers)
     record = test_records[0]
     for name in ("crf", "rules", "simple"):
         by_record = parsers[name].parse(record.to_record())
@@ -97,6 +124,7 @@ def test_parse_accepts_whois_record(parsers, test_records):
 
 def test_template_parser_needs_registrar_identity(parsers, test_records):
     """Template parsing *is* its failure signal: raw text alone fails."""
+    _whois_only(parsers)
     templates = parsers["templates"]
     record = next(
         r for r in test_records if templates.try_parse(r)[0] == "ok"
@@ -111,6 +139,7 @@ def test_template_parser_needs_registrar_identity(parsers, test_records):
 
 def test_parsers_agree_on_domain(parsers, test_records):
     """Where each parser extracts a domain at all, they extract the same one."""
+    _whois_only(parsers)
     for record in test_records[:5]:
         domains = set()
         for name in ("crf", "rules", "simple"):

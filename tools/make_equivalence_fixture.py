@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Freeze the WHOIS equivalence fixture for the domain-API refactor.
+
+Generates a fixed 500-record corpus, trains the statistical parser on a
+disjoint 150-record corpus with pinned hyperparameters, runs
+``parse_many`` over the 500 records, and writes every parsed record (the
+``to_jsonable`` wire shape plus the raw per-line ``blocks`` grouping) to
+``tests/data/whois_equivalence.json.gz``.
+
+The fixture was produced by the pre-refactor parser; the regression test
+(``tests/test_domain_equivalence.py``) reproduces the same pipeline on
+the current code and asserts bit-identical output, which is what pins
+"WHOIS remains the default domain with unchanged behavior" across the
+domain plug-in refactor.
+
+Usage::
+
+    PYTHONPATH=src python tools/make_equivalence_fixture.py
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Pinned pipeline parameters; the regression test mirrors these exactly.
+TRAIN_SEED = 20150217
+CORPUS_SEED = 840840
+N_TRAIN = 150
+N_CORPUS = 500
+L2 = 0.1
+
+
+def build_outputs() -> list[dict]:
+    """Train on the pinned corpus and parse the fixed 500 records."""
+    from repro.datagen import CorpusConfig, CorpusGenerator
+    from repro.parser import WhoisParser
+
+    train = CorpusGenerator(CorpusConfig(seed=TRAIN_SEED)).labeled_corpus(N_TRAIN)
+    corpus = CorpusGenerator(CorpusConfig(seed=CORPUS_SEED)).labeled_corpus(N_CORPUS)
+    parser = WhoisParser(l2=L2).fit(train)
+    parsed = parser.parse_many([record.text for record in corpus])
+    return [
+        {**record.to_jsonable(), "blocks": record.blocks}
+        for record in parsed
+    ]
+
+
+def main() -> int:
+    """Write the gzipped fixture and print a short summary."""
+    outputs = build_outputs()
+    path = REPO_ROOT / "tests" / "data" / "whois_equivalence.json.gz"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    blob = json.dumps(outputs, sort_keys=True).encode()
+    with path.open("wb") as raw:
+        with gzip.GzipFile(fileobj=raw, mode="wb", mtime=0) as handle:
+            handle.write(blob)
+    print(f"wrote {len(outputs)} parsed records ({len(blob)} bytes raw) "
+          f"to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
