@@ -7,6 +7,7 @@ Subcommands mirror the paper's workflow:
 - ``parse``     parse raw record text with a saved model
 - ``crawl``     run the simulated com crawl and save the thick records
 - ``survey``    build the Section 6 tables from crawled records
+- ``audit``     cross-protocol WHOIS/RDAP consistency audit
 - ``query``     look up one domain in a sqlite survey replica
 - ``rdap``      serve RDAP lookups over crawled records
 - ``serve``     run the online serving tier (micro-batching, port 43 + HTTP)
@@ -222,6 +223,89 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    """Cross-protocol consistency audit: WHOIS parse vs RDAP object."""
+    from repro.consistency import LiveAuditFetcher, run_audit
+    from repro.survey.ingest import IngestJob, jobs_from_results
+    from repro.survey.report import format_inconsistency_table
+    from repro.survey.store import open_store
+
+    if args.store == "sqlite" and not args.db:
+        print("error: --store sqlite requires --db PATH", file=sys.stderr)
+        return 2
+    if args.live and not args.live_domains:
+        print("error: --live needs explicit domain arguments",
+              file=sys.stderr)
+        return 2
+    parser = WhoisParser.load(args.model, mmap=args.mmap)
+    if args.live:
+        # The gated path: real port-43 + RDAP, one domain at a time,
+        # behind the retry/breaker policies.
+        from repro import errors
+
+        fetcher = LiveAuditFetcher(enabled=True, timeout=args.timeout)
+        jobs = []
+        payloads: dict[str, dict | None] = {}
+        for domain in args.live_domains:
+            try:
+                text = fetcher.fetch_whois(domain)
+                payloads[domain] = fetcher.fetch_rdap(domain)
+            except errors.ReproError as exc:
+                print(f"skipping {domain}: [{exc.code}] {exc}",
+                      file=sys.stderr)
+                continue
+            if text:
+                jobs.append(IngestJob(domain=domain, text=text))
+        lookup = payloads.get
+    else:
+        # The simulated internet serves both protocol faces of one
+        # ground-truth zone; --disagree injects known RDAP-side
+        # perturbations so recovered rates have an exact oracle.
+        from repro.netsim.crawler import WhoisCrawler as Crawler
+        from repro.netsim.rdap import (
+            DisagreementKnob,
+            DisagreementPlan,
+            RdapFace,
+        )
+
+        generator = CorpusGenerator(CorpusConfig(seed=args.seed))
+        zone, registrations = generator.zone(args.domains)
+        internet, clock, _truth = build_com_internet(
+            generator, zone, registrations
+        )
+        crawler = Crawler(internet)
+        results = crawler.crawl(zone)
+        jobs = jobs_from_results(results)
+        knobs = {}
+        if args.disagree > 0.0:
+            knob = DisagreementKnob(
+                rate=args.disagree,
+                fields=tuple(args.disagree_fields.split(",")),
+            )
+            knobs[args.disagree_registrar or "*"] = knob
+        plan = DisagreementPlan(knobs, seed=args.plan_seed)
+        face = RdapFace(registrations, plan=plan, clock=clock)
+        lookup = face.lookup
+    store = open_store(args.store, args.db, fresh=True)
+    db, summary = run_audit(
+        jobs, parser, rdap_lookup=lookup, store=store, shards=args.shards
+    )
+    definite = summary.agree + summary.disagree
+    print(f"audited {summary.total} domains: {summary.agree} agree, "
+          f"{summary.disagree} disagree "
+          f"({summary.disagreement_rate:.1%} of {definite} definite), "
+          f"{summary.incomparable} incomparable")
+    if args.db:
+        print(f"audit replica: {args.db}")
+    print()
+    print(format_inconsistency_table(
+        summary, title="WHOIS/RDAP inconsistency by registrar",
+        top=args.top,
+    ))
+    db.close()
+    return 0
+
+
 #: ``--status`` choice -> the :class:`EntryFilter` dimension it pins.
 _STATUS_DIMS = {
     "private": ("private", True),
@@ -271,6 +355,35 @@ def _entry_payload(store, entry, *, full: bool) -> dict:
     }
 
 
+def _audit_payload(store, domain: str) -> "dict | None":
+    """One domain's audit verdict as JSON (None when never audited)."""
+    audit = store.get_audit(domain)
+    if audit is None:
+        return None
+    return {
+        "verdict": audit.verdict,
+        "compared": audit.compared,
+        "diffs": [
+            {"field": diff.field, "whois": diff.whois, "rdap": diff.rdap}
+            for diff in audit.diffs
+        ],
+    }
+
+
+def _print_audit(store, domain: str) -> None:
+    audit = store.get_audit(domain)
+    if audit is None:
+        print("consistency: (not audited)")
+    elif audit.verdict == "agree":
+        print(f"consistency: agree ({audit.compared} fields compared)")
+    elif audit.verdict == "incomparable":
+        print("consistency: incomparable (no field stated by both sides)")
+    else:
+        print(f"consistency: DISAGREE on {', '.join(audit.diff_fields)}")
+        for diff in audit.diffs:
+            print(f"  {diff.field}: whois={diff.whois!r} rdap={diff.rdap!r}")
+
+
 def _print_entry(entry) -> None:
     print(f"domain:     {entry.domain}")
     print(f"registrar:  {entry.registrar or '(unknown)'}")
@@ -308,16 +421,25 @@ def _cmd_query(args: argparse.Namespace) -> int:
                       f"filter", file=sys.stderr)
                 return 1
             if full:
-                print(json.dumps(_entry_payload(store, entry, full=True),
-                                 indent=2, sort_keys=True))
+                payload = _entry_payload(store, entry, full=True)
+                if args.consistency:
+                    payload["consistency"] = _audit_payload(
+                        store, entry.domain
+                    )
+                print(json.dumps(payload, indent=2, sort_keys=True))
             else:
                 _print_entry(entry)
+                if args.consistency:
+                    _print_audit(store, entry.domain)
             return 0
         # No domain: list every entry matching the filter flags.
-        payloads = [
-            _entry_payload(store, entry, full=full)
-            for entry in store.iter_entries(flt, by_domain=True)
-        ]
+        entries = list(store.iter_entries(flt, by_domain=True))
+        payloads = []
+        for entry in entries:
+            payload = _entry_payload(store, entry, full=full)
+            if args.consistency:
+                payload["consistency"] = _audit_payload(store, entry.domain)
+            payloads.append(payload)
         if full:
             print(json.dumps(payloads, indent=2, sort_keys=True))
         else:
@@ -326,9 +448,21 @@ def _cmd_query(args: argparse.Namespace) -> int:
                     "P" if row["private"] else "-",
                     "B" if row["blacklisted"] else "-",
                 ))
-                print(f"{row['domain']:<30} {flags} "
-                      f"{row['created'] or '----------'} "
-                      f"{row['registrar'] or '(unknown)'}")
+                line = (f"{row['domain']:<30} {flags} "
+                        f"{row['created'] or '----------'} "
+                        f"{row['registrar'] or '(unknown)'}")
+                if args.consistency:
+                    audit = row.get("consistency")
+                    if audit is None:
+                        line += "  [unaudited]"
+                    elif audit["diffs"]:
+                        fields = ",".join(
+                            diff["field"] for diff in audit["diffs"]
+                        )
+                        line += f"  [disagree: {fields}]"
+                    else:
+                        line += f"  [{audit['verdict']}]"
+                print(line)
         print(f"{len(payloads)} matching entr"
               f"{'y' if len(payloads) == 1 else 'ies'}", file=sys.stderr)
         return 0 if payloads else 1
@@ -676,7 +810,57 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="print full parsed records as JSON")
     query.add_argument("--json", action="store_true",
                        help=argparse.SUPPRESS)  # legacy alias for --full
+    query.add_argument("--consistency", action="store_true",
+                       help="include the WHOIS/RDAP audit verdict (and "
+                            "the differing fields) for each entry, from "
+                            "the replica's audit table")
     query.set_defaults(func=_cmd_query)
+
+    audit = sub.add_parser(
+        "audit", help="cross-protocol WHOIS/RDAP consistency audit"
+    )
+    audit.add_argument("model", help="model directory")
+    audit.add_argument("live_domains", nargs="*", metavar="domain",
+                       help="with --live: domains to audit against the "
+                            "real internet (ignored otherwise)")
+    audit.add_argument("--domains", type=int, default=300,
+                       help="simulated zone size (netsim mode)")
+    audit.add_argument("--seed", type=int, default=0,
+                       help="corpus/zone seed (netsim mode)")
+    audit.add_argument("--disagree", type=float, default=0.0,
+                       help="inject RDAP-side disagreements at this rate "
+                            "(netsim mode; per-domain, seeded)")
+    audit.add_argument("--disagree-fields", default="dates,nameservers",
+                       metavar="CSV",
+                       help="field groups the injection perturbs: "
+                            "dates,nameservers,registrar,statuses,"
+                            "registrant")
+    audit.add_argument("--disagree-registrar", default=None, metavar="NAME",
+                       help="only inject under this canonical registrar "
+                            "(default: all registrars)")
+    audit.add_argument("--plan-seed", type=int, default=0,
+                       help="seed for the injection plan's domain choice")
+    audit.add_argument("--store", choices=("memory", "sqlite"),
+                       default="memory",
+                       help="audit backend: in-memory rows, or a durable "
+                            "sqlite replica (requires --db)")
+    audit.add_argument("--db", metavar="PATH", default=None,
+                       help="sqlite replica path for --store sqlite "
+                            "(query it with `repro query --consistency`)")
+    audit.add_argument("--shards", type=int, default=1,
+                       help="ingest worker processes for the audit run")
+    audit.add_argument("--top", type=int, default=None,
+                       help="show only the N most inconsistent registrars")
+    audit.add_argument("--mmap", action="store_true",
+                       help="memory-map model weights read-only")
+    audit.add_argument("--live", action="store_true",
+                       help="audit the real internet instead of netsim "
+                            "(gated off by default; requires explicit "
+                            "domain arguments)")
+    audit.add_argument("--timeout", type=float, default=10.0,
+                       help="with --live: per-query network timeout")
+    add_metrics_out(audit)
+    audit.set_defaults(func=_cmd_audit)
 
     rdap = sub.add_parser(
         "rdap", help="RDAP lookups over crawled records"

@@ -1,0 +1,151 @@
+"""Field-by-field diffing of two :class:`ComparableRecord` views.
+
+The policy is deliberately asymmetric in WHOIS's favor, because the two
+sides are not equally expressive:
+
+- a field present on only one side is **incomparable**, not a
+  disagreement -- WHOIS templates omit fields all the time, and the
+  parser can only extract what the template printed;
+- set-valued fields (statuses, nameservers) tolerate the WHOIS side
+  being a *proper subset* of the RDAP side -- several registrar
+  templates truncate to the first status or the first few hosts -- but
+  a WHOIS value absent from RDAP is a real disagreement;
+- contact fields are skipped entirely when either side is
+  privacy-redacted: a proxy service's boilerplate differing between
+  protocol front-ends says nothing about the registration itself.
+
+The output is a list of :class:`FieldDiff` plus a verdict:
+``"agree"`` (fields compared, none differ), ``"disagree"`` (at least
+one differs), or ``"incomparable"`` (nothing comparable on both sides).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.consistency.compare import ComparableRecord
+
+__all__ = ["FieldDiff", "RecordDiff", "VERDICTS", "diff_records"]
+
+#: Verdicts :func:`diff_records` can return.
+VERDICTS = ("agree", "disagree", "incomparable")
+
+#: Scalar fields compared by equality when present on both sides.
+_SCALAR_FIELDS = (
+    "domain", "registrar", "created", "updated", "expires",
+)
+
+#: Set-valued fields compared with subset tolerance.
+_SET_FIELDS = ("statuses", "nameservers")
+
+#: Contact fields, skipped when either side is privacy-redacted.
+_CONTACT_FIELDS = (
+    "registrant_name", "registrant_org", "registrant_country",
+    "registrant_email",
+)
+
+
+@dataclass(frozen=True)
+class FieldDiff:
+    """One field on which the two protocols disagree."""
+
+    field: str
+    whois: str
+    rdap: str
+
+
+@dataclass(frozen=True)
+class RecordDiff:
+    """The full comparison outcome for one domain."""
+
+    verdict: str
+    #: number of fields actually compared (present on both sides)
+    compared: int
+    diffs: tuple[FieldDiff, ...] = ()
+
+    @property
+    def consistent(self) -> "bool | None":
+        """True/False for compared records, None when incomparable."""
+        if self.verdict == "incomparable":
+            return None
+        return self.verdict == "agree"
+
+
+def _render(value) -> str:
+    """A stable, human-readable rendering of one field value."""
+    if isinstance(value, frozenset):
+        return ",".join(sorted(value))
+    return str(value)
+
+
+def _registrar_agrees(whois: str, rdap: str) -> bool:
+    """Lenient registrar match: canonical equality or containment.
+
+    Registrar lines sometimes carry decoration the canonicalizer cannot
+    strip ("X Inc. (http://...)"); containment either way still means
+    the same registrar, and a genuinely different registrar name shares
+    neither direction.
+    """
+    a, b = whois.casefold(), rdap.casefold()
+    return a == b or a in b or b in a
+
+
+def diff_records(
+    whois: "ComparableRecord", rdap: "ComparableRecord"
+) -> RecordDiff:
+    """Compare a WHOIS-side view against an RDAP-side view."""
+    compared = 0
+    diffs: list[FieldDiff] = []
+
+    for name in _SCALAR_FIELDS:
+        w, r = getattr(whois, name), getattr(rdap, name)
+        if w is None or r is None:
+            continue
+        compared += 1
+        if name == "registrar":
+            if not _registrar_agrees(w, r):
+                diffs.append(FieldDiff(name, _render(w), _render(r)))
+        elif w != r:
+            diffs.append(FieldDiff(name, _render(w), _render(r)))
+
+    for name in _SET_FIELDS:
+        w, r = getattr(whois, name), getattr(rdap, name)
+        if not w or not r:
+            continue
+        compared += 1
+        if w != r and not w < r:
+            diffs.append(FieldDiff(name, _render(w), _render(r)))
+
+    if not whois.private and not rdap.private:
+        # name/org as an unordered pair: WHOIS templates routinely put
+        # the organization on the name line (and vice versa), and the
+        # parser inherits that ambiguity.  When both sides state both
+        # fields and the *pair* of values matches, the registrant data
+        # agrees -- only the slotting differs.
+        swapped_pair = (
+            whois.registrant_name is not None
+            and whois.registrant_org is not None
+            and rdap.registrant_name is not None
+            and rdap.registrant_org is not None
+            and {whois.registrant_name, whois.registrant_org}
+            == {rdap.registrant_name, rdap.registrant_org}
+        )
+        for name in _CONTACT_FIELDS:
+            w, r = getattr(whois, name), getattr(rdap, name)
+            if w is None or r is None:
+                continue
+            compared += 1
+            if name in ("registrant_name", "registrant_org") and swapped_pair:
+                continue
+            if w != r:
+                diffs.append(FieldDiff(name, _render(w), _render(r)))
+
+    if diffs:
+        verdict = "disagree"
+    elif compared:
+        verdict = "agree"
+    else:
+        verdict = "incomparable"
+    return RecordDiff(verdict=verdict, compared=compared, diffs=tuple(diffs))

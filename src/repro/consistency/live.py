@@ -1,0 +1,182 @@
+"""Gated-off live fetchers: present-day port-43 WHOIS and RDAP.
+
+Everything else in :mod:`repro.consistency` runs against the simulated
+internet; this module is the adapter that points the same auditor at the
+real one.  It is **disabled by default**: a
+:class:`LiveAuditFetcher` refuses to touch the network unless
+constructed with ``enabled=True`` (the CLI's explicit ``--live`` flag),
+so no test, benchmark, or CI job can reach the internet by accident.
+
+When enabled, fetches run behind the existing resilience policies --
+capped-backoff :class:`~repro.resilience.RetryPolicy` between attempts
+and a per-server :class:`~repro.resilience.CircuitBreaker` -- and every
+failure surfaces as a typed :mod:`repro.errors` value, so live audits
+account failures in the same taxonomy the simulated crawler uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import time
+import urllib.error
+import urllib.request
+
+from repro import errors, obs
+from repro.resilience import BreakerPolicy, CircuitBreaker, RetryPolicy
+
+__all__ = ["LiveAuditFetcher"]
+
+#: Verisign's thin registry front door for com.
+DEFAULT_WHOIS_SERVER = "whois.verisign-grs.com"
+#: The registry RDAP base URL for com (RFC 7480 bootstrap result).
+DEFAULT_RDAP_BASE = "https://rdap.verisign.com/com/v1"
+
+_REFERRAL = re.compile(
+    r"^\s*Registrar WHOIS Server:\s*(\S+)\s*$", re.IGNORECASE | re.MULTILINE
+)
+
+
+class _WallClock:
+    """Monotonic wall time in the breaker's ``now() -> float`` shape."""
+
+    @staticmethod
+    def now() -> float:
+        return time.monotonic()
+
+
+class LiveAuditFetcher:
+    """Port-43 + RDAP lookups against the real internet, opt-in only.
+
+    ``fetch_whois`` follows one registry -> registrar referral to reach
+    the thick record (the Section 4.1 two-step); ``fetch_rdap`` returns
+    the registry's RDAP payload or ``None`` on 404.  Both raise typed
+    :class:`~repro.errors.ReproError` values on failure and honor the
+    retry policy and per-server breakers.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = False,
+        whois_server: str = DEFAULT_WHOIS_SERVER,
+        rdap_base: str = DEFAULT_RDAP_BASE,
+        timeout: float = 10.0,
+        attempts: int = 3,
+        retry: "RetryPolicy | None" = None,
+        breaker_policy: "BreakerPolicy | None" = None,
+    ) -> None:
+        self.enabled = enabled
+        self.whois_server = whois_server
+        self.rdap_base = rdap_base.rstrip("/")
+        self.timeout = timeout
+        self.attempts = max(1, attempts)
+        self.retry = retry or RetryPolicy(base_delay=2.0, multiplier=2.0,
+                                          max_delay=30.0, jitter=0.25)
+        self._breaker_policy = breaker_policy or BreakerPolicy()
+        self._clock = _WallClock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    # ------------------------------------------------------------------
+    # Gating + policy plumbing
+    # ------------------------------------------------------------------
+
+    def _require_enabled(self) -> None:
+        if not self.enabled:
+            raise errors.Unavailable(
+                "live WHOIS/RDAP fetching is gated off; construct "
+                "LiveAuditFetcher(enabled=True) (CLI: repro audit --live) "
+                "to audit present-day records"
+            )
+
+    def _breaker(self, server: str) -> CircuitBreaker:
+        breaker = self._breakers.get(server)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self._breaker_policy, self._clock, server=server
+            )
+            self._breakers[server] = breaker
+        return breaker
+
+    def _guarded(self, server: str, call):
+        """Run ``call`` under the server's breaker and the retry policy."""
+        breaker = self._breaker(server)
+        last: errors.ReproError | None = None
+        for attempt in range(self.attempts):
+            if not breaker.allow():
+                raise errors.CircuitOpen(
+                    f"breaker open for {server}", server=server
+                )
+            try:
+                result = call()
+            except errors.ReproError as exc:
+                breaker.record_failure()
+                obs.inc("consistency.live.errors", code=exc.code)
+                last = exc
+                if attempt + 1 < self.attempts:
+                    time.sleep(self.retry.delay(attempt, key=server))
+                continue
+            breaker.record_success()
+            return result
+        assert last is not None
+        raise last
+
+    # ------------------------------------------------------------------
+    # Fetchers
+    # ------------------------------------------------------------------
+
+    def _whois_once(self, server: str, query: str) -> str:
+        from repro.netsim.tcp import whois_query
+
+        return asyncio.run(
+            whois_query(server, 43, query, timeout=self.timeout)
+        )
+
+    def fetch_whois(self, domain: str) -> "str | None":
+        """The thick WHOIS record for ``domain`` (referral followed)."""
+        self._require_enabled()
+        obs.inc("consistency.live.whois_lookups")
+        thin = self._guarded(
+            self.whois_server,
+            lambda: self._whois_once(self.whois_server, domain),
+        )
+        match = _REFERRAL.search(thin)
+        if match is None:
+            return thin
+        registrar_server = match.group(1).lower()
+        return self._guarded(
+            registrar_server,
+            lambda: self._whois_once(registrar_server, domain),
+        )
+
+    def _rdap_once(self, url: str, server: str) -> "dict | None":
+        request = urllib.request.Request(
+            url, headers={"Accept": "application/rdap+json"}
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as body:
+                return json.loads(body.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            if exc.code == 404:
+                return None
+            if exc.code == 429:
+                raise errors.RateLimited(
+                    f"{server} rate-limited the RDAP query", server=server
+                ) from exc
+            raise errors.TransientServerError(
+                f"{server} answered HTTP {exc.code}", server=server
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise errors.Timeout(
+                f"RDAP fetch from {server} failed: {exc.reason}",
+                server=server,
+            ) from exc
+
+    def fetch_rdap(self, domain: str) -> "dict | None":
+        """The registry RDAP domain payload, or ``None`` on 404."""
+        self._require_enabled()
+        obs.inc("consistency.live.rdap_lookups")
+        server = self.rdap_base.split("/")[2]
+        url = f"{self.rdap_base}/domain/{domain.lower()}"
+        return self._guarded(server, lambda: self._rdap_once(url, server))

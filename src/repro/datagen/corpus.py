@@ -90,6 +90,7 @@ class CorpusGenerator:
     """Deterministic generator of labeled WHOIS corpora and survey data."""
 
     def __init__(self, config: CorpusConfig | None = None, *, seed: int | None = None):
+        """Seed the generator; ``seed=`` is shorthand for a default config."""
         if config is None:
             config = CorpusConfig(seed=seed if seed is not None else 0)
         elif seed is not None:
@@ -105,10 +106,12 @@ class CorpusGenerator:
     # ------------------------------------------------------------------
 
     def sample_year(self) -> int:
+        """Draw a creation year from the Figure 4 era distribution."""
         return int(weighted_choice(self.rng, {str(y): w for y, w in
                                               YEAR_WEIGHTS.items()}))
 
     def sample_registrar(self, year: int) -> RegistrarProfile:
+        """Draw a registrar weighted by its market share in ``year``."""
         shares = registrar_shares(year)
         named_total = sum(shares.values())
         tail_mass = max(0.0, 1.0 - named_total)
@@ -125,6 +128,7 @@ class CorpusGenerator:
         return tail_registrar_profile(index)
 
     def sample_country(self, registrar: RegistrarProfile, year: int) -> str:
+        """Draw a registrant country from the registrar's customer mix."""
         profile = country_profile(year)
         if registrar.country_mix is None:
             dist = profile
@@ -325,6 +329,7 @@ class CorpusGenerator:
         return [self.render(self.sample_registration()) for _ in range(n)]
 
     def registrations(self, n: int) -> list[Registration]:
+        """``n`` fresh registrations with distinct domains."""
         return [self.sample_registration() for _ in range(n)]
 
     def dbl_registrations(self, n: int) -> list[Registration]:
@@ -373,6 +378,7 @@ class CorpusGenerator:
         return renderer(registration, self.rng)
 
     def new_tld_records(self) -> dict[str, LabeledRecord]:
+        """One labeled sample record per Table 2 new-TLD registry."""
         return {tld: self.new_tld_record(tld) for tld in sorted(NEW_TLDS)}
 
     def zone(self, n: int) -> tuple[ZoneFile, dict[str, Registration]]:

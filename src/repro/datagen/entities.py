@@ -165,17 +165,20 @@ class EntityGenerator:
     # ------------------------------------------------------------------
 
     def person_name(self, region: str) -> str:
+        """A given+family name plausible for ``region``."""
         first = self.rng.choice(_FIRST_NAMES.get(region, _FIRST_NAMES["western"]))
         last = self.rng.choice(_LAST_NAMES.get(region, _LAST_NAMES["western"]))
         return f"{first} {last}"
 
     def organization(self) -> str:
+        """A synthetic company name with an optional legal suffix."""
         stem = self.rng.choice(_ORG_STEMS)
         core = self.rng.choice(_ORG_CORES)
         suffix = self.rng.choice(_ORG_SUFFIXES)
         return f"{stem}{core} {suffix}"
 
     def street(self) -> str:
+        """A numbered street address line."""
         number = self.rng.randint(1, 9999)
         name = self.rng.choice(_STREET_NAMES)
         suffix = self.rng.choice(_STREET_SUFFIXES)
@@ -184,6 +187,7 @@ class EntityGenerator:
         return f"{number} {name} {suffix}"
 
     def postcode(self, country_code: str) -> str:
+        """A postcode in ``country_code``'s national format."""
         rng = self.rng
         if country_code in ("US",):
             return f"{rng.randint(10000, 99599):05d}"
@@ -212,6 +216,7 @@ class EntityGenerator:
         return f"{rng.randint(10000, 99999)}"
 
     def phone(self, country: Country, style: str = "icann") -> str:
+        """A phone number with ``country``'s dialing code, in ``style``."""
         rng = self.rng
         national = rng.randint(200_000_000, 999_999_999)
         if style == "icann":
@@ -223,6 +228,7 @@ class EntityGenerator:
         return f"({digits[:3]}) {digits[3:6]}-{digits[6:]}"
 
     def email(self, name: str, domain: str | None = None) -> str:
+        """An address derived from ``name`` at ``domain`` or a mail host."""
         local = name.lower().replace(" ", ".").replace("'", "")
         host = domain or self.rng.choice(_EMAIL_DOMAINS)
         if self.rng.random() < 0.25:
@@ -230,6 +236,7 @@ class EntityGenerator:
         return f"{local}@{host}"
 
     def handle(self, prefix: str = "C") -> str:
+        """A registry-style contact handle like ``C123456``."""
         return f"{prefix}{self.rng.randint(10_000_000, 99_999_999)}"
 
     def contact(
@@ -284,6 +291,7 @@ class EntityGenerator:
                      "data", "play", "game", "news", "travel", "food", "home")
 
     def domain_name(self, tld: str = "com") -> str:
+        """A fresh synthetic domain under ``tld``, unique per generator."""
         rng = self.rng
         n_words = rng.choice((1, 2, 2, 2, 3))
         label = "".join(rng.choice(self._DOMAIN_WORDS) for _ in range(n_words))
@@ -292,6 +300,7 @@ class EntityGenerator:
         return f"{label}.{tld}"
 
     def name_servers(self, domain: str, count: int | None = None) -> list[str]:
+        """A hosting provider's NS set (or vanity servers under ``domain``)."""
         rng = self.rng
         count = count or rng.choice((2, 2, 2, 3, 4))
         if rng.random() < 0.5:

@@ -22,6 +22,7 @@ class HichinaFamily(SchemaFamily):
     def render(
         self, registration: Registration, rng: random.Random, *, version: int = 1
     ) -> LabeledRecord:
+        """HiChina's labeled-section layout with CN-style date stamps."""
         self._check_version(version)
         reg = registration
         contact = reg.registrant
@@ -79,6 +80,7 @@ class XinnetFamily(SchemaFamily):
     def render(
         self, registration: Registration, rng: random.Random, *, version: int = 1
     ) -> LabeledRecord:
+        """Xinnet's terse lowercase-key format with compact dates."""
         self._check_version(version)
         reg = registration
         contact = reg.registrant
@@ -122,6 +124,7 @@ class GmoFamily(SchemaFamily):
     def render(
         self, registration: Registration, rng: random.Random, *, version: int = 1
     ) -> LabeledRecord:
+        """GMO/onamae.jp's bracketed Japanese-registry style layout."""
         self._check_version(version)
         reg = registration
         contact = reg.registrant

@@ -44,6 +44,7 @@ class EnomFamily(SchemaFamily):
     def render(
         self, registration: Registration, rng: random.Random, *, version: int = 1
     ) -> LabeledRecord:
+        """eNom's indented block layout with decorated contact lines."""
         self._check_version(version)
         reg = registration
         banner = self._BANNERS.get(reg.registrar_name, "ENOM, INC.")

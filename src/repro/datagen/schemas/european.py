@@ -19,6 +19,7 @@ class GandiFamily(SchemaFamily):
     def render(
         self, registration: Registration, rng: random.Random, *, version: int = 1
     ) -> LabeledRecord:
+        """Gandi's RIPE-flavored lowercase key/value layout."""
         self._check_version(version)
         reg = registration
         contact = reg.registrant
@@ -77,6 +78,7 @@ class OvhFamily(SchemaFamily):
     def render(
         self, registration: Registration, rng: random.Random, *, version: int = 1
     ) -> LabeledRecord:
+        """OVH's compact European layout with dotted date stamps."""
         self._check_version(version)
         reg = registration
         contact = reg.registrant
@@ -133,6 +135,7 @@ class RrpproxyFamily(SchemaFamily):
     def render(
         self, registration: Registration, rng: random.Random, *, version: int = 1
     ) -> LabeledRecord:
+        """RRPproxy's uppercase KEY:value reseller layout."""
         self._check_version(version)
         reg = registration
         contact = reg.registrant

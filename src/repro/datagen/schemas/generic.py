@@ -58,6 +58,7 @@ class GenericAFamily(SchemaFamily):
     def render(
         self, registration: Registration, rng: random.Random, *, version: int = 1
     ) -> LabeledRecord:
+        """Per-registrar variant of the plain ``Key: Value`` layout."""
         self._check_version(version)
         reg = registration
         contact = reg.registrant
@@ -119,6 +120,7 @@ class GenericCFamily(SchemaFamily):
     def render(
         self, registration: Registration, rng: random.Random, *, version: int = 1
     ) -> LabeledRecord:
+        """Per-registrar variant with a prefixed registrant block."""
         self._check_version(version)
         reg = registration
         contact = reg.registrant
@@ -173,6 +175,7 @@ class DreamhostFamily(SchemaFamily):
     def render(
         self, registration: Registration, rng: random.Random, *, version: int = 1
     ) -> LabeledRecord:
+        """DreamHost's chatty prose-wrapped record layout."""
         self._check_version(version)
         reg = registration
         contact = reg.registrant
@@ -220,6 +223,7 @@ class OddFamily(SchemaFamily):
     def render(
         self, registration: Registration, rng: random.Random, *, version: int = 1
     ) -> LabeledRecord:
+        """The deliberately odd layout no other family resembles."""
         self._check_version(version)
         reg = registration
         contact = reg.registrant

@@ -61,6 +61,7 @@ class GodaddyFamily(SchemaFamily):
     def render(
         self, registration: Registration, rng: random.Random, *, version: int = 1
     ) -> LabeledRecord:
+        """GoDaddy's post-2013 ICANN-standardized field layout."""
         self._check_version(version)
         reg = registration
         updated_title = "Updated Date" if version == 1 else "Update Date"
@@ -154,6 +155,7 @@ class FastdomainFamily(SchemaFamily):
     def render(
         self, registration: Registration, rng: random.Random, *, version: int = 1
     ) -> LabeledRecord:
+        """FastDomain's ICANN layout with support-desk contact lines."""
         self._check_version(version)
         reg = registration
         rows: list[Row] = [
@@ -212,6 +214,7 @@ class NamecomFamily(SchemaFamily):
     def render(
         self, registration: Registration, rng: random.Random, *, version: int = 1
     ) -> LabeledRecord:
+        """Name.com's ICANN layout with upper-cased nameservers."""
         self._check_version(version)
         reg = registration
         rows: list[Row] = [
@@ -251,6 +254,7 @@ class BizcnFamily(SchemaFamily):
     def render(
         self, registration: Registration, rng: random.Random, *, version: int = 1
     ) -> LabeledRecord:
+        """Bizcn's ICANN layout with CN-style timestamps."""
         self._check_version(version)
         reg = registration
         contact = reg.registrant

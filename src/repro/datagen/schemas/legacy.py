@@ -17,6 +17,7 @@ class DotleaderFamily(SchemaFamily):
     def render(
         self, registration: Registration, rng: random.Random, *, version: int = 1
     ) -> LabeledRecord:
+        """Dotster/Leader's legacy indented-label layout."""
         self._check_version(version)
         reg = registration
         contact = reg.registrant
@@ -86,6 +87,7 @@ class MelbourneFamily(SchemaFamily):
     def render(
         self, registration: Registration, rng: random.Random, *, version: int = 1
     ) -> LabeledRecord:
+        """Melbourne IT's legacy AU-style layout."""
         self._check_version(version)
         reg = registration
         contact = reg.registrant
@@ -130,6 +132,7 @@ class MonikerFamily(SchemaFamily):
     def render(
         self, registration: Registration, rng: random.Random, *, version: int = 1
     ) -> LabeledRecord:
+        """Moniker's legacy layout with inlined contact rows."""
         self._check_version(version)
         reg = registration
         contact = reg.registrant

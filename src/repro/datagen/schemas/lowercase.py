@@ -17,6 +17,7 @@ class OneandoneFamily(SchemaFamily):
     def render(
         self, registration: Registration, rng: random.Random, *, version: int = 1
     ) -> LabeledRecord:
+        """1&1's all-lowercase key layout."""
         self._check_version(version)
         reg = registration
         contact = reg.registrant
@@ -65,6 +66,7 @@ class GenericBFamily(SchemaFamily):
     def render(
         self, registration: Registration, rng: random.Random, *, version: int = 1
     ) -> LabeledRecord:
+        """Per-registrar variant of the lowercase key layout."""
         self._check_version(version)
         reg = registration
         contact = reg.registrant

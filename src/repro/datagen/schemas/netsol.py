@@ -18,6 +18,7 @@ class NetsolFamily(SchemaFamily):
     def render(
         self, registration: Registration, rng: random.Random, *, version: int = 1
     ) -> LabeledRecord:
+        """Network Solutions' legacy prose-and-blocks layout."""
         self._check_version(version)
         reg = registration
         contact = reg.registrant
@@ -111,6 +112,7 @@ class TucowsFamily(SchemaFamily):
     def render(
         self, registration: Registration, rng: random.Random, *, version: int = 1
     ) -> LabeledRecord:
+        """Tucows/OpenSRS's legacy reseller layout."""
         self._check_version(version)
         reg = registration
         rows: list[Row] = []

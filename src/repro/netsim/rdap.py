@@ -1,0 +1,207 @@
+"""The simulated internet's RDAP face.
+
+The consistency auditor needs both protocol front doors of one
+ground-truth zone: :func:`build_com_internet` already serves the WHOIS
+side; :class:`RdapFace` serves the RDAP side from the *same*
+registrations dict, rendering each domain through the oracle converter
+:func:`~repro.rdap.convert.registration_to_rdap`.  With no
+:class:`DisagreementPlan` installed, the two faces agree on every field
+by construction -- the auditor's zero-false-positive baseline.
+
+A :class:`DisagreementPlan` injects *known* cross-protocol
+disagreements: per-registrar knobs pick a deterministic, seeded subset
+of domains and perturb chosen field groups of the RDAP object only
+(dates shifted, nameservers renamed, registrar renamed, statuses
+replaced, registrant rewritten).  Because selection hashes only
+``(seed, domain)``, the plan itself is an exact oracle for what the
+auditor must find: measured per-registrar inconsistency rates must
+match :meth:`DisagreementPlan.expected_domains` domain-for-domain.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+from datetime import timedelta
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro import obs
+from repro.rdap.convert import registration_to_rdap
+from repro.rdap.schema import RdapDomain, RdapEvent
+from repro.survey.normalize import canonical_registrar
+
+if TYPE_CHECKING:
+    from repro.datagen.registration import Registration
+
+__all__ = ["DisagreementKnob", "DisagreementPlan", "RdapFace"]
+
+#: Field groups a knob may perturb.
+FIELD_GROUPS = ("dates", "nameservers", "registrar", "statuses", "registrant")
+
+
+@dataclass(frozen=True)
+class DisagreementKnob:
+    """How often, and on which field groups, one registrar's RDAP face
+    contradicts its WHOIS face."""
+
+    rate: float = 0.0
+    fields: tuple[str, ...] = ("dates", "nameservers")
+
+    def __post_init__(self) -> None:
+        unknown = set(self.fields) - set(FIELD_GROUPS)
+        if unknown:
+            raise ValueError(
+                f"unknown disagreement field group(s) {sorted(unknown)}; "
+                f"choose from {FIELD_GROUPS}"
+            )
+
+
+class DisagreementPlan:
+    """Seeded, per-registrar injection of cross-protocol disagreements.
+
+    ``knobs`` maps canonical registrar display names (as
+    :func:`~repro.survey.normalize.canonical_registrar` prints them, the
+    same keys the audit tables use) to :class:`DisagreementKnob`;
+    the ``"*"`` key applies to every registrar without its own knob.
+    Selection is a pure function of ``(seed, domain)``, so the plan can
+    be interrogated before or after the crawl and always answers the
+    same -- that determinism is what lets the benchmark assert measured
+    rates equal injected rates *exactly*.
+    """
+
+    def __init__(
+        self,
+        knobs: "Mapping[str, DisagreementKnob] | None" = None,
+        *,
+        seed: int = 0,
+    ) -> None:
+        self.knobs = dict(knobs or {})
+        self.seed = seed
+
+    def knob_for(self, registration: "Registration") -> DisagreementKnob | None:
+        """The knob governing this registration's registrar, if any."""
+        name = canonical_registrar(registration.registrar_name)
+        knob = self.knobs.get(name)
+        if knob is None:
+            knob = self.knobs.get("*")
+        return knob
+
+    def fields_for(self, registration: "Registration") -> tuple[str, ...]:
+        """Field groups perturbed for this domain (empty = agreeing)."""
+        knob = self.knob_for(registration)
+        if knob is None or knob.rate <= 0.0:
+            return ()
+        rng = random.Random(f"{self.seed}|{registration.domain}")
+        if rng.random() >= knob.rate:
+            return ()
+        return knob.fields
+
+    def is_injected(self, registration: "Registration") -> bool:
+        """Whether this domain's RDAP object is perturbed."""
+        return bool(self.fields_for(registration))
+
+    def expected_domains(
+        self, registrations: "Iterable[Registration]"
+    ) -> "dict[str | None, set[str]]":
+        """The oracle: per canonical registrar, the exact set of domains
+        whose RDAP object this plan perturbs."""
+        expected: dict[str | None, set[str]] = {}
+        for registration in registrations:
+            if self.is_injected(registration):
+                name = canonical_registrar(registration.registrar_name)
+                expected.setdefault(name, set()).add(registration.domain)
+        return expected
+
+
+def _perturb(
+    obj: RdapDomain, registration: "Registration", fields: tuple[str, ...]
+) -> RdapDomain:
+    """Apply one plan's field-group perturbations to an RDAP object.
+
+    Every perturbation lands far from the true value (shifted dates, a
+    wholly foreign nameserver zone, a registrar name sharing no
+    substring with the real one) so a lenient diff policy still counts
+    exactly one disagreement per perturbed group.
+    """
+    changes: dict = {}
+    if "dates" in fields:
+        changes["events"] = [
+            RdapEvent("registration", registration.created + timedelta(days=11)),
+            RdapEvent("last changed", registration.updated + timedelta(days=17)),
+            RdapEvent("expiration", registration.expires + timedelta(days=129)),
+        ]
+    if "nameservers" in fields:
+        changes["nameservers"] = [
+            f"ns{i + 1}.rdap-disagrees.example"
+            for i in range(len(registration.name_servers))
+        ]
+    if "statuses" in fields:
+        changes["statuses"] = ["serverHold", "pendingDelete"]
+    entities = list(obj.entities)
+    if "registrar" in fields:
+        entities = [
+            dataclasses.replace(
+                entity, full_name="Divergent Registrations KG", handle="9999"
+            ) if entity.role == "registrar" else entity
+            for entity in entities
+        ]
+        changes["entities"] = entities
+    if "registrant" in fields:
+        replaced = []
+        for entity in entities:
+            if entity.role == "registrant":
+                entity = dataclasses.replace(
+                    entity,
+                    full_name="Someone Else Entirely",
+                    country=("NZ" if entity.country != "NZ" else "IS"),
+                    email="else@rdap-disagrees.example",
+                )
+            replaced.append(entity)
+        changes["entities"] = replaced
+    return dataclasses.replace(obj, **changes) if changes else obj
+
+
+class RdapFace:
+    """RDAP lookups over the zone the WHOIS servers also serve.
+
+    ``lookup`` returns the validated RDAP wire payload for a domain, or
+    ``None`` for expired/unknown domains (the HTTP 404 analog).  An
+    optional :class:`DisagreementPlan` perturbs selected domains; an
+    optional :class:`~repro.netsim.clock.SimClock` charges simulated
+    latency per lookup so audits account time like crawls do.
+    """
+
+    def __init__(
+        self,
+        registrations: "Mapping[str, Registration]",
+        *,
+        expired: "frozenset[str] | set[str]" = frozenset(),
+        plan: DisagreementPlan | None = None,
+        clock=None,
+        latency: float = 0.02,
+    ) -> None:
+        self.registrations = registrations
+        self.expired = set(expired)
+        self.plan = plan
+        self.clock = clock
+        self.latency = latency
+        self.lookups = 0
+
+    def lookup(self, domain: str) -> "dict | None":
+        """The RDAP domain payload, plan perturbations applied."""
+        self.lookups += 1
+        obs.inc("netsim.rdap_face.lookups")
+        if self.clock is not None:
+            self.clock.advance(self.latency)
+        registration = self.registrations.get(domain.lower())
+        if registration is None or registration.domain in self.expired:
+            obs.inc("netsim.rdap_face.not_found")
+            return None
+        obj = registration_to_rdap(registration)
+        if self.plan is not None:
+            fields = self.plan.fields_for(registration)
+            if fields:
+                obj = _perturb(obj, registration, fields)
+                obs.inc("netsim.rdap_face.injected")
+        return obj.to_json()

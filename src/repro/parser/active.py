@@ -27,6 +27,7 @@ class UncertainRecord:
 
     @property
     def uncertainty(self) -> float:
+        """Selection score: one minus the weakest line posterior."""
         return 1.0 - self.min_confidence
 
 

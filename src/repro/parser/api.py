@@ -41,7 +41,9 @@ class ParserBase:
     """
 
     def parse(self, record) -> ParsedRecord:
+        """One record -> structured fields; subclasses must implement."""
         raise NotImplementedError
 
     def parse_many(self, records: Sequence, *, jobs: int = 1) -> list[ParsedRecord]:
+        """Bulk :meth:`parse` as a plain loop; ``jobs`` is ignored here."""
         return [self.parse(record) for record in records]

@@ -113,14 +113,17 @@ class ParsedRecord:
 
     @property
     def registrant_name(self) -> str | None:
+        """Registrant person name, when extracted."""
         return self.registrant.get("name")
 
     @property
     def registrant_org(self) -> str | None:
+        """Registrant organization, when extracted."""
         return self.registrant.get("org")
 
     @property
     def registrant_country(self) -> str | None:
+        """Registrant country as printed, when extracted."""
         return self.registrant.get("country")
 
 
@@ -141,6 +144,7 @@ def value_of(line: str) -> str:
 
 @lru_cache(maxsize=65536)
 def title_of(line: str) -> str:
+    """The normalized lowercase field title of a line ("" if none)."""
     split = split_title_value(line)
     if split is None:
         bracket = _BRACKET_TITLE.match(line)

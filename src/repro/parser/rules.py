@@ -53,6 +53,7 @@ class LineContext:
 
 
 def analyze_line(line: str) -> LineContext:
+    """Tokenize one raw line into the LineContext the rules match on."""
     split = split_title_value(line)
     if split is not None:
         title_raw, value, _kind = split
@@ -119,11 +120,13 @@ class Rule:
 
 
 def title_has(*words: str) -> Predicate:
+    """All of ``words`` appear among the field-title tokens."""
     required = frozenset(words)
     return lambda ctx: required <= ctx.title_words
 
 
 def title_has_any(*words: str) -> Predicate:
+    """At least one of ``words`` appears in the title; returns the hits."""
     options = frozenset(words)
 
     def predicate(ctx: LineContext) -> bool | frozenset[str]:
@@ -134,10 +137,12 @@ def title_has_any(*words: str) -> Predicate:
 
 
 def title_is(phrase: str) -> Predicate:
+    """The normalized field title equals ``phrase`` exactly."""
     return lambda ctx: ctx.title == phrase
 
 
 def title_startswith(prefix: str) -> Predicate:
+    """The normalized field title starts with ``prefix``."""
     return lambda ctx: ctx.title.startswith(prefix)
 
 
@@ -160,24 +165,29 @@ def bare_value_has(*words: str, max_words: int = 3) -> Predicate:
 
 
 def value_matches(pattern: str) -> Predicate:
+    """The value side matches ``pattern`` (case-insensitive search)."""
     compiled = re.compile(pattern, re.IGNORECASE)
     return lambda ctx: bool(compiled.search(ctx.value))
 
 
 def line_matches(pattern: str) -> Predicate:
+    """The whole raw line matches ``pattern`` (case-insensitive)."""
     compiled = re.compile(pattern, re.IGNORECASE)
     return lambda ctx: bool(compiled.search(ctx.text))
 
 
 def all_of(*predicates: Predicate) -> Predicate:
+    """Conjunction: every sub-predicate must accept the line."""
     return lambda ctx: all(p(ctx) for p in predicates)
 
 
 def has_class(name: str) -> Predicate:
+    """The line carries character-class tag ``name`` (date, email, ...)."""
     return lambda ctx: name in ctx.classes
 
 
 def is_symbol(ctx: LineContext) -> bool:
+    """Separator/boilerplate line made of symbols, never a field."""
     return ctx.symbol
 
 
@@ -480,6 +490,7 @@ class RuleBasedParser(ParserBase):
     """
 
     def __init__(self) -> None:
+        """Start with the full, fully-iterated rule base enabled."""
         self._enabled_blocks: set[str] | None = None
         self._enabled_subs: set[str] | None = None
 
@@ -531,6 +542,7 @@ class RuleBasedParser(ParserBase):
 
     @property
     def n_block_rules(self) -> int:
+        """Count of currently enabled first-level (block) rules."""
         return _RuleEngine(BLOCK_RULES, self._enabled_blocks).n_rules
 
     @staticmethod
@@ -544,11 +556,13 @@ class RuleBasedParser(ParserBase):
     def predict_blocks(
         self, record: WhoisRecord | LabeledRecord | str
     ) -> list[str]:
+        """First-level block label for every labelable line."""
         lines = [ln for ln in self._raw_lines(record) if is_labelable(ln)]
         engine = _RuleEngine(BLOCK_RULES, self._enabled_blocks)
         return [a.label for a in engine.label_lines(lines)]
 
     def predict_registrant_fields(self, lines: list[str]) -> list[str]:
+        """Second-level sub-field labels for a registrant block."""
         engine = _RuleEngine(SUB_RULES, self._enabled_subs)
         labels = []
         for assignment in engine.label_lines(lines):
@@ -561,6 +575,7 @@ class RuleBasedParser(ParserBase):
     def label_lines(
         self, record: WhoisRecord | LabeledRecord | str
     ) -> list[tuple[str, str, str | None]]:
+        """(line, block, sub-field) triples for every labelable line."""
         lines = [ln for ln in self._raw_lines(record) if is_labelable(ln)]
         blocks = self.predict_blocks(record)
         subs: list[str | None] = [None] * len(lines)
@@ -576,6 +591,7 @@ class RuleBasedParser(ParserBase):
         return list(zip(lines, blocks, subs))
 
     def parse(self, record: WhoisRecord | LabeledRecord | str) -> ParsedRecord:
+        """Label every line, then assemble the structured record."""
         labeled = self.label_lines(record)
         lines = [line for line, _, _ in labeled]
         blocks = [block for _, block, _ in labeled]

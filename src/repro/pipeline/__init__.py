@@ -31,6 +31,7 @@ from repro.pipeline.drift import (
     DriftAlert,
     DriftCluster,
     DriftDetector,
+    RegistrarDisagreementSignal,
     StreamRecord,
     format_fingerprint,
     jaccard,
@@ -62,6 +63,7 @@ __all__ = [
     "MaintenanceEvent",
     "MaintenanceLoop",
     "PendingOracle",
+    "RegistrarDisagreementSignal",
     "RetrainReport",
     "StreamRecord",
     "WarmStartRetrainer",

@@ -39,6 +39,7 @@ __all__ = [
     "DriftAlert",
     "DriftCluster",
     "DriftDetector",
+    "RegistrarDisagreementSignal",
     "StreamRecord",
     "format_fingerprint",
     "jaccard",
@@ -108,6 +109,9 @@ class DriftCluster:
     signature: frozenset[str]
     members: list[StreamRecord] = field(default_factory=list)
     alerted: bool = False
+    #: detector tick (``records_seen``) when the last member arrived;
+    #: the TTL eviction clock.
+    last_seen: int = 0
 
     def add(self, record: StreamRecord) -> None:
         self.members.append(record)
@@ -151,6 +155,18 @@ class DriftDetector:
     merge_threshold:
         Candidates join the best existing cluster with similarity >=
         this; otherwise they found a new cluster.
+    max_open_clusters:
+        Hard cap on simultaneously open clusters.  Beyond it the
+        longest-idle cluster is evicted -- a detector watching a 102M
+        record stream must hold bounded state no matter how much noise
+        the tail of the zone throws at it.
+    cluster_ttl:
+        Records-seen ticks a cluster may sit without gaining a member
+        before it is evicted (``None`` disables the TTL).  One-off
+        garbage fingerprints stop accumulating forever.
+    max_resolved:
+        Most-recent resolved-family signatures retained for straggler
+        attribution; older ones age out first.
     """
 
     def __init__(
@@ -160,17 +176,24 @@ class DriftDetector:
         min_cluster_size: int = 3,
         known_threshold: float = 0.6,
         merge_threshold: float = 0.4,
+        max_open_clusters: int = 64,
+        cluster_ttl: "int | None" = 20_000,
+        max_resolved: int = 512,
     ) -> None:
         self.min_confidence = min_confidence
         self.min_cluster_size = min_cluster_size
         self.known_threshold = known_threshold
         self.merge_threshold = merge_threshold
+        self.max_open_clusters = max(1, max_open_clusters)
+        self.cluster_ttl = cluster_ttl
+        self.max_resolved = max(0, max_resolved)
         self._known: list[frozenset[str]] = []
         self._resolved: list[frozenset[str]] = []
         self.clusters: list[DriftCluster] = []
         self._next_family = 1
         self.records_seen = 0
         self.low_confidence = 0
+        self.evicted_clusters = 0
 
     # ------------------------------------------------------------------
     # Known formats
@@ -252,6 +275,8 @@ class DriftDetector:
             mean_confidence=sum(probs) / len(probs),
         )
         cluster = self._assign(record)
+        cluster.last_seen = self.records_seen
+        self._evict()
         obs.set_gauge("pipeline.drift.open_clusters", len(self.clusters))
         if not cluster.alerted and len(cluster) >= self.min_cluster_size:
             cluster.alerted = True
@@ -260,6 +285,29 @@ class DriftDetector:
                 family_id=cluster.family_id, members=tuple(cluster.members)
             )
         return None
+
+    def _evict(self) -> None:
+        """Bound detector state: drop idle clusters, then enforce the cap.
+
+        A stream of one-off garbage fingerprints would otherwise grow
+        ``clusters`` without limit -- each founds a singleton cluster
+        that never matures.  Eviction forgets candidates, never formats:
+        a real emerging family re-clusters from its next records.
+        """
+        if self.cluster_ttl is not None:
+            stale = [
+                cluster for cluster in self.clusters
+                if self.records_seen - cluster.last_seen > self.cluster_ttl
+            ]
+            for cluster in stale:
+                self.clusters.remove(cluster)
+                self.evicted_clusters += 1
+                obs.inc("pipeline.drift.evicted_clusters", reason="ttl")
+        while len(self.clusters) > self.max_open_clusters:
+            idlest = min(self.clusters, key=lambda cluster: cluster.last_seen)
+            self.clusters.remove(idlest)
+            self.evicted_clusters += 1
+            obs.inc("pipeline.drift.evicted_clusters", reason="capacity")
 
     def _assign(self, record: StreamRecord) -> DriftCluster:
         best: DriftCluster | None = None
@@ -299,3 +347,128 @@ class DriftDetector:
                 for member in cluster.members:
                     self._resolved.append(member.fingerprint)
                 self.clusters.remove(cluster)
+        if len(self._resolved) > self.max_resolved:
+            dropped = len(self._resolved) - self.max_resolved
+            del self._resolved[:dropped]
+            obs.inc("pipeline.drift.evicted_resolved", dropped)
+
+
+@dataclass
+class _RegistrarTally:
+    """Running audit verdicts for one registrar."""
+
+    audited: int = 0
+    disagreeing: int = 0
+    exemplars: list[StreamRecord] = field(default_factory=list)
+    alerted: bool = False
+
+    @property
+    def rate(self) -> float:
+        return self.disagreeing / self.audited if self.audited else 0.0
+
+
+class RegistrarDisagreementSignal:
+    """Cross-protocol disagreement as a second drift signal.
+
+    The :class:`DriftDetector` hears a new format as collapsed parser
+    confidence; this signal hears it as the registrar's own RDAP service
+    contradicting the WHOIS parse.  A registrar whose port-43 template
+    changed still *serves* -- the parser may even stay confident while
+    silently mis-assembling fields -- but the diff against RDAP (whose
+    structured JSON needs no parsing) disagrees systematically.
+
+    Feed it the per-domain :class:`~repro.consistency.AuditRecord`
+    verdicts alongside the raw WHOIS texts; once a registrar's
+    disagreement rate over definite verdicts reaches ``rate_threshold``
+    with at least ``min_audits`` audits, it raises one standard
+    :class:`DriftAlert` whose members are the disagreeing domains'
+    records -- directly consumable by
+    :meth:`~repro.pipeline.loop.MaintenanceLoop.ingest_alert`, entering
+    the same label -> retrain -> hot-swap iteration as a confidence
+    alert.
+    """
+
+    def __init__(
+        self,
+        *,
+        rate_threshold: float = 0.5,
+        min_audits: int = 10,
+        max_exemplars: int = 8,
+    ) -> None:
+        self.rate_threshold = rate_threshold
+        self.min_audits = max(1, min_audits)
+        self.max_exemplars = max(1, max_exemplars)
+        self._tallies: "dict[str | None, _RegistrarTally]" = {}
+
+    def observe(self, audit, text: str) -> "DriftAlert | None":
+        """Feed one audit verdict with its WHOIS text; maybe alert.
+
+        Incomparable verdicts carry no evidence either way and are
+        ignored.  Each registrar alerts at most once per signal
+        lifetime (reset via :meth:`resolve`).
+        """
+        if audit.verdict not in ("agree", "disagree"):
+            return None
+        tally = self._tallies.setdefault(audit.registrar, _RegistrarTally())
+        tally.audited += 1
+        if audit.verdict == "disagree":
+            tally.disagreeing += 1
+            if len(tally.exemplars) < self.max_exemplars:
+                tally.exemplars.append(StreamRecord(
+                    domain=audit.domain,
+                    text=text,
+                    fingerprint=format_fingerprint(text),
+                    min_confidence=0.0,
+                    mean_confidence=0.0,
+                ))
+        obs.set_gauge(
+            "pipeline.drift.registrar_disagreement_rate",
+            tally.rate,
+            registrar=str(audit.registrar),
+        )
+        if (
+            not tally.alerted
+            and tally.audited >= self.min_audits
+            and tally.rate >= self.rate_threshold
+            and tally.exemplars
+        ):
+            tally.alerted = True
+            obs.inc("pipeline.drift.registrar_disagreement_alerts")
+            return DriftAlert(
+                family_id=self._family_id(audit.registrar),
+                members=tuple(tally.exemplars),
+            )
+        return None
+
+    def scan(self, audits, text_for) -> "list[DriftAlert]":
+        """Run a finished audit table through the signal in one pass.
+
+        ``text_for`` maps a domain to its WHOIS text (a dict's ``get``
+        over the crawl, or a store lookup); audits whose text is missing
+        are skipped.
+        """
+        alerts = []
+        for audit in audits:
+            text = text_for(audit.domain)
+            if text is None:
+                continue
+            alert = self.observe(audit, text)
+            if alert is not None:
+                alerts.append(alert)
+        return alerts
+
+    def rates(self) -> "dict[str | None, float]":
+        """Current per-registrar disagreement rates (definite verdicts)."""
+        return {name: tally.rate for name, tally in self._tallies.items()}
+
+    def resolve(self, family_id: str) -> None:
+        """Forget a registrar's tally after its alert was acted on, so
+        post-retrain audits judge the new model from scratch."""
+        for name in list(self._tallies):
+            if self._family_id(name) == family_id:
+                del self._tallies[name]
+
+    @staticmethod
+    def _family_id(registrar: "str | None") -> str:
+        slug = (registrar or "unattributed").lower().replace(" ", "-")
+        return f"registrar-disagreement:{slug}"

@@ -175,6 +175,30 @@ class MaintenanceLoop:
         )
         return self._handle_alert(alert)
 
+    def ingest_alert(self, alert: DriftAlert) -> MaintenanceEvent:
+        """Run the label -> retrain -> rollout iteration for an alert
+        raised outside the loop's own confidence detector.
+
+        This is how secondary signals -- above all the consistency
+        auditor's :class:`~repro.pipeline.drift.RegistrarDisagreementSignal`
+        -- enter the same maintenance path as confidence-collapse
+        alerts: the alert's members carry the suspect WHOIS texts, one
+        is labeled, the model is retrained and (gated on holdout)
+        hot-swapped.
+        """
+        self.report.events.append(
+            MaintenanceEvent(
+                kind="drift_alert",
+                family_id=alert.family_id,
+                detail=(
+                    f"{len(alert.members)} records, "
+                    f"e.g. {alert.members[0].domain}"
+                ),
+            )
+        )
+        obs.inc("pipeline.ingested_alerts")
+        return self._handle_alert(alert)
+
     def process(
         self, stream: Iterable["tuple[str, str] | str | LabeledRecord"]
     ) -> LoopReport:

@@ -10,7 +10,11 @@ parser: :mod:`repro.rdap.schema` models RDAP domain objects,
 parser into a WHOIS→RDAP gateway.
 """
 
-from repro.rdap.convert import parsed_to_rdap, registration_to_rdap
+from repro.rdap.convert import (
+    parsed_to_rdap,
+    rdap_from_json,
+    registration_to_rdap,
+)
 from repro.rdap.schema import (
     RdapDomain,
     RdapEntity,
@@ -25,6 +29,7 @@ __all__ = [
     "RdapEvent",
     "RdapGateway",
     "parsed_to_rdap",
+    "rdap_from_json",
     "registration_to_rdap",
     "validate_rdap",
 ]

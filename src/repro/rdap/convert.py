@@ -1,15 +1,20 @@
-"""Lifting WHOIS data into RDAP objects.
+"""Lifting WHOIS data into RDAP objects (and lowering them back).
 
-Two paths:
+Three paths:
 
 - :func:`registration_to_rdap` converts ground-truth registrations (what a
   thick registry's provisioning database would serve natively);
 - :func:`parsed_to_rdap` converts the statistical parser's output --
   together with the parser this is a WHOIS→RDAP gateway, the migration
-  path the IETF WEIRDS drafts envisioned.
+  path the IETF WEIRDS drafts envisioned;
+- :func:`rdap_from_json` is the inverse of ``RdapDomain.to_json``: it
+  revives a wire payload (jCards unpacked) so the consistency auditor
+  can compare an RDAP response field-by-field against a WHOIS parse.
 """
 
 from __future__ import annotations
+
+from datetime import date
 
 from repro.datagen.registration import Registration
 from repro.parser.fields import ParsedRecord
@@ -102,4 +107,68 @@ def parsed_to_rdap(domain: str, parsed: ParsedRecord) -> RdapDomain:
         events=events,
         nameservers=list(parsed.name_servers),
         entities=entities,
+    )
+
+
+def _entity_from_json(payload: dict) -> RdapEntity:
+    """Unpack one RDAP entity object, jCard (RFC 7095) included."""
+    fields: dict[str, str | None] = {
+        "full_name": None, "organization": None, "street": None,
+        "city": None, "region": None, "postal_code": None, "country": None,
+        "phone": None, "email": None,
+    }
+    vcard = payload.get("vcardArray") or ["vcard", []]
+    for item in vcard[1]:
+        kind, _params, _type, value = item[0], item[1], item[2], item[3]
+        if kind == "fn":
+            fields["full_name"] = value
+        elif kind == "org":
+            fields["organization"] = value
+        elif kind == "adr" and isinstance(value, list):
+            # jCard adr: [pobox, ext, street, locality, region, code, country]
+            padded = list(value) + [""] * (7 - len(value))
+            fields["street"] = padded[2] or None
+            fields["city"] = padded[3] or None
+            fields["region"] = padded[4] or None
+            fields["postal_code"] = padded[5] or None
+            fields["country"] = padded[6] or None
+        elif kind == "tel":
+            fields["phone"] = value.removeprefix("tel:")
+        elif kind == "email":
+            fields["email"] = value
+    roles = payload.get("roles") or ["registrant"]
+    return RdapEntity(role=roles[0], handle=payload.get("handle"), **fields)
+
+
+def rdap_from_json(payload: dict) -> RdapDomain:
+    """Revive an RDAP domain payload into an :class:`RdapDomain`.
+
+    The inverse of :meth:`RdapDomain.to_json`, lossless over the subset
+    this codebase emits; unknown members are ignored, so payloads from a
+    real RDAP server (which carry links, notices, ...) also revive.
+    """
+    events = [
+        RdapEvent(
+            action=event["eventAction"],
+            date=date.fromisoformat(event["eventDate"][:10]),
+        )
+        for event in payload.get("events", [])
+    ]
+    return RdapDomain(
+        ldh_name=payload.get("ldhName", ""),
+        handle=payload.get("handle"),
+        statuses=list(payload.get("status", [])),
+        events=events,
+        nameservers=[
+            server.get("ldhName", "")
+            for server in payload.get("nameservers", [])
+            if server.get("ldhName")
+        ],
+        entities=[
+            _entity_from_json(entity)
+            for entity in payload.get("entities", [])
+        ],
+        secure_dns=bool(
+            (payload.get("secureDNS") or {}).get("delegationSigned")
+        ),
     )

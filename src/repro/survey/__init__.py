@@ -28,7 +28,12 @@ from repro.survey.normalize import (
     detect_brand,
     detect_privacy_service,
 )
-from repro.survey.report import format_histogram, format_proportions, format_table
+from repro.survey.report import (
+    format_histogram,
+    format_inconsistency_table,
+    format_proportions,
+    format_table,
+)
 from repro.survey.store import (
     EntryFilter,
     MemoryStore,
@@ -56,6 +61,7 @@ __all__ = [
     "detect_privacy_service",
     "entry_from_parsed",
     "format_histogram",
+    "format_inconsistency_table",
     "format_proportions",
     "format_table",
     "jobs_from_results",

@@ -44,12 +44,19 @@ if TYPE_CHECKING:
 
 @dataclass(frozen=True)
 class IngestJob:
-    """One record queued for survey ingest."""
+    """One record queued for survey ingest.
+
+    ``rdap``, when set, carries the domain's RDAP payload: the worker
+    then also diffs the parse against it (the cross-protocol audit of
+    :mod:`repro.consistency`) and files the verdict in the store's
+    audit table, in the same pass that ingests the entry.
+    """
 
     domain: str
     text: str
     registrar_hint: str | None = None
     blacklisted: bool = False
+    rdap: dict | None = None
 
 
 def jobs_from_results(
@@ -120,15 +127,22 @@ def _ingest_shard(payload):
                 blacklisted=job.blacklisted,
             ),
             parsed,
+            _audit_for(job, parsed),
         )
         for job, parsed in zip(admitted, parsed_records)
     ]
     if shard_path is None:
-        return [entry for entry, _ in rows], len(rows), quarantined
+        return (
+            [(entry, audit) for entry, _, audit in rows],
+            len(rows),
+            quarantined,
+        )
     store = SqliteStore(shard_path, batch_size=batch_size, fresh=True)
     try:
-        for entry, parsed in rows:
+        for entry, parsed, audit in rows:
             store.append(entry, record=parsed.to_jsonable())
+            if audit is not None:
+                store.append_audit(audit)
         for domain, text, payload_dict in quarantined:
             store.append_quarantined(QuarantinedRecord(
                 domain=domain, text=text,
@@ -137,6 +151,15 @@ def _ingest_shard(payload):
     finally:
         store.close()
     return shard_path, len(rows), quarantined
+
+
+def _audit_for(job: IngestJob, parsed):
+    """The job's consistency verdict, when it carries an RDAP payload."""
+    if job.rdap is None:
+        return None
+    from repro.consistency.audit import audit_parsed
+
+    return audit_parsed(job.domain, parsed, job.rdap)
 
 
 def sharded_ingest(
@@ -200,8 +223,10 @@ def sharded_ingest(
                     except FileNotFoundError:
                         pass
             else:
-                for entry in result:
+                for entry, audit in result:
                     destination.append(entry)
+                    if audit is not None:
+                        destination.append_audit(audit)
                 for domain, text, payload_dict in quarantined:
                     db.add_quarantined(
                         domain, text, error_from_payload(payload_dict)
@@ -241,6 +266,9 @@ def _ingest_inline(
             registrar_hint=job.registrar_hint,
             blacklisted=job.blacklisted,
         )
+        audit = _audit_for(job, parsed)
+        if audit is not None:
+            db.store.append_audit(audit)
     db.flush()
     return db
 

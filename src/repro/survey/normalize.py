@@ -101,6 +101,56 @@ def detect_privacy_service(
     return None
 
 
+#: EPP/RDAP liveness tokens that carry no restriction and that several
+#: schema families print unconditionally ("Active", "ok"), so they say
+#: nothing about whether two records agree.
+_LIVENESS_STATUSES = frozenset({"ok", "active", "connect", "registered"})
+
+
+def canonical_status(text: str | None) -> str | None:
+    """One EPP status token, canonicalized across protocol vocabularies.
+
+    WHOIS records spell statuses as EPP camelCase
+    (``clientTransferProhibited``), sometimes with a trailing ICANN URL;
+    RDAP (RFC 8056) spells the same status space-separated
+    (``client transfer prohibited``).  Both collapse to one lowercase
+    token with separators removed.  Pure liveness markers ("ok",
+    "Active") return ``None`` -- they are rendered unconditionally by
+    some registrars and carry no comparable signal.
+    """
+    if not text:
+        return None
+    # Drop trailing URLs ("clientTransferProhibited https://icann.org/...").
+    head = text.strip().split()
+    words = [w for w in head if "://" not in w and not w.startswith("(")]
+    token = re.sub(r"[^a-z0-9]", "", "".join(words).lower())
+    if not token or token in _LIVENESS_STATUSES:
+        return None
+    return token
+
+
+def canonical_statuses(values) -> frozenset[str]:
+    """The set of comparable status tokens in ``values`` (liveness dropped)."""
+    return frozenset(
+        token for token in (canonical_status(v) for v in values) if token
+    )
+
+
+def canonical_nameserver(text: str | None) -> str | None:
+    """A nameserver host, case-folded with the trailing root dot removed."""
+    if not text:
+        return None
+    host = text.strip().strip(".").lower()
+    return host or None
+
+
+def canonical_nameservers(values) -> frozenset[str]:
+    """The set of canonical nameserver hosts in ``values``."""
+    return frozenset(
+        host for host in (canonical_nameserver(v) for v in values) if host
+    )
+
+
 _BRANDS = (
     "Amazon", "AOL", "Microsoft", "21st Century Fox", "Warner Bros.",
     "Yahoo", "Disney", "Google", "AT&T", "eBay", "Nike",

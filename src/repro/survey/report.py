@@ -38,6 +38,54 @@ def format_histogram(
     return "\n".join(lines)
 
 
+def format_inconsistency_table(
+    summary, *, title: str = "", width: int = 34, top: int | None = None
+) -> str:
+    """Render an audit's per-registrar WHOIS/RDAP inconsistency rates.
+
+    ``summary`` is a :class:`~repro.consistency.AuditSummary`; rows rank
+    registrars by disagreement rate over definite verdicts (the
+    "WHOIS Right?" table shape), with the disagreeing-field breakdown as
+    a footer.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * (width + 30))
+    lines.append(
+        f"{'Registrar':<{width}} {'Audited':>8} {'Disagree':>9} {'Rate':>7}"
+    )
+    ranked = sorted(
+        summary.registrar_counts.items(),
+        key=lambda item: (
+            -(item[1][1] / item[1][0] if item[1][0] else 0.0),
+            -item[1][0],
+            str(item[0]),
+        ),
+    )
+    if top is not None:
+        ranked = ranked[:top]
+    for registrar, (audited, disagreeing) in ranked:
+        rate = disagreeing / audited if audited else 0.0
+        lines.append(
+            f"{(registrar or '(unattributed)'):<{width}} {audited:>8,} "
+            f"{disagreeing:>9,} {rate * 100:6.1f}%"
+        )
+    definite = summary.agree + summary.disagree
+    lines.append(
+        f"{'All registrars':<{width}} {definite:>8,} "
+        f"{summary.disagree:>9,} {summary.disagreement_rate * 100:6.1f}%"
+    )
+    if summary.incomparable:
+        lines.append(f"(+ {summary.incomparable:,} incomparable)")
+    if summary.field_counts:
+        lines.append("")
+        lines.append("Disagreeing fields:")
+        for field_name, count in summary.field_counts.most_common():
+            lines.append(f"  {field_name:<{width - 2}} {count:>8,}")
+    return "\n".join(lines)
+
+
 def format_proportions(
     proportions: dict[int, dict[str, float]], *, title: str = ""
 ) -> str:

@@ -139,6 +139,29 @@ class SurveyStore(Protocol):
         """File one rejected record in the quarantine table."""
         ...
 
+    def append_audit(self, audit) -> None:
+        """File one cross-protocol consistency verdict
+        (:class:`~repro.consistency.audit.AuditRecord`)."""
+        ...
+
+    def iter_audits(self, *, by_domain: bool = False) -> Iterator:
+        """Stream audit records in insertion order (or sorted by domain,
+        insertion order within a domain, with ``by_domain``)."""
+        ...
+
+    def get_audit(self, domain: str):
+        """Point query: the most recent audit for ``domain`` (or None)."""
+        ...
+
+    def n_audits(self) -> int:
+        """Number of audit rows."""
+        ...
+
+    def audit_registrar_counts(self) -> "dict[str | None, tuple[int, int]]":
+        """Per-registrar ``(audited, disagreeing)`` counts over rows with
+        a definite verdict (incomparable rows are excluded)."""
+        ...
+
     def count(self, flt: EntryFilter = MATCH_ALL) -> int:
         """Number of entries matching ``flt``."""
         ...
@@ -212,6 +235,7 @@ class MemoryStore:
     def __init__(self) -> None:
         self._entries: list = []
         self._quarantine: list[QuarantinedRecord] = []
+        self._audits: list = []
 
     # -- ingest ---------------------------------------------------------
 
@@ -226,6 +250,10 @@ class MemoryStore:
     def append_quarantined(self, record: QuarantinedRecord) -> None:
         """Append one quarantined record."""
         self._quarantine.append(record)
+
+    def append_audit(self, audit) -> None:
+        """Append one consistency audit verdict."""
+        self._audits.append(audit)
 
     # -- reads ----------------------------------------------------------
 
@@ -287,6 +315,38 @@ class MemoryStore:
         """Number of quarantined rows."""
         return len(self._quarantine)
 
+    # -- audits ---------------------------------------------------------
+
+    def iter_audits(self, *, by_domain: bool = False) -> Iterator:
+        """Stream audit records (domain-sorted with ``by_domain``)."""
+        source = self._audits
+        if by_domain:
+            source = sorted(source, key=lambda a: a.domain)
+        return iter(source)
+
+    def get_audit(self, domain: str):
+        """Latest audit for ``domain`` (or ``None``)."""
+        for audit in reversed(self._audits):
+            if audit.domain == domain:
+                return audit
+        return None
+
+    def n_audits(self) -> int:
+        """Number of audit rows."""
+        return len(self._audits)
+
+    def audit_registrar_counts(self) -> "dict[str | None, tuple[int, int]]":
+        """Per-registrar ``(audited, disagreeing)`` over definite verdicts."""
+        counts: dict[str | None, tuple[int, int]] = {}
+        for audit in self._audits:
+            if audit.verdict == "incomparable":
+                continue
+            audited, bad = counts.get(audit.registrar, (0, 0))
+            counts[audit.registrar] = (
+                audited + 1, bad + (audit.verdict == "disagree")
+            )
+        return counts
+
     # -- lifecycle ------------------------------------------------------
 
     def flush(self) -> None:
@@ -300,6 +360,7 @@ class MemoryStore:
         other.flush()
         self._entries.extend(other.iter_entries())
         self._quarantine.extend(other.iter_quarantine())
+        self._audits.extend(other.iter_audits())
 
 
 _SCHEMA = """
@@ -325,6 +386,16 @@ CREATE TABLE IF NOT EXISTS quarantine (
     code TEXT NOT NULL,
     error TEXT NOT NULL
 );
+CREATE TABLE IF NOT EXISTS audits (
+    id INTEGER PRIMARY KEY,
+    domain TEXT NOT NULL,
+    registrar TEXT,
+    verdict TEXT NOT NULL,
+    compared INTEGER NOT NULL,
+    diffs TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS audits_domain ON audits(domain);
+CREATE INDEX IF NOT EXISTS audits_registrar ON audits(registrar);
 CREATE TABLE IF NOT EXISTS meta (
     key TEXT PRIMARY KEY,
     value TEXT
@@ -332,7 +403,8 @@ CREATE TABLE IF NOT EXISTS meta (
 """
 
 #: Bump when the table shapes change; refuses to open mismatched replicas.
-SCHEMA_VERSION = "1"
+#: v2 added the ``audits`` table (cross-protocol consistency verdicts).
+SCHEMA_VERSION = "2"
 
 _ENTRY_COLUMNS = (
     "domain", "registrar", "country", "created", "creation_year",
@@ -404,6 +476,7 @@ class SqliteStore:
                 )
         self._pending: list[tuple] = []
         self._pending_quarantine: list[tuple] = []
+        self._pending_audits: list[tuple] = []
 
     # -- helpers --------------------------------------------------------
 
@@ -429,6 +502,30 @@ class SqliteStore:
             entry.brand,
             int(entry.blacklisted),
             json.dumps(record) if record is not None else None,
+        )
+
+    @staticmethod
+    def _audit_row(audit) -> tuple:
+        return (
+            audit.domain,
+            audit.registrar,
+            audit.verdict,
+            audit.compared,
+            json.dumps([[d.field, d.whois, d.rdap] for d in audit.diffs]),
+        )
+
+    @staticmethod
+    def _audit_from_row(row: tuple):
+        from repro.consistency.audit import AuditRecord
+        from repro.consistency.diff import FieldDiff
+
+        domain, registrar, verdict, compared, diffs = row
+        return AuditRecord(
+            domain=domain,
+            registrar=registrar,
+            verdict=verdict,
+            compared=compared,
+            diffs=tuple(FieldDiff(*item) for item in json.loads(diffs)),
         )
 
     @staticmethod
@@ -473,13 +570,23 @@ class SqliteStore:
         if len(self._pending_quarantine) >= self.batch_size:
             self.flush()
 
+    def append_audit(self, audit) -> None:
+        """Buffer one consistency audit verdict; commits per batch."""
+        self._pending_audits.append(self._audit_row(audit))
+        if len(self._pending_audits) >= self.batch_size:
+            self.flush()
+
     def flush(self) -> None:
         """Commit every buffered row in one transaction.
 
         This is the crash-safety boundary: rows are either all visible
         after the commit or absent entirely, never half a batch.
         """
-        if not self._pending and not self._pending_quarantine:
+        if (
+            not self._pending
+            and not self._pending_quarantine
+            and not self._pending_audits
+        ):
             return
         with self._conn:  # one transaction per flush
             if self._pending:
@@ -499,6 +606,17 @@ class SqliteStore:
                     self._pending_quarantine,
                 )
                 self._pending_quarantine.clear()
+            if self._pending_audits:
+                self._conn.executemany(
+                    "INSERT INTO audits (domain, registrar, verdict, "
+                    "compared, diffs) VALUES (?, ?, ?, ?, ?)",
+                    self._pending_audits,
+                )
+                obs.inc(
+                    "survey.store.committed_audits",
+                    len(self._pending_audits),
+                )
+                self._pending_audits.clear()
         obs.inc("survey.store.commits")
 
     # -- reads ----------------------------------------------------------
@@ -596,6 +714,48 @@ class SqliteStore:
             "SELECT COUNT(*) FROM quarantine"
         ).fetchone()[0]
 
+    # -- audits ---------------------------------------------------------
+
+    _SELECT_AUDIT = (
+        "SELECT domain, registrar, verdict, compared, diffs FROM audits"
+    )
+
+    def iter_audits(self, *, by_domain: bool = False) -> Iterator:
+        """Stream audit rows off a cursor (never materialized)."""
+        self.flush()
+        order = "domain, id" if by_domain else "id"
+        cursor = self._conn.execute(f"{self._SELECT_AUDIT} ORDER BY {order}")
+        for row in cursor:
+            yield self._audit_from_row(row)
+
+    def get_audit(self, domain: str):
+        """Point query: the latest audit row for ``domain``."""
+        self.flush()
+        row = self._conn.execute(
+            f"{self._SELECT_AUDIT} WHERE domain = ? ORDER BY id DESC LIMIT 1",
+            (domain,),
+        ).fetchone()
+        return self._audit_from_row(row) if row else None
+
+    def n_audits(self) -> int:
+        """Number of audit rows."""
+        self.flush()
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM audits"
+        ).fetchone()[0]
+
+    def audit_registrar_counts(self) -> "dict[str | None, tuple[int, int]]":
+        """Per-registrar ``(audited, disagreeing)`` as one SQL aggregate."""
+        self.flush()
+        return {
+            registrar: (audited, bad)
+            for registrar, audited, bad in self._conn.execute(
+                "SELECT registrar, COUNT(*), "
+                "SUM(verdict = 'disagree') FROM audits "
+                "WHERE verdict != 'incomparable' GROUP BY registrar"
+            )
+        }
+
     # -- merge / lifecycle ----------------------------------------------
 
     def merge_file(self, shard_path: str | Path) -> int:
@@ -623,6 +783,12 @@ class SqliteStore:
                     "SELECT domain, text, code, error FROM shard.quarantine "
                     "ORDER BY id"
                 )
+                self._conn.execute(
+                    "INSERT INTO audits (domain, registrar, verdict, "
+                    "compared, diffs) "
+                    "SELECT domain, registrar, verdict, compared, diffs "
+                    "FROM shard.audits ORDER BY id"
+                )
         finally:
             self._conn.execute("DETACH DATABASE shard")
         obs.inc("survey.store.merged_rows", before)
@@ -639,6 +805,8 @@ class SqliteStore:
             self.append(entry)
         for record in other.iter_quarantine():
             self.append_quarantined(record)
+        for audit in other.iter_audits():
+            self.append_audit(audit)
         self.flush()
 
     def close(self) -> None:
