@@ -1,0 +1,59 @@
+"""The citations domain: a third-party plug-in, authored from outside.
+
+This package is the worked example of ``docs/COOKBOOK.md``: a complete
+structured-record domain -- bibliographic citation strings, labeled at
+the *character* level -- registered with the core platform from outside
+``repro`` itself.  It imports only the public plug-in surface
+(:mod:`repro.domain`); nothing in ``src/repro`` imports it back, so
+``citations`` only exists as a domain in processes that import this
+module (``--plugins repro_citations`` on the CLI).
+
+The whole pipeline works on it unchanged::
+
+    repro --plugins repro_citations generate --domain citations corpus.jsonl
+    repro --plugins repro_citations train --domain citations corpus.jsonl model/
+    repro --plugins repro_citations parse --domain citations model/ ref.txt
+"""
+
+from __future__ import annotations
+
+from repro.domain import CorpusSource, DomainSpec, FeaturizerConfig, register
+
+from repro_citations.fields import assemble_citation_record
+from repro_citations.generator import CitationConfig, CitationGenerator
+from repro_citations.labels import CITATION_LABELS
+from repro_citations.styles import (
+    CITATION_STYLES,
+    KNOWN_STYLES,
+    UNSEEN_STYLE,
+    citation_style_by_name,
+)
+
+__all__ = [
+    "CITATIONS",
+    "CITATION_LABELS",
+    "CITATION_STYLES",
+    "KNOWN_STYLES",
+    "UNSEEN_STYLE",
+    "CitationConfig",
+    "CitationGenerator",
+    "assemble_citation_record",
+    "citation_style_by_name",
+]
+
+
+def _make_citation_generator(*, seed: int = 0, drift: float = 0.0) -> CorpusSource:
+    """The seeded citation substrate (see :class:`CitationGenerator`)."""
+    return CitationGenerator(CitationConfig(seed=seed, drift_probability=drift))
+
+
+CITATIONS = register(DomainSpec(
+    name="citations",
+    block_labels=CITATION_LABELS,
+    #: one CRF token per character -- citation strings have no line
+    #: structure to label
+    featurizer_config=FeaturizerConfig(granularity="char"),
+    assemble=assemble_citation_record,
+    make_generator=_make_citation_generator,
+    description="bibliographic citation strings (char-grained plug-in)",
+))

@@ -1,0 +1,54 @@
+"""Assembling labeled citation characters into a ``ParsedRecord``.
+
+The citation analog of the WHOIS assembler: each contiguous run of
+same-labeled characters is one field occurrence, and its characters
+concatenate back to the exact field value (spaces and punctuation were
+labeled too, so nothing is lost).  Field values land in the record's
+generic ``fields`` dict; ``sep`` and ``null`` runs are structural and
+dropped.
+"""
+
+from __future__ import annotations
+
+from repro.domain import ParsedRecord
+
+__all__ = ["assemble_citation_record"]
+
+#: labels that carry no field content
+_STRUCTURAL = frozenset({"sep", "null"})
+
+
+def assemble_citation_record(
+    lines: list[str],
+    block_labels: list[str],
+    sub_labels: "list[str] | None" = None,
+) -> ParsedRecord:
+    """Build a :class:`ParsedRecord` from per-character citation labels.
+
+    ``lines`` are single characters (the domain is char-grained) and
+    ``sub_labels`` is unused -- the citation domain is single-level.
+    The first run of each field label wins; later runs of the same label
+    (e.g. the issue number after the volume, or a repeated year) are
+    kept in ``blocks`` but do not overwrite the field value.
+    """
+    if len(lines) != len(block_labels):
+        raise ValueError("lines and block_labels differ in length")
+    record = ParsedRecord()
+    run_chars: list[str] = []
+    run_label: "str | None" = None
+
+    def close_run() -> None:
+        if run_label is None or run_label in _STRUCTURAL:
+            return
+        value = "".join(run_chars).strip()
+        if value and run_label not in record.fields:
+            record.fields[run_label] = value
+
+    for ch, label in zip(lines, block_labels):
+        if label != run_label:
+            close_run()
+            run_chars, run_label = [], label
+        run_chars.append(ch)
+        record.blocks.setdefault(label, []).append(ch)
+    close_run()
+    return record

@@ -1,0 +1,160 @@
+"""Deterministic synthetic citation substrate.
+
+:class:`CitationGenerator` is the citation analog of the core
+``CorpusGenerator`` (WHOIS) and ``SyslogGenerator``: seeded,
+deterministic, and labeled at the character level, so train / eval /
+serve / maintain runs are replayable.  The default mix draws from
+:data:`~repro_citations.styles.KNOWN_STYLES` (``springer`` stays held
+out for drift experiments); use :meth:`style_corpus` to render one style
+directly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.domain import LabeledRecord
+
+from repro_citations.styles import (
+    CITATION_STYLES,
+    CitationStyle,
+    KNOWN_STYLES,
+    Work,
+    citation_style_by_name,
+)
+
+__all__ = ["CitationConfig", "CitationGenerator"]
+
+_FIRST_NAMES = ("Alice", "James", "Maria", "Robert", "Suelette", "Daniel",
+                "Ingrid", "Tobias", "Nina", "Marcus")
+_LAST_NAMES = ("Smith", "Jones", "Liu", "Garcia", "Okafor", "Novak",
+               "Petrov", "Tanaka", "Mueller", "Costa")
+_TITLE_HEADS = ("Learning", "Measuring", "Parsing", "Modeling", "Auditing",
+                "Surveying", "Detecting", "Tracking")
+_TITLE_BODIES = (
+    "to parse structured records",
+    "registration data at scale",
+    "the domain registration ecosystem",
+    "schema drift in the wild",
+    "whois records with conditional models",
+    "abuse in the com zone",
+    "registrar behavior over time",
+    "privacy services and proxies",
+)
+_JOURNALS = (
+    ("Journal of Internet Measurement", "J. Internet Meas."),
+    ("Transactions on Networking", "Trans. Netw."),
+    ("Computer Communications Review", "Comput. Commun. Rev."),
+    ("Journal of Web Science", "J. Web Sci."),
+)
+_CONFERENCES = (
+    "Proceedings of the Internet Measurement Conference",
+    "Proceedings of the Web Conference",
+    "Passive and Active Measurement",
+)
+
+
+@dataclass(frozen=True)
+class CitationConfig:
+    """Knobs for the citation substrate (mirrors ``CorpusConfig``)."""
+
+    seed: int = 0
+    #: probability that a multi-version style renders its drifted v2
+    drift_probability: float = 0.0
+
+
+class CitationGenerator:
+    """Seeded generator of labeled synthetic citation strings."""
+
+    def __init__(self, config: CitationConfig | None = None) -> None:
+        """Seeded generator; ``config`` pins seed and drift probability."""
+        self.config = config or CitationConfig()
+        self._rng = random.Random(self.config.seed)
+        self._next_work = 0
+
+    # ------------------------------------------------------------------
+    # Works
+    # ------------------------------------------------------------------
+
+    def sample_work(self) -> Work:
+        """Draw one deterministic work (ids increase monotonically)."""
+        rng = self._rng
+        self._next_work += 1
+        n_authors = rng.choice((1, 2, 2, 3))
+        authors = tuple(
+            (rng.choice(_FIRST_NAMES), rng.choice(_LAST_NAMES))
+            for _ in range(n_authors)
+        )
+        journal, abbrev = rng.choice(_JOURNALS)
+        page_start = rng.randrange(1, 900)
+        year = rng.randrange(1998, 2016)
+        return Work(
+            work_id=f"cit-{self.config.seed}-{self._next_work:06d}",
+            authors=authors,
+            title=f"{rng.choice(_TITLE_HEADS)} {rng.choice(_TITLE_BODIES)}",
+            journal=journal,
+            journal_abbrev=abbrev,
+            conference=rng.choice(_CONFERENCES),
+            year=year,
+            volume=rng.randrange(1, 40),
+            number=rng.randrange(1, 13),
+            page_start=page_start,
+            page_end=page_start + rng.randrange(5, 40),
+            doi=f"10.{rng.randrange(1000, 10000)}"
+                f"/{rng.randrange(1000000, 10000000)}"
+                f".{rng.randrange(1000000, 10000000)}",
+            arxiv_id=f"{year % 100:02d}{rng.randrange(1, 13):02d}"
+                     f".{rng.randrange(10000, 100000)}",
+            ref_number=rng.randrange(1, 100),
+        )
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render(
+        self,
+        work: Work,
+        style: "str | CitationStyle",
+        *,
+        version: int | None = None,
+    ) -> LabeledRecord:
+        """Render one work through one style (drift-aware by default)."""
+        if isinstance(style, str):
+            style = citation_style_by_name(style)
+        if version is None:
+            version = 1
+            if (style.n_versions > 1
+                    and self._rng.random() < self.config.drift_probability):
+                version = style.n_versions
+        return style.render(work, version=version)
+
+    def labeled_corpus(
+        self, n: int, *, styles: "tuple[str, ...] | None" = None
+    ) -> list[LabeledRecord]:
+        """Render ``n`` works over the (default: known) style mix."""
+        names = styles if styles is not None else KNOWN_STYLES
+        return [
+            self.render(self.sample_work(), self._rng.choice(names))
+            for _ in range(n)
+        ]
+
+    def style_corpus(
+        self, style: str, n: int, *, version: int | None = None
+    ) -> list[LabeledRecord]:
+        """Render ``n`` works all through one named style.
+
+        The drift-experiment entry point: rendering
+        :data:`~repro_citations.styles.UNSEEN_STYLE` gives the injected
+        stream the maintenance bench feeds through a parser trained
+        without it.
+        """
+        return [
+            self.render(self.sample_work(), style, version=version)
+            for _ in range(n)
+        ]
+
+    def styles(self) -> tuple[str, ...]:
+        """Every renderable style name (including the held-out one)."""
+        return tuple(style.name for style in CITATION_STYLES)

@@ -1,0 +1,27 @@
+"""The citation domain's label space.
+
+One label per character of a normalized citation string.  Delimiters
+(the commas, quotes, ``vol.``/``pp.`` scaffolding, and spaces between
+fields) carry ``sep``; content chars carry their field; the IEEE-style
+bracketed reference number carries ``null``.  Because *every* character
+is labeled, concatenating the chars of one contiguous field run
+reconstructs the field value exactly -- spaces and punctuation
+included -- which is what :func:`repro_citations.fields.
+assemble_citation_record` relies on.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CITATION_LABELS"]
+
+CITATION_LABELS: tuple[str, ...] = (
+    "author",
+    "title",
+    "venue",
+    "volume",
+    "pages",
+    "year",
+    "doi",
+    "sep",
+    "null",
+)

@@ -1,0 +1,313 @@
+"""Citation style families: span templates over one abstract work.
+
+Each style renders a :class:`Work` into an ordered list of
+``(text, label)`` spans; concatenated they form the citation string, and
+every character inherits its span's label.  Styles differ exactly the
+way WHOIS registrar schemas (and syslog daemon formats) do: same
+underlying fields, different delimiters, ordering, and scaffolding --
+which is what makes the punctuation-skeleton drift fingerprint tell
+them apart.
+
+``springer`` is deliberately held out of the default training mix
+(:data:`UNSEEN_STYLE`): its colon-after-authors / ``In:`` / trailing
+``Springer (year)`` shape is the citation analog of the syslog
+substrate's ``journal`` family -- the injected unseen format the
+maintenance loop must catch and learn from one label.
+
+The ``acm`` style carries a drifted second version (``n_versions = 2``)
+that rewrites ``DOI:10.xxxx/...`` as ``https://doi.org/10.xxxx/...``,
+for drift-probability experiments within a known style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.domain import LabeledLine, LabeledRecord
+
+__all__ = [
+    "CITATION_STYLES",
+    "KNOWN_STYLES",
+    "UNSEEN_STYLE",
+    "CitationStyle",
+    "Work",
+    "citation_style_by_name",
+    "record_from_spans",
+]
+
+
+@dataclass(frozen=True)
+class Work:
+    """One abstract publication, renderable by any style."""
+
+    work_id: str
+    #: (first name, last name) pairs, in byline order
+    authors: tuple[tuple[str, str], ...]
+    title: str
+    journal: str
+    journal_abbrev: str
+    conference: str
+    year: int
+    volume: int
+    number: int
+    page_start: int
+    page_end: int
+    doi: str  # bare "10.xxxx/yyyyyyy.zzzzzzz"
+    arxiv_id: str  # bare "YYMM.NNNNN"
+    ref_number: int  # the [N] of numbered reference lists
+
+
+Spans = "list[tuple[str, str]]"
+
+
+def record_from_spans(
+    work: Work, style_name: str, spans: Spans
+) -> LabeledRecord:
+    """Assemble labeled spans into a validated char-grained record.
+
+    The concatenated text must already be whitespace-normalized (single
+    spaces, no leading/trailing whitespace): char granularity segments
+    records with exactly that normalization, and a template violating it
+    would silently shift every label right of the violation.
+
+    The record reuses the shared container types -- ``domain`` carries
+    the work id, ``tld`` the literal ``"ref"``, ``schema_family`` the
+    style name -- so corpus I/O, evaluation, and the maintenance loop
+    work unmodified.
+    """
+    text = "".join(t for t, _ in spans)
+    if text != " ".join(text.split()):
+        raise ValueError(
+            f"style {style_name!r} rendered non-normalized text: {text!r}"
+        )
+    units = list(text)
+    lines = [
+        LabeledLine(text=ch, block=label)
+        for t, label in spans
+        for ch, label in zip(t, [label] * len(t))
+    ]
+    return LabeledRecord(
+        domain=work.work_id,
+        raw_lines=units,
+        lines=lines,
+        tld="ref",
+        registrar=style_name,
+        schema_family=style_name,
+        granularity="char",
+    )
+
+
+@dataclass(frozen=True)
+class CitationStyle:
+    """One citation format: a name and its span-template function."""
+
+    name: str
+    spans: "Callable[[Work, int], Spans]"
+    n_versions: int = 1
+
+    def render(self, work: Work, *, version: int = 1) -> LabeledRecord:
+        """Render one work as a labeled char-grained record."""
+        return record_from_spans(work, self.name, self.spans(work, version))
+
+
+# ----------------------------------------------------------------------
+# Author-list formatting per style
+# ----------------------------------------------------------------------
+
+
+def _acm_authors(work: Work) -> str:
+    """``Smith, J. and Jones, A.``"""
+    parts = [f"{last}, {first[0]}." for first, last in work.authors]
+    return " and ".join(parts)
+
+
+def _ieee_authors(work: Work) -> str:
+    """``J. Smith and A. Jones``"""
+    parts = [f"{first[0]}. {last}" for first, last in work.authors]
+    return " and ".join(parts)
+
+
+def _apa_authors(work: Work) -> str:
+    """``Smith, J., & Jones, A.``"""
+    parts = [f"{last}, {first[0]}." for first, last in work.authors]
+    if len(parts) == 1:
+        return parts[0]
+    return ", ".join(parts[:-1]) + ", & " + parts[-1]
+
+
+def _chicago_authors(work: Work) -> str:
+    """``Smith, John, and Alice Jones``"""
+    first, last = work.authors[0]
+    head = f"{last}, {first}"
+    rest = [f"{f} {l}" for f, l in work.authors[1:]]
+    if not rest:
+        return head
+    return head + ", and " + ", and ".join(rest)
+
+
+def _arxiv_authors(work: Work) -> str:
+    """``J. Smith, A. Jones``"""
+    return ", ".join(f"{first[0]}. {last}" for first, last in work.authors)
+
+
+def _springer_authors(work: Work) -> str:
+    """``Smith, J., Jones, A.``"""
+    return ", ".join(f"{last}, {first[0]}." for first, last in work.authors)
+
+
+# ----------------------------------------------------------------------
+# Span templates
+# ----------------------------------------------------------------------
+
+
+def _acm_spans(work: Work, version: int) -> Spans:
+    """``Authors year. Title. Journal vol, num (year), pages. DOI:...``"""
+    spans = [
+        (_acm_authors(work), "author"),
+        (" ", "sep"),
+        (str(work.year), "year"),
+        (". ", "sep"),
+        (work.title, "title"),
+        (". ", "sep"),
+        (work.journal, "venue"),
+        (" ", "sep"),
+        (f"{work.volume}, {work.number}", "volume"),
+        (" (", "sep"),
+        (str(work.year), "year"),
+        ("), ", "sep"),
+        (f"{work.page_start}-{work.page_end}", "pages"),
+    ]
+    if version >= 2:
+        spans += [(". https://doi.org/", "sep"), (work.doi, "doi"), (".", "sep")]
+    else:
+        spans += [(". DOI:", "sep"), (work.doi, "doi"), (".", "sep")]
+    return spans
+
+
+def _ieee_spans(work: Work, version: int) -> Spans:
+    """``[N] Authors, "Title," Jrnl., vol. V, no. N, pp. P, year.``"""
+    return [
+        ("[", "sep"),
+        (str(work.ref_number), "null"),
+        ("] ", "sep"),
+        (_ieee_authors(work), "author"),
+        (', "', "sep"),
+        (work.title, "title"),
+        ('," ', "sep"),
+        (work.journal_abbrev, "venue"),
+        (", vol. ", "sep"),
+        (str(work.volume), "volume"),
+        (", no. ", "sep"),
+        (str(work.number), "volume"),
+        (", pp. ", "sep"),
+        (f"{work.page_start}-{work.page_end}", "pages"),
+        (", ", "sep"),
+        (str(work.year), "year"),
+        (".", "sep"),
+    ]
+
+
+def _apa_spans(work: Work, version: int) -> Spans:
+    """``Authors (year). Title. Journal, V(N), pages. doi:...``"""
+    return [
+        (_apa_authors(work), "author"),
+        (" (", "sep"),
+        (str(work.year), "year"),
+        ("). ", "sep"),
+        (work.title, "title"),
+        (". ", "sep"),
+        (work.journal, "venue"),
+        (", ", "sep"),
+        (str(work.volume), "volume"),
+        ("(", "sep"),
+        (str(work.number), "volume"),
+        ("), ", "sep"),
+        (f"{work.page_start}-{work.page_end}", "pages"),
+        (". doi:", "sep"),
+        (work.doi, "doi"),
+    ]
+
+
+def _chicago_spans(work: Work, version: int) -> Spans:
+    """``Authors. "Title." Journal V, no. N (year): pages.``"""
+    title_case = " ".join(w.capitalize() for w in work.title.split())
+    return [
+        (_chicago_authors(work), "author"),
+        ('. "', "sep"),
+        (title_case, "title"),
+        ('." ', "sep"),
+        (work.journal, "venue"),
+        (" ", "sep"),
+        (str(work.volume), "volume"),
+        (", no. ", "sep"),
+        (str(work.number), "volume"),
+        (" (", "sep"),
+        (str(work.year), "year"),
+        ("): ", "sep"),
+        (f"{work.page_start}-{work.page_end}", "pages"),
+        (".", "sep"),
+    ]
+
+
+def _arxiv_spans(work: Work, version: int) -> Spans:
+    """``Authors. Title. arXiv preprint arXiv:ID, year.``"""
+    return [
+        (_arxiv_authors(work), "author"),
+        (". ", "sep"),
+        (work.title, "title"),
+        (". ", "sep"),
+        ("arXiv preprint", "venue"),
+        (" arXiv:", "sep"),
+        (work.arxiv_id, "doi"),
+        (", ", "sep"),
+        (str(work.year), "year"),
+        (".", "sep"),
+    ]
+
+
+def _springer_spans(work: Work, version: int) -> Spans:
+    """``Authors: Title. In: Conf, pp. pages. Springer (year)``"""
+    return [
+        (_springer_authors(work), "author"),
+        (": ", "sep"),
+        (work.title, "title"),
+        (". In: ", "sep"),
+        (work.conference, "venue"),
+        (", pp. ", "sep"),
+        (f"{work.page_start}-{work.page_end}", "pages"),
+        (". Springer (", "sep"),
+        (str(work.year), "year"),
+        (")", "sep"),
+    ]
+
+
+CITATION_STYLES: tuple[CitationStyle, ...] = (
+    CitationStyle("acm", _acm_spans, n_versions=2),
+    CitationStyle("ieee", _ieee_spans),
+    CitationStyle("apa", _apa_spans),
+    CitationStyle("chicago", _chicago_spans),
+    CitationStyle("arxiv", _arxiv_spans),
+    CitationStyle("springer", _springer_spans),
+)
+
+#: the drift experiment's held-out style (not in the default mix)
+UNSEEN_STYLE = "springer"
+
+#: default training/eval mix
+KNOWN_STYLES: tuple[str, ...] = tuple(
+    style.name for style in CITATION_STYLES if style.name != UNSEEN_STYLE
+)
+
+_BY_NAME = {style.name: style for style in CITATION_STYLES}
+
+
+def citation_style_by_name(name: str) -> CitationStyle:
+    """Look a style up by name (``KeyError`` with the known names)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown citation style {name!r} "
+            f"(known: {', '.join(sorted(_BY_NAME))})"
+        ) from None

@@ -20,6 +20,12 @@ record domain other than WHOIS (see :mod:`repro.domain`); ``parse``,
 domain, turning a wrong-snapshot mixup into a typed error instead of a
 silent mislabeling.
 
+Third-party domains plug in via ``--plugins MODULE[,MODULE]`` (before
+the subcommand) or the ``REPRO_PLUGINS`` environment variable: the named
+modules are imported before the argparse tree is built, so any domains
+they register appear as ``--domain`` choices exactly like the built-ins
+(see ``docs/COOKBOOK.md`` for authoring one).
+
 A hidden ``docs-cli`` subcommand regenerates ``docs/CLI.md`` from this
 argparse tree (``--check`` verifies freshness in CI).
 
@@ -674,6 +680,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Statistical WHOIS parsing (IMC 2015 reproduction)",
     )
+    root.add_argument(
+        "--plugins", metavar="MODULE[,MODULE]", default=None,
+        help="import domain plug-in module(s) before dispatch; their "
+             "registered domains become --domain choices (must precede "
+             "the subcommand; REPRO_PLUGINS works too)",
+    )
     sub = root.add_subparsers(dest="command", required=True)
 
     def add_metrics_out(command: argparse.ArgumentParser) -> None:
@@ -968,6 +980,44 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return root
 
 
+def _load_plugins(argv: "list[str] | None") -> list[str]:
+    """Import domain plug-in modules named by ``--plugins``/``REPRO_PLUGINS``.
+
+    Runs *before* :func:`build_arg_parser`: the ``--domain`` choices are
+    computed from the registry at tree-build time, so plug-ins must have
+    registered by then.  The flag is therefore pre-scanned straight from
+    ``argv`` here (argparse also declares it, for ``--help`` and so the
+    token is accepted).  Returns the modules imported, in order.
+    """
+    import importlib
+
+    from repro import errors
+
+    tokens = list(sys.argv[1:] if argv is None else argv)
+    modules: list[str] = []
+    env = os.environ.get("REPRO_PLUGINS", "")
+    if env:
+        modules.extend(env.split(","))
+    for i, token in enumerate(tokens):
+        if token == "--plugins" and i + 1 < len(tokens):
+            modules.extend(tokens[i + 1].split(","))
+        elif token.startswith("--plugins="):
+            modules.extend(token[len("--plugins="):].split(","))
+    loaded: list[str] = []
+    for module in modules:
+        module = module.strip()
+        if not module:
+            continue
+        try:
+            importlib.import_module(module)
+        except ImportError as exc:
+            raise errors.Unavailable(
+                f"cannot import domain plug-in {module!r}: {exc}"
+            ) from exc
+        loaded.append(module)
+    return loaded
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point: parse ``argv``, run the subcommand, return its exit code.
 
@@ -977,6 +1027,11 @@ def main(argv: list[str] | None = None) -> int:
     """
     from repro import errors
 
+    try:
+        _load_plugins(argv)
+    except errors.ReproError as exc:
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        return 1
     args = build_arg_parser().parse_args(argv)
     metrics_out = getattr(args, "metrics_out", None)
     try:

@@ -19,6 +19,8 @@ from repro.crf.objective import ParamView
 
 @dataclass(frozen=True)
 class ModelSummary:
+    """Size and sparsity statistics of one fitted chain CRF."""
+
     n_states: int
     n_obs_attributes: int
     n_edge_attributes: int
@@ -37,6 +39,7 @@ class ModelSummary:
 
 
 def model_summary(crf: ChainCRF) -> ModelSummary:
+    """Collect a :class:`ModelSummary` from a fitted ``crf``."""
     if crf.index is None or crf.params is None:
         raise RuntimeError("model is not fitted")
     params = crf.params

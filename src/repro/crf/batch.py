@@ -57,6 +57,7 @@ class EncodedBatch:
         dataset: list[tuple[EncodedSequence, list[int] | None]],
         index: FeatureIndex,
     ) -> None:
+        """Pad and pack ``dataset`` into dense batch arrays."""
         if not dataset:
             raise ValueError("empty dataset")
         self.n_states = index.n_states
@@ -183,6 +184,7 @@ class EncodedBatch:
         return emit, trans
 
     def observed_score(self, emit: np.ndarray, trans: np.ndarray) -> float:
+        """Sum of potentials along the gold label paths of the batch."""
         r_idx, t_idx = np.nonzero(self.token_mask)
         score = float(emit[r_idx, t_idx, self.labels[r_idx, t_idx]].sum())
         if self.t_max > 1:

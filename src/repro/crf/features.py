@@ -76,6 +76,7 @@ class EncodedSequence:
     def __init__(
         self, obs_ids: list[list[int]], edge_ids: list[list[int]]
     ) -> None:
+        """Wrap per-token id lists; the packed form is built lazily."""
         self._obs_ids: list[list[int]] | None = obs_ids
         self.edge_ids = edge_ids
         self._obs_flat: np.ndarray | None = None
@@ -155,6 +156,7 @@ class FeatureIndex:
         min_count: int = 1,
         min_edge_count: int = 1,
     ) -> None:
+        """Index over ``labels`` with count-threshold trimming knobs."""
         if len(set(labels)) != len(labels):
             raise ValueError("duplicate labels in state space")
         if not labels:
@@ -223,14 +225,17 @@ class FeatureIndex:
 
     @property
     def n_states(self) -> int:
+        """Size of the label (state) space."""
         return len(self.labels)
 
     @property
     def n_obs(self) -> int:
+        """Number of indexed observation attributes."""
         return len(self.obs_vocab)
 
     @property
     def n_edge(self) -> int:
+        """Number of indexed edge (transition) attributes."""
         return len(self.edge_vocab)
 
     @property
@@ -243,12 +248,14 @@ class FeatureIndex:
         return n
 
     def obs_attribute_names(self) -> list[str]:
+        """Observation attribute strings, ordered by id."""
         names = [""] * self.n_obs
         for attr, i in self.obs_vocab.items():
             names[i] = attr
         return names
 
     def edge_attribute_names(self) -> list[str]:
+        """Edge attribute strings, ordered by id."""
         names = [""] * self.n_edge
         for attr, i in self.edge_vocab.items():
             names[i] = attr
@@ -271,15 +278,18 @@ class FeatureIndex:
         return EncodedSequence(obs_ids=obs_ids, edge_ids=edge_ids)
 
     def encode_labels(self, labels: TypingSequence[str]) -> list[int]:
+        """Label strings to state ids; unknown labels are an error."""
         try:
             return [self.label_ids[y] for y in labels]
         except KeyError as exc:
             raise ValueError(f"unknown label {exc.args[0]!r}") from exc
 
     def decode_labels(self, label_ids: TypingSequence[int]) -> list[str]:
+        """State ids back to label strings."""
         return [self.labels[i] for i in label_ids]
 
     def to_dict(self) -> dict:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
         return {
             "labels": list(self.labels),
             "min_count": self.min_count,
@@ -290,6 +300,7 @@ class FeatureIndex:
 
     @classmethod
     def from_dict(cls, data: dict) -> "FeatureIndex":
+        """Rebuild a frozen index from :meth:`to_dict` output."""
         index = cls(
             data["labels"],
             min_count=data["min_count"],

@@ -67,6 +67,7 @@ class ChainCRF:
         sgd_epochs: int = 10,
         seed: int = 0,
     ) -> None:
+        """Unfitted CRF over ``labels`` with training hyperparameters."""
         if trainer not in ("lbfgs", "sgd"):
             raise ValueError(f"unknown trainer {trainer!r}")
         self._labels = tuple(labels)
@@ -87,10 +88,12 @@ class ChainCRF:
 
     @property
     def labels(self) -> tuple[str, ...]:
+        """The label (state) space, in id order."""
         return self._labels
 
     @property
     def is_fitted(self) -> bool:
+        """True once :meth:`fit` (or a load) has set parameters."""
         return self.params is not None
 
     def _make_trainer(self) -> LBFGSTrainer | SGDTrainer:
@@ -236,6 +239,7 @@ class ChainCRF:
     def predict_batch(
         self, sequences: Iterable[Sequence | list[list[str]]]
     ) -> list[list[str]]:
+        """Viterbi-decode each sequence (see :meth:`predict_many`)."""
         return [self.predict(seq) for seq in sequences]
 
     def _decode_many(self, sequences, decode, empty, *, chunk_size: int):

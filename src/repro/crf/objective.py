@@ -40,6 +40,7 @@ class ParamView:
 
     @classmethod
     def of(cls, params: np.ndarray, index: FeatureIndex) -> "ParamView":
+        """Slice the flat ``params`` vector into the four weight blocks."""
         n_states, n_obs, n_edge = index.n_states, index.n_obs, index.n_edge
         if params.shape != (index.n_features,):
             raise ValueError(

@@ -67,6 +67,7 @@ class TrainerState:
 
     @classmethod
     def load(cls, path: "str | Path") -> "TrainerState":
+        """Restore a checkpointed optimizer state (see :meth:`save`)."""
         with np.load(path) as data:
             return cls(
                 params=data["params"],
@@ -94,6 +95,7 @@ class TrainLog:
     final_state: "TrainerState | None" = None
 
     def record(self, value: float) -> None:
+        """Append one objective evaluation to the log."""
         self.objective_values.append(float(value))
         self.n_iterations += 1
 
@@ -108,6 +110,7 @@ class LBFGSTrainer:
         max_iterations: int = 200,
         tolerance: float = 1e-6,
     ) -> None:
+        """L-BFGS trainer with ``l2`` regularization and stop criteria."""
         self.l2 = l2
         self.max_iterations = max_iterations
         self.tolerance = tolerance
@@ -215,6 +218,7 @@ class SGDTrainer:
         learning_rate: float = 0.5,
         seed: int = 0,
     ) -> None:
+        """SGD trainer; ``seed`` fixes the minibatch shuffle order."""
         if epochs < 1:
             raise ValueError("epochs must be >= 1")
         if batch_size < 1:

@@ -13,6 +13,15 @@ synthetic substrate) through this package:
 ``whois`` is the default and reproduces the paper bit-for-bit; ``syslog``
 is the proof the architecture generalizes -- a second domain driven
 through the same train → serve → maintain pipeline.
+
+Third-party domains (see ``docs/COOKBOOK.md`` and the
+``examples/citations`` package) author against *this* module only: it
+re-exports the handful of data types a plug-in needs --
+:class:`FeaturizerConfig` for the spec's feature switches,
+:class:`LabeledLine`/:class:`LabeledRecord` for the synthetic substrate,
+and :class:`ParsedRecord` for the ``assemble`` hook -- so an external
+package never has to import ``repro.whois`` or ``repro.parser``
+internals directly.
 """
 
 from repro.domain.registry import (
@@ -22,11 +31,18 @@ from repro.domain.registry import (
     register,
 )
 from repro.domain.spec import CorpusSource, DomainSpec, sub_segments
+from repro.parser.fields import ParsedRecord
+from repro.whois.features import FeaturizerConfig
+from repro.whois.records import LabeledLine, LabeledRecord
 
 __all__ = [
     "CorpusSource",
     "DEFAULT_DOMAIN",
     "DomainSpec",
+    "FeaturizerConfig",
+    "LabeledLine",
+    "LabeledRecord",
+    "ParsedRecord",
     "available_domains",
     "get_domain",
     "register",

@@ -75,6 +75,11 @@ class DomainSpec:
     assemble: "Callable[..., ParsedRecord] | None" = None
     #: ``(seed=, drift=) -> CorpusSource`` synthetic-substrate factory
     make_generator: "Callable[..., CorpusSource] | None" = None
+    #: optional ``text -> frozenset`` drift fingerprint override; unset,
+    #: the granularity-appropriate default from
+    #: :mod:`repro.pipeline.drift` applies (field titles for line
+    #: domains, the punctuation-skeleton shape for char domains)
+    fingerprint: "Callable[[str], frozenset] | None" = None
     #: one-line description shown by ``repro --help`` style listings
     description: str = ""
 
@@ -94,6 +99,46 @@ class DomainSpec:
     def has_second_level(self) -> bool:
         """Whether this domain defines a second labeling level at all."""
         return self.sub_labels is not None and self.sub_block is not None
+
+    @property
+    def granularity(self) -> str:
+        """The domain's labeling unit (``"line"`` or ``"char"``).
+
+        Pinned by the featurizer configuration so it travels inside
+        model snapshots with the rest of the feature switches.
+        """
+        return self.featurizer_config.granularity
+
+    def segment_text(self, text: str) -> list[str]:
+        """Split raw record text into this domain's units.
+
+        Lines for line-granularity domains; normalized characters
+        (:func:`repro.whois.records.segment_chars`) for char-granularity
+        ones.
+        """
+        if self.granularity == "char":
+            from repro.whois.records import segment_chars
+
+            return segment_chars(text)
+        return text.splitlines()
+
+    def fingerprint_text(self, text: str) -> frozenset:
+        """The drift-detection format fingerprint of one record.
+
+        Domains may override via the ``fingerprint`` hook; otherwise
+        line domains fingerprint on normalized field titles
+        (:func:`~repro.pipeline.drift.format_fingerprint`) and char
+        domains on the punctuation skeleton
+        (:func:`~repro.pipeline.drift.shape_fingerprint`), since a
+        single-line record has no field titles to speak of.
+        """
+        if self.fingerprint is not None:
+            return self.fingerprint(text)
+        from repro.pipeline.drift import format_fingerprint, shape_fingerprint
+
+        if self.granularity == "char":
+            return shape_fingerprint(text)
+        return format_fingerprint(text)
 
     def assemble_record(
         self,

@@ -102,6 +102,12 @@ class LineEncoder:
         self._nl = (obs_vocab.get("NL"), edge_vocab.get("NL"))
         self._shl = (obs_vocab.get("SHL"), edge_vocab.get("SHL"))
         self._shr = (obs_vocab.get("SHR"), edge_vocab.get("SHR"))
+        #: char granularity: units are single characters, the intrinsic
+        #: profile cache collapses to alphabet size, and per-record
+        #: context attrs resolve through the memo dicts below
+        self._char = featurizer.config.granularity == "char"
+        self._ctx_obs_ids: dict[str, int | None] = {}
+        self._ctx_edge_ids: dict[str, int | None] = {}
 
     # ------------------------------------------------------------------
 
@@ -114,12 +120,17 @@ class LineEncoder:
             raw = self._profiles.get(line)
             if raw is None:
                 obs, edge = self.featurizer.line_attributes(line)
-                raw = (
-                    obs,
-                    edge,
-                    indentation(line),
-                    WhoisFeaturizer.headword(line),
-                )
+                if self._char:
+                    # Indentation and headwords are line-layout notions;
+                    # a single-character unit has neither.
+                    raw = (obs, edge, 0, None)
+                else:
+                    raw = (
+                        obs,
+                        edge,
+                        indentation(line),
+                        WhoisFeaturizer.headword(line),
+                    )
                 if len(self._profiles) < self.cache_size:
                     self._profiles[line] = raw
             obs, edge, indent, headword = raw
@@ -176,6 +187,68 @@ class LineEncoder:
             self._ctx[head] = ids
         return ids
 
+    def _encode_chars(
+        self,
+        units: list[str],
+        collect: list[str] | None = None,
+    ) -> EncodedSequence:
+        """Char-granularity encoding, mirroring
+        :meth:`WhoisFeaturizer.featurize_chars` attribute for attribute.
+
+        The intrinsic per-character attributes come from the same profile
+        cache as line mode (keyed on the character, so the cache tops out
+        at alphabet size).  The record-dependent context attributes from
+        :meth:`WhoisFeaturizer.char_context` are resolved through small
+        attr -> id memo dicts -- the attribute *strings* vary per record
+        but draw from the training vocabulary, so the memo converges
+        fast; unknown attributes are memoized as ``None`` (known-absent)
+        rather than re-probed.  Context and intrinsic namespaces are
+        disjoint by construction, so ids concatenate without a dedup
+        pass.
+        """
+        obs_flat: list[int] = []
+        obs_counts: list[int] = []
+        edge_seq: list[list[int]] = []
+        obs_vocab = self.index.obs_vocab
+        edge_vocab = self.index.edge_vocab
+        obs_memo = self._ctx_obs_ids
+        edge_memo = self._ctx_edge_ids
+        cache_size = self.cache_size
+        lines_get = self._lines.get
+        _missing = object()  # memoized values are ids or None, never this
+        for ch, (ctx_obs, ctx_edge) in zip(
+            units, self.featurizer.char_context(units)
+        ):
+            if collect is not None:
+                collect.append(ch)
+            profile = lines_get(ch)
+            if profile is None:
+                profile = self._line_profile(ch)
+            else:
+                self.hits += 1
+            start = len(obs_flat)
+            obs_flat.extend(profile[0])
+            for attr in ctx_obs:
+                ident = obs_memo.get(attr, _missing)
+                if ident is _missing:
+                    ident = obs_vocab.get(attr)
+                    if len(obs_memo) < cache_size:
+                        obs_memo[attr] = ident
+                if ident is not None:
+                    obs_flat.append(ident)
+            edge = list(profile[1])
+            for attr in ctx_edge:
+                ident = edge_memo.get(attr, _missing)
+                if ident is _missing:
+                    ident = edge_vocab.get(attr)
+                    if len(edge_memo) < cache_size:
+                        edge_memo[attr] = ident
+                if ident is not None:
+                    edge.append(ident)
+            obs_counts.append(len(obs_flat) - start)
+            edge_seq.append(edge)
+        return EncodedSequence.from_packed(obs_flat, obs_counts, edge_seq)
+
     # ------------------------------------------------------------------
 
     def encode_record(
@@ -202,6 +275,8 @@ class LineEncoder:
         per-token counts), so batches built from these sequences never
         run a per-token loop.
         """
+        if self._char:
+            return self._encode_chars(raw_lines, collect)
         cfg = self.featurizer.config
         obs_flat: list[int] = []
         obs_counts: list[int] = []
@@ -273,6 +348,8 @@ class LineEncoder:
         labelability checks and blank-run (``NL``) handling drop out;
         indentation shifts and header context within the run remain.
         """
+        if self._char:
+            return self._encode_chars(lines)
         cfg = self.featurizer.config
         obs_flat: list[int] = []
         obs_counts: list[int] = []

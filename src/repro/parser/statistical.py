@@ -253,13 +253,30 @@ class WhoisParser(ParserBase):
     # Inference
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def _raw_lines(record: WhoisRecord | LabeledRecord | str) -> list[str]:
-        if isinstance(record, str):
-            return record.splitlines()
+    def _raw_lines(self, record: WhoisRecord | LabeledRecord | str) -> list[str]:
+        """A record's raw units, segmented per the featurizer granularity.
+
+        Labeled records keep their stored segmentation; raw text and
+        :class:`WhoisRecord` inputs are split into lines (the paper's
+        setup) or normalized characters (char-grained domains such as
+        citations).
+        """
         if isinstance(record, LabeledRecord):
             return record.raw_lines
-        return record.lines
+        text = record if isinstance(record, str) else record.text
+        if self.featurizer.config.granularity == "char":
+            from repro.whois.records import segment_chars
+
+            return segment_chars(text)
+        return text.splitlines()
+
+    def _labelable(self, raw: list[str]) -> list[str]:
+        """The units of ``raw`` that carry labels (all of them for char
+        granularity -- delimiters are labeled so field values reassemble
+        exactly)."""
+        if self.featurizer.config.granularity == "char":
+            return list(raw)
+        return [ln for ln in raw if is_labelable(ln)]
 
     def predict_blocks(
         self, record: WhoisRecord | LabeledRecord | str
@@ -285,7 +302,7 @@ class WhoisParser(ParserBase):
     ) -> list[tuple[str, str, str | None]]:
         """(line, block, sub) for each labelable line; sub only on registrant."""
         raw = self._raw_lines(record)
-        lines = [ln for ln in raw if is_labelable(ln)]
+        lines = self._labelable(raw)
         # Featurize once; predict_blocks() would featurize a second time.
         blocks = self.block_crf.predict(self.featurizer.featurize_lines(raw))
         subs: list[str | None] = [None] * len(lines)
@@ -308,7 +325,7 @@ class WhoisParser(ParserBase):
         human labeler, the workflow Section 5.3 implies.
         """
         raw = self._raw_lines(record)
-        lines = [ln for ln in raw if is_labelable(ln)]
+        lines = self._labelable(raw)
         if not lines:
             return []
         seq = self.featurizer.featurize_lines(raw)

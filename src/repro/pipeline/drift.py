@@ -43,6 +43,7 @@ __all__ = [
     "StreamRecord",
     "format_fingerprint",
     "jaccard",
+    "shape_fingerprint",
 ]
 
 
@@ -83,6 +84,40 @@ def format_fingerprint(text: str) -> frozenset[str]:
     return frozenset(titles)
 
 
+def shape_fingerprint(text: str, n: int = 4) -> frozenset[str]:
+    """Format signature for char-granularity (single-line) records.
+
+    A citation string has no field titles, but its *punctuation
+    skeleton* -- where the commas, periods, quotes, and parentheses fall
+    relative to words and numbers -- is exactly what distinguishes one
+    style family from another.  The text is collapsed to that skeleton
+    (every alphabetic run becomes ``a``, every digit run ``9``,
+    whitespace runs ``_``, punctuation kept verbatim) and the set of its
+    character ``n``-grams is the fingerprint.  Two records of the same
+    style share most skeleton n-grams regardless of content; a new style
+    with different delimiters shares few.
+    """
+    skeleton: list[str] = []
+    prev = ""
+    for ch in text:
+        if ch.isalpha():
+            out = "a"
+        elif ch.isdigit():
+            out = "9"
+        elif ch.isspace():
+            out = "_"
+        else:
+            out = ch
+        if out in ("a", "9", "_") and out == prev:
+            continue  # collapse runs: word/number length is content
+        skeleton.append(out)
+        prev = out
+    s = "".join(skeleton)
+    if len(s) <= n:
+        return frozenset({s} if s else ())
+    return frozenset(s[i : i + n] for i in range(len(s) - n + 1))
+
+
 def jaccard(a: frozenset[str], b: frozenset[str]) -> float:
     """Jaccard similarity of two fingerprints (empty sets are disjoint)."""
     if not a or not b:
@@ -114,6 +149,7 @@ class DriftCluster:
     last_seen: int = 0
 
     def add(self, record: StreamRecord) -> None:
+        """Admit ``record`` and widen the cluster signature."""
         self.members.append(record)
         # Grow the signature so later records of the same template with
         # extra optional fields still match the cluster.
@@ -132,6 +168,7 @@ class DriftAlert:
 
     @property
     def domains(self) -> tuple[str, ...]:
+        """The domains of the clustered records, in arrival order."""
         return tuple(member.domain for member in self.members)
 
 
@@ -167,6 +204,13 @@ class DriftDetector:
     max_resolved:
         Most-recent resolved-family signatures retained for straggler
         attribution; older ones age out first.
+    fingerprint:
+        ``text -> frozenset`` reduction used for every record; defaults
+        to :func:`format_fingerprint` (field titles).  Char-granularity
+        domains pass :func:`shape_fingerprint` (or a domain-specific
+        hook via :meth:`DomainSpec.fingerprint_text
+        <repro.domain.DomainSpec.fingerprint_text>`), since single-line
+        records have no field titles to fingerprint on.
     """
 
     def __init__(
@@ -179,7 +223,17 @@ class DriftDetector:
         max_open_clusters: int = 64,
         cluster_ttl: "int | None" = 20_000,
         max_resolved: int = 512,
+        fingerprint=format_fingerprint,
     ) -> None:
+        """Detector with clustering thresholds and a fingerprint hook.
+
+        ``fingerprint`` maps record text to the comparable
+        frozenset the Jaccard clustering runs on --
+        :func:`format_fingerprint` (field titles; the line-domain
+        default) or :func:`shape_fingerprint` (punctuation skeleton,
+        for char-grained single-line domains).
+        """
+        self.fingerprint = fingerprint
         self.min_confidence = min_confidence
         self.min_cluster_size = min_cluster_size
         self.known_threshold = known_threshold
@@ -208,7 +262,7 @@ class DriftDetector:
         """
         for item in texts:
             text = item if isinstance(item, str) else item.text
-            self._learn(format_fingerprint(text))
+            self._learn(self.fingerprint(text))
         return len(self._known)
 
     def _learn(self, fingerprint: frozenset[str]) -> None:
@@ -253,7 +307,7 @@ class DriftDetector:
             return None
         probs = [p for _, _, p in confidences]
         minimum = min(probs)
-        fingerprint = format_fingerprint(text)
+        fingerprint = self.fingerprint(text)
         if minimum >= self.min_confidence:
             # Served confidently: whatever format this is, the model
             # knows it.  Remember the fingerprint so stragglers with the
@@ -395,6 +449,7 @@ class RegistrarDisagreementSignal:
         min_audits: int = 10,
         max_exemplars: int = 8,
     ) -> None:
+        """Signal with per-registrar disagreement-rate thresholds."""
         self.rate_threshold = rate_threshold
         self.min_audits = max(1, min_audits)
         self.max_exemplars = max(1, max_exemplars)

@@ -61,6 +61,7 @@ class CorpusOracle:
     """
 
     def __init__(self, records: Iterable[LabeledRecord]) -> None:
+        """Oracle answering from ``records``, keyed by domain."""
         self._by_domain = {
             record.domain.lower(): record for record in records
         }
@@ -70,9 +71,11 @@ class CorpusOracle:
         return len(self._by_domain)
 
     def add(self, record: LabeledRecord) -> None:
+        """Make one more labeled record answerable."""
         self._by_domain[record.domain.lower()] = record
 
     def label(self, request: LabelRequest) -> LabeledRecord | None:
+        """Answer from the corpus; served requests are recorded."""
         record = self._by_domain.get(request.domain.lower())
         if record is not None:
             self.served.append(request)
@@ -91,6 +94,7 @@ class PendingOracle:
         self.pending: list[LabelRequest] = []
 
     def label(self, request: LabelRequest) -> LabeledRecord | None:
+        """Queue the request for a human; always returns None."""
         self.pending.append(request)
         return None
 

@@ -88,14 +88,17 @@ class LoopReport:
 
     @property
     def alerts(self) -> list[MaintenanceEvent]:
+        """The drift-alert events, in stream order."""
         return [e for e in self.events if e.kind == "drift_alert"]
 
     @property
     def activated_versions(self) -> list[str]:
+        """Model versions that passed the gate and went live."""
         return [e.version for e in self.events if e.kind == "activated"]
 
     @property
     def rejected_versions(self) -> list[str]:
+        """Candidate versions published but held back by regression."""
         return [e.version for e in self.events if e.kind == "rejected"]
 
 
@@ -135,20 +138,62 @@ class MaintenanceLoop:
         app=None,
         gate: "RecordGate | None" = None,
     ) -> None:
+        """Loop over ``models`` with ``oracle`` answering label requests.
+
+        The admission gate and drift fingerprint default from the
+        registry's domain spec (char domains get a one-line gate and
+        the punctuation-skeleton fingerprint); pass ``gate`` to
+        override.
+        """
         self.models = models
         self.oracle = oracle
         self.config = config or MaintenanceConfig()
         self.replay = list(replay)
         self.holdout = list(holdout)
         self.app = app
-        self.gate = gate if gate is not None else RecordGate()
+        spec = self._resolve_spec()
+        if gate is not None:
+            self.gate = gate
+        elif spec is not None and spec.granularity == "char":
+            # Char-granularity records are single logical lines; the
+            # default 3-line truncation floor would quarantine them all.
+            self.gate = RecordGate(min_lines=1)
+        else:
+            self.gate = RecordGate()
+        detector_kwargs = {}
+        if spec is not None:
+            detector_kwargs["fingerprint"] = spec.fingerprint_text
         self.detector = DriftDetector(
             min_confidence=self.config.min_confidence,
             min_cluster_size=self.config.min_cluster_size,
+            **detector_kwargs,
         )
         self.detector.register_known(self.replay)
         self.retrainer = WarmStartRetrainer(replay_size=self.config.replay_size)
         self.report = LoopReport()
+
+    def _resolve_spec(self):
+        """The registry's domain spec, when determinable.
+
+        Prefers the registry's pinned domain name; falls back to the
+        active parser's spec (covers ad-hoc registries).  ``None`` when
+        neither is available -- the loop then keeps the line-granularity
+        defaults, exactly its pre-plug-in behavior.
+        """
+        name = getattr(self.models, "domain", None)
+        if name:
+            try:
+                from repro.domain import get_domain
+
+                return get_domain(name)
+            except Exception:
+                pass
+        try:
+            if self.models.has_active:
+                return self.models.current_parser.spec
+        except Exception:
+            pass
+        return None
 
     # ------------------------------------------------------------------
     # The stream

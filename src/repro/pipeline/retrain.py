@@ -71,6 +71,7 @@ class WarmStartRetrainer:
         checkpoint_dir: "str | Path | None" = None,
         checkpoint_every: int = 10,
     ) -> None:
+        """Retrainer with replay-sample size and checkpoint cadence."""
         self.replay_size = replay_size
         self.checkpoint_dir = (
             Path(checkpoint_dir) if checkpoint_dir is not None else None
@@ -83,6 +84,7 @@ class WarmStartRetrainer:
 
     @property
     def checkpoint_path(self) -> "Path | None":
+        """Where mid-retrain snapshots land (None: disabled)."""
         if self.checkpoint_dir is None:
             return None
         return self.checkpoint_dir / _CHECKPOINT

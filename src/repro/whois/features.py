@@ -37,7 +37,16 @@ from repro.whois.text import (
 
 @dataclass(frozen=True)
 class FeaturizerConfig:
-    """Switches for the feature families (used by the ablation study)."""
+    """Switches for the feature families (used by the ablation study).
+
+    ``granularity`` selects what one CRF token *is*: ``"line"`` (the
+    paper's WHOIS setup -- each labelable line is one token) or
+    ``"char"`` (each character of a normalized single-line record is
+    one token, for domains with no line structure such as citation
+    strings).  It travels inside model snapshots with the rest of the
+    configuration, so a loaded parser always segments its input the way
+    it was trained.
+    """
 
     tv_tagging: bool = True
     markers: bool = True
@@ -61,6 +70,15 @@ class FeaturizerConfig:
     #: following block representing the associated value" (Section 4.2).
     header_context: bool = True
     max_words_per_line: int = 40
+    #: unit of labeling: "line" (one token per labelable line) or
+    #: "char" (one token per character; see :meth:`WhoisFeaturizer.
+    #: featurize_chars`)
+    granularity: str = "line"
+
+    @property
+    def char_grained(self) -> bool:
+        """True when this configuration labels characters, not lines."""
+        return self.granularity == "char"
 
 
 class WhoisFeaturizer:
@@ -86,6 +104,11 @@ class WhoisFeaturizer:
     ) -> None:
         """Featurizer with ``config`` switches and an optional fitted lexicon."""
         self.config = config or FeaturizerConfig()
+        if self.config.granularity not in ("line", "char"):
+            raise ValueError(
+                f"unknown featurizer granularity "
+                f"{self.config.granularity!r}; expected 'line' or 'char'"
+            )
         self.lexicon = lexicon
 
     def _unknown(self, word: str) -> bool:
@@ -96,8 +119,18 @@ class WhoisFeaturizer:
     # ------------------------------------------------------------------
 
     def line_attributes(self, line: str) -> tuple[list[str], list[str]]:
-        """Observation and edge attributes intrinsic to one line of text."""
+        """Observation and edge attributes intrinsic to one unit of text.
+
+        Under line granularity a unit is one labelable line; under char
+        granularity it is one character and this delegates to
+        :meth:`char_attributes`.  Either way the result is context-free
+        (it depends only on the unit itself), which is what lets the
+        bulk path (:class:`repro.parser.bulk.LineEncoder`) memoize it
+        per distinct unit.
+        """
         cfg = self.config
+        if cfg.granularity == "char":
+            return self.char_attributes(line)
         obs: list[str] = ["BIAS"]
         edge: list[str] = []
         split = split_title_value(line)
@@ -150,12 +183,161 @@ class WhoisFeaturizer:
         return obs, edge
 
     # ------------------------------------------------------------------
+    # Per-character analysis (char granularity)
+    # ------------------------------------------------------------------
+
+    def char_attributes(self, ch: str) -> tuple[list[str], list[str]]:
+        """Observation and edge attributes intrinsic to one character.
+
+        The char-granularity analog of the line analysis above: the
+        character's identity (case-folded, with a ``CAP`` marker), its
+        coarse class, and -- for delimiters -- the character itself as
+        an *edge* attribute, since field transitions in unstructured
+        strings happen at punctuation and whitespace (the role the
+        ``SEP``/``NL`` markers play for lines).
+        """
+        cfg = self.config
+        obs: list[str] = ["BIAS"]
+        edge: list[str] = []
+        if ch.isalnum():
+            obs.append(f"C:{ch.lower()}")
+            if ch.isupper():
+                obs.append("CAP")
+            obs.append("CC:digit" if ch.isdigit() else "CC:alpha")
+        elif ch.isspace():
+            obs.append("CC:space")
+            if cfg.edge_markers:
+                edge.append("E:space")
+        else:
+            obs.append(f"C:{ch}")
+            obs.append("CC:punct")
+            if cfg.edge_markers:
+                edge.append(f"E:{ch}")
+        return obs, edge
+
+    def char_context(
+        self, units: list[str]
+    ) -> list[tuple[list[str], list[str]]]:
+        """Context attributes for every character of one record.
+
+        These are the char-granularity counterpart of the layout/header
+        context of :meth:`featurize_lines` -- everything about a
+        character that depends on its neighbors:
+
+        - the containing word (``W:``, ``P4:`` prefix, a coarse token
+          class, and ``BOW``/``EOW`` boundary markers) for alphanumeric
+          characters;
+        - the flanking words (``PW:``/``NW:``) for delimiter
+          characters, which is how a comma "knows" whether it ends an
+          author or precedes a year;
+        - a position decile ``POS:`` (authors come early, DOIs late);
+        - an edge attribute ``B:<delimiter>`` on the first character
+          after a delimiter, feeding the transition features exactly
+          where field boundaries occur.
+
+        Attribute namespaces here are disjoint from
+        :meth:`char_attributes` output by prefix construction, so the
+        bulk encoder can concatenate the two id sets without a dedup
+        pass (the invariant :meth:`LineEncoder.encode_record
+        <repro.parser.bulk.LineEncoder.encode_record>` relies on).
+        """
+        cfg = self.config
+        n = len(units)
+        # Maximal alphanumeric runs of the concatenated text, as
+        # (start, end, word) spans.
+        tokens: list[tuple[int, int, str]] = []
+        i = 0
+        while i < n:
+            if units[i].isalnum():
+                j = i
+                while j < n and units[j].isalnum():
+                    j += 1
+                tokens.append((i, j, "".join(units[i:j])))
+                i = j
+            else:
+                i += 1
+        owner: list[int | None] = [None] * n
+        prev_token: list[int] = [-1] * n
+        last = -1
+        for t, (s, e, _w) in enumerate(tokens):
+            for k in range(s, e):
+                owner[k] = t
+        for k in range(n):
+            if owner[k] is not None:
+                last = owner[k]
+            prev_token[k] = last
+        out: list[tuple[list[str], list[str]]] = []
+        for k in range(n):
+            obs: list[str] = []
+            edge: list[str] = []
+            t = owner[k]
+            if t is not None:
+                s, e, word = tokens[t]
+                lowered = word.lower()
+                if cfg.plain_words:
+                    obs.append(f"W:{lowered}")
+                if cfg.prefixes and len(lowered) >= 4:
+                    obs.append(f"P4:{lowered[:4]}")
+                if cfg.classes:
+                    if word.isdigit():
+                        obs.append(
+                            "TC:num4" if len(word) == 4 else "TC:num"
+                        )
+                    elif word[0].isupper():
+                        obs.append("TC:cap")
+                if cfg.markers:
+                    if k == s:
+                        obs.append("BOW")
+                    if k == e - 1:
+                        obs.append("EOW")
+            elif cfg.tv_tagging:
+                p = prev_token[k]
+                if p >= 0:
+                    obs.append(f"PW:{tokens[p][2].lower()}")
+                if p + 1 < len(tokens):
+                    obs.append(f"NW:{tokens[p + 1][2].lower()}")
+            if cfg.markers and n:
+                obs.append(f"POS:{(k * 10) // n}")
+            if cfg.edge_markers and k > 0 and units[k].isalnum():
+                before = units[k - 1]
+                if not before.isalnum():
+                    edge.append(
+                        "B:space" if before.isspace() else f"B:{before}"
+                    )
+            out.append((obs, edge))
+        return out
+
+    def featurize_chars(self, units: list[str]) -> Sequence:
+        """Featurize one record's characters (char granularity).
+
+        ``units`` is the segmented record -- one single-character string
+        per token, every one of them labelable (spaces and punctuation
+        carry labels too, so field values reassemble exactly).
+        """
+        obs_seq: list[list[str]] = []
+        edge_seq: list[list[str]] = []
+        for unit, (ctx_obs, ctx_edge) in zip(units, self.char_context(units)):
+            obs, edge = self.char_attributes(unit)
+            obs.extend(ctx_obs)
+            edge.extend(ctx_edge)
+            obs_seq.append(obs)
+            edge_seq.append(edge)
+        return Sequence(obs=obs_seq, edge=edge_seq)
+
+    # ------------------------------------------------------------------
     # Whole-record featurization (first-level CRF)
     # ------------------------------------------------------------------
 
     def featurize_lines(self, raw_lines: list[str]) -> Sequence:
-        """Featurize the labelable lines of a record, with layout context."""
+        """Featurize the labelable units of a record, with layout context.
+
+        Under char granularity ``raw_lines`` holds the record's
+        segmented characters and this delegates to
+        :meth:`featurize_chars`.
+        """
         cfg = self.config
+        if cfg.granularity == "char":
+            return self.featurize_chars(raw_lines)
         obs_seq: list[list[str]] = []
         edge_seq: list[list[str]] = []
         blank_run = 0
@@ -222,7 +404,11 @@ class WhoisFeaturizer:
         return self.featurize_lines(record.lines)
 
     def featurize_text(self, text: str) -> Sequence:
-        """Per-line attribute lists straight from raw record text."""
+        """Per-unit attribute lists straight from raw record text."""
+        if self.config.granularity == "char":
+            from repro.whois.records import segment_chars
+
+            return self.featurize_chars(segment_chars(text))
         return self.featurize_lines(text.splitlines())
 
     # ------------------------------------------------------------------

@@ -15,8 +15,13 @@ from repro.whois.records import LabeledLine, LabeledRecord
 
 
 def record_to_dict(record: LabeledRecord) -> dict:
-    """One JSONL row: raw lines plus aligned (block, sub) label pairs."""
-    return {
+    """One JSONL row: raw lines plus aligned (block, sub) label pairs.
+
+    The ``granularity`` key only appears for non-default (character)
+    records, so line-granularity corpora serialize byte-identically to
+    what they did before granularity existed.
+    """
+    row = {
         "domain": record.domain,
         "tld": record.tld,
         "registrar": record.registrar,
@@ -26,18 +31,22 @@ def record_to_dict(record: LabeledRecord) -> dict:
             {"block": line.block, "sub": line.sub} for line in record.lines
         ],
     }
+    if record.granularity != "line":
+        row["granularity"] = record.granularity
+    return row
 
 
 def record_from_dict(data: dict) -> LabeledRecord:
     """Rebuild a :class:`LabeledRecord` from its JSONL row (validated)."""
-    from repro.whois.records import is_labelable
+    from repro.whois.records import labelable_units
 
-    labelable = [ln for ln in data["raw_lines"] if is_labelable(ln)]
+    granularity = data.get("granularity", "line")
+    labelable = labelable_units(data["raw_lines"], granularity)
     labels = data["labels"]
     if len(labelable) != len(labels):
         raise ValueError(
             f"{data.get('domain')}: {len(labels)} labels for "
-            f"{len(labelable)} labelable lines"
+            f"{len(labelable)} labelable units"
         )
     lines = [
         LabeledLine(text=text, block=label["block"], sub=label.get("sub"))
@@ -50,6 +59,7 @@ def record_from_dict(data: dict) -> LabeledRecord:
         tld=data.get("tld", "com"),
         registrar=data.get("registrar"),
         schema_family=data.get("schema_family"),
+        granularity=granularity,
     )
 
 

@@ -24,6 +24,31 @@ def is_labelable(line: str) -> bool:
     return False
 
 
+def segment_chars(text: str) -> list[str]:
+    """Segment a record with no line structure into character units.
+
+    The char-granularity counterpart of ``splitlines()``: whitespace
+    runs (including newlines) collapse to a single space and the ends
+    are stripped, then every remaining character -- spaces and
+    punctuation included -- is one labelable unit.  Keeping delimiters
+    labelable is what lets field values reassemble exactly (a DOI's
+    dots, a page range's dash); under line granularity they would have
+    been filtered as non-labelable and lost.
+    """
+    return list(" ".join(text.split()))
+
+
+def labelable_units(raw_lines: list[str], granularity: str) -> list[str]:
+    """The units of ``raw_lines`` that carry labels, per granularity.
+
+    Every character is labelable under ``"char"`` granularity; under
+    ``"line"`` only lines passing :func:`is_labelable` are.
+    """
+    if granularity == "char":
+        return list(raw_lines)
+    return [ln for ln in raw_lines if is_labelable(ln)]
+
+
 @dataclass(frozen=True)
 class WhoisRecord:
     """A raw (unlabeled) WHOIS response for one domain."""
@@ -69,28 +94,38 @@ class LabeledRecord:
     tld: str = field(default="com")
     registrar: str | None = None
     schema_family: str | None = None
+    #: labeling unit: "line" (the WHOIS default) or "char" (each
+    #: ``raw_lines`` entry is one character of a line-structure-free
+    #: record; see :func:`segment_chars`)
+    granularity: str = "line"
 
     def __post_init__(self) -> None:
-        n_labelable = sum(1 for ln in self.raw_lines if is_labelable(ln))
-        if n_labelable != len(self.lines):
+        labelable = labelable_units(self.raw_lines, self.granularity)
+        if len(labelable) != len(self.lines):
             raise ValueError(
-                f"{self.domain}: {n_labelable} labelable raw lines but "
-                f"{len(self.lines)} labeled lines"
+                f"{self.domain}: {len(labelable)} labelable raw units but "
+                f"{len(self.lines)} labeled units"
             )
-        for raw, labeled in zip(self.iter_labelable_raw(), self.lines):
+        for raw, labeled in zip(labelable, self.lines):
             if raw != labeled.text:
                 raise ValueError(
-                    f"{self.domain}: labeled line {labeled.text!r} does not "
-                    f"match raw line {raw!r}"
+                    f"{self.domain}: labeled unit {labeled.text!r} does not "
+                    f"match raw unit {raw!r}"
                 )
 
     def iter_labelable_raw(self) -> Iterator[str]:
-        """The raw lines that carry labels, in order."""
-        return (ln for ln in self.raw_lines if is_labelable(ln))
+        """The raw units that carry labels, in order."""
+        return iter(labelable_units(self.raw_lines, self.granularity))
 
     @property
     def text(self) -> str:
-        """The verbatim record text (what a crawler would have fetched)."""
+        """The verbatim record text (what a crawler would have fetched).
+
+        Char-granularity units concatenate back without separators --
+        the record never had line structure to restore.
+        """
+        if self.granularity == "char":
+            return "".join(self.raw_lines)
         return "\n".join(self.raw_lines)
 
     @property

@@ -1,0 +1,177 @@
+"""The shipped third-party plug-in: ``examples/citations``.
+
+Two things are pinned here.  First, the *import surface*: the citations
+package may touch ``repro.domain``, ``repro.errors``, and nothing else
+inside ``repro`` -- it is the cookbook's proof that a domain can be
+authored entirely against the public plug-in API.  Second, the domain
+itself behaves: styles render whitespace-normalized char-labeled
+records, field values reassemble exactly from gold labels, and the
+generator is deterministic under its seed.
+
+The registry-isolation guarantee (``citations`` never appears in
+``available_domains()`` unless the example package was imported) lives
+in ``tests/test_domains.py`` next to the other registry contracts.
+"""
+
+import ast
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+PLUGIN_ROOT = REPO_ROOT / "examples" / "citations"
+sys.path.insert(0, str(PLUGIN_ROOT))
+
+import repro_citations  # noqa: E402  (needs the path above)
+from repro_citations import (  # noqa: E402
+    CITATION_LABELS,
+    CITATION_STYLES,
+    KNOWN_STYLES,
+    UNSEEN_STYLE,
+    CitationConfig,
+    CitationGenerator,
+    assemble_citation_record,
+    citation_style_by_name,
+)
+
+from repro.domain import get_domain  # noqa: E402
+
+
+# ----------------------------------------------------------------------
+# Import surface: repro.domain + repro.errors, nothing deeper
+# ----------------------------------------------------------------------
+
+#: the entire core surface a plug-in may import
+_ALLOWED_REPRO = {"repro.domain", "repro.errors"}
+
+
+def _imported_modules(path: Path) -> set[str]:
+    """Absolute module names imported anywhere in ``path``."""
+    tree = ast.parse(path.read_text())
+    found: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            found.update(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module:
+                found.add(node.module)
+    return found
+
+
+def test_plugin_imports_only_the_public_surface():
+    sources = sorted((PLUGIN_ROOT / "repro_citations").glob("*.py"))
+    assert sources, "plug-in package has no modules to scan"
+    for source in sources:
+        for module in _imported_modules(source):
+            if module == "repro" or module.startswith("repro."):
+                assert module in _ALLOWED_REPRO, (
+                    f"{source.name} imports {module}; plug-ins may only "
+                    f"use {sorted(_ALLOWED_REPRO)}"
+                )
+
+
+def test_plugin_registered_spec_is_char_grained():
+    spec = get_domain("citations")
+    assert spec is repro_citations.CITATIONS
+    assert spec.granularity == "char"
+    assert tuple(spec.block_labels) == tuple(CITATION_LABELS)
+    assert not spec.has_second_level
+
+
+# ----------------------------------------------------------------------
+# Styles render valid char-labeled records
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def one_work():
+    return CitationGenerator(CitationConfig(seed=11)).sample_work()
+
+
+def test_every_style_renders_normalized_char_records(one_work):
+    for style in CITATION_STYLES:
+        for version in range(1, style.n_versions + 1):
+            record = style.render(one_work, version=version)
+            text = record.text
+            assert text == " ".join(text.split()), (
+                f"{style.name} v{version} is not whitespace-normalized"
+            )
+            assert record.granularity == "char"
+            assert len(record.lines) == len(text)
+            assert [line.text for line in record.lines] == list(text)
+            assert {line.block for line in record.lines} <= set(
+                CITATION_LABELS
+            )
+            assert record.schema_family == style.name
+
+
+def test_springer_is_held_out_of_the_known_mix():
+    assert UNSEEN_STYLE == "springer"
+    assert UNSEEN_STYLE not in KNOWN_STYLES
+    assert set(KNOWN_STYLES) | {UNSEEN_STYLE} == {
+        style.name for style in CITATION_STYLES
+    }
+
+
+def test_fields_reassemble_exactly_from_gold_labels(one_work):
+    for style in CITATION_STYLES:
+        record = style.render(one_work)
+        parsed = assemble_citation_record(
+            [line.text for line in record.lines],
+            [line.block for line in record.lines],
+        )
+        for label, value in parsed.fields.items():
+            runs: list[str] = []
+            current: list[str] = []
+            for line in record.lines:
+                if line.block == label:
+                    current.append(line.text)
+                elif current:
+                    runs.append("".join(current))
+                    current = []
+            if current:
+                runs.append("".join(current))
+            assert value == runs[0].strip(), (
+                f"{style.name}: field {label!r} did not reassemble"
+            )
+        assert "sep" not in parsed.fields
+        assert "null" not in parsed.fields
+        assert not parsed.registrant, "WHOIS slots must stay empty"
+
+
+def test_acm_v2_is_the_drifted_doi_url_variant(one_work):
+    acm = citation_style_by_name("acm")
+    assert acm.n_versions == 2
+    v1 = acm.render(one_work, version=1).text
+    v2 = acm.render(one_work, version=2).text
+    assert "https://doi.org/" in v2
+    assert "https://doi.org/" not in v1
+
+
+# ----------------------------------------------------------------------
+# Generator determinism
+# ----------------------------------------------------------------------
+
+
+def test_generator_is_deterministic_under_seed():
+    texts = lambda gen: [r.text for r in gen.labeled_corpus(12)]  # noqa: E731
+    a = texts(CitationGenerator(CitationConfig(seed=7)))
+    b = texts(CitationGenerator(CitationConfig(seed=7)))
+    c = texts(CitationGenerator(CitationConfig(seed=8)))
+    assert a == b
+    assert a != c
+
+
+def test_default_corpus_draws_known_styles_only():
+    corpus = CitationGenerator(CitationConfig(seed=3)).labeled_corpus(40)
+    families = {record.schema_family for record in corpus}
+    assert families <= set(KNOWN_STYLES)
+    assert UNSEEN_STYLE not in families
+    assert len(families) >= 4
+
+
+def test_drift_probability_rolls_the_v2_templates():
+    drifted = CitationGenerator(CitationConfig(seed=3, drift_probability=1.0))
+    corpus = drifted.style_corpus("acm", 6)
+    assert all("https://doi.org/" in record.text for record in corpus)

@@ -8,6 +8,11 @@ a *typed* ``repro.errors`` error -- never a shape crash.
 """
 
 import dataclasses
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -207,3 +212,59 @@ def test_matching_domain_registry_loads_and_serves(tmp_path, syslog_parser):
     registry = ModelRegistry(tmp_path / "registry", domain="syslog")
     assert registry.has_active
     assert registry.current_parser.spec.name == "syslog"
+
+
+# ----------------------------------------------------------------------
+# Third-party plug-ins stay third-party (the citations example)
+# ----------------------------------------------------------------------
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+_CITATIONS_ROOT = _REPO_ROOT / "examples" / "citations"
+
+
+def _domains_in_subprocess(*, with_plugin: bool) -> list[str]:
+    """``available_domains()`` as a fresh interpreter sees it."""
+    paths = [str(_REPO_ROOT / "src")]
+    prelude = ""
+    if with_plugin:
+        paths.append(str(_CITATIONS_ROOT))
+        prelude = "import repro_citations\n"
+    env = dict(os.environ, PYTHONPATH=os.pathsep.join(paths))
+    script = (
+        prelude
+        + "import json\n"
+        + "from repro.domain import available_domains\n"
+        + "print(json.dumps(list(available_domains())))\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    return json.loads(result.stdout)
+
+
+def test_citations_never_listed_without_the_plugin_import():
+    """The satellite: registration is per process.  A process that never
+    imports the example package must not see ``citations`` -- nothing in
+    ``src/repro`` may import it back."""
+    assert "citations" not in _domains_in_subprocess(with_plugin=False)
+    assert "citations" in _domains_in_subprocess(with_plugin=True)
+
+
+def test_citations_snapshot_into_whois_registry_is_typed(tmp_path):
+    """A char-grained plug-in snapshot under WHOIS-configured serving
+    infrastructure fails with the typed mismatch, like any other
+    wrong-domain snapshot."""
+    sys.path.insert(0, str(_CITATIONS_ROOT))
+    try:
+        import repro_citations  # noqa: F401  (registers the domain)
+    finally:
+        sys.path.remove(str(_CITATIONS_ROOT))
+    spec = get_domain("citations")
+    corpus = spec.generator(seed=2).labeled_corpus(10)
+    parser = WhoisParser(domain=spec, l2=0.1).fit(corpus)
+    with pytest.raises(errors.DomainMismatch):
+        ModelRegistry(domain="whois").publish(parser)
+    parser.save(tmp_path / "registry")
+    with pytest.raises(errors.DomainMismatch):
+        ModelRegistry(tmp_path / "registry", domain="whois")

@@ -44,10 +44,14 @@ def extract_blocks(readme: Path) -> list[str]:
 def run_blocks(blocks: list[str], *, repo_root: Path, workdir: Path) -> int:
     """Run each block under ``bash -euo pipefail`` in ``workdir``."""
     env = dict(os.environ)
-    src = str(repo_root / "src")
-    env["PYTHONPATH"] = src + (
-        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
-    )
+    # src/ for the core package, examples/citations for the plug-in the
+    # README's bring-your-own-domain block (and the cookbook) loads via
+    # --plugins repro_citations.
+    paths = [str(repo_root / "src"),
+             str(repo_root / "examples" / "citations")]
+    if env.get("PYTHONPATH"):
+        paths.append(env["PYTHONPATH"])
+    env["PYTHONPATH"] = os.pathsep.join(paths)
     for i, block in enumerate(blocks, 1):
         sys.stderr.write(f"--- quickstart block {i}/{len(blocks)} ---\n")
         sys.stderr.write(block)
